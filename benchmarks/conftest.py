@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` regenerates one paper table/figure at full fidelity
+(default seeds, 30-day traces), prints the same rows/series the paper
+reports, and writes the rendered report to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments import ExperimentConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def full_config() -> ExperimentConfig:
+    """The full-fidelity experiment configuration used by every bench."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Returns a callable that prints and persists an experiment report."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def sink(report: ExperimentReport) -> ExperimentReport:
+        text = report.render()
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+        return report
+
+    return sink

@@ -1,0 +1,100 @@
+"""Benchmarks for the design-choice ablations DESIGN.md calls out.
+
+Not paper artifacts — these probe the knobs behind the paper's choices:
+the bid multiplier k (= 4, EC2's cap), the Yank bound tau, and the
+stability-aware extension the paper proposes as future work.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_abl_bid_multiplier(benchmark, full_config, report_sink):
+    """Sweep the proactive bid multiplier k from near-reactive to the cap."""
+    report = benchmark.pedantic(
+        run_experiment, args=("abl-bid", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_abl_tau(benchmark, full_config, report_sink):
+    """Sweep the Yank checkpoint bound tau."""
+    report = benchmark.pedantic(
+        run_experiment, args=("abl-tau", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_abl_stability(benchmark, full_config, report_sink):
+    """Sweep the stability-aware penalty weight on a volatile region pair."""
+    report = benchmark.pedantic(
+        run_experiment, args=("abl-stability", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ext_frontier(benchmark, full_config, report_sink):
+    """Cost-availability frontier across every hosting policy (extension)."""
+    report = benchmark.pedantic(
+        run_experiment, args=("ext-frontier", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ext_pool(benchmark, full_config, report_sink):
+    """Multi-tenant pool: placement diversity vs spare-pool sizing."""
+    report = benchmark.pedantic(
+        run_experiment, args=("ext-pool", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ext_elastic(benchmark, full_config, report_sink):
+    """Elastic spot capacity vs peak-provisioned / elastic on-demand."""
+    report = benchmark.pedantic(
+        run_experiment, args=("ext-elastic", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_abl_adaptive(benchmark, full_config, report_sink):
+    """Adaptive (history-driven) bidding vs the fixed 4x cap."""
+    report = benchmark.pedantic(
+        run_experiment, args=("abl-adaptive", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_abl_grace(benchmark, full_config, report_sink):
+    """Sweep the revocation grace window (value of the 2-minute warning)."""
+    report = benchmark.pedantic(
+        run_experiment, args=("abl-grace", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ext_sensitivity(benchmark, full_config, report_sink):
+    """Calibration-sensitivity sweep of the headline comparison."""
+    report = benchmark.pedantic(
+        run_experiment, args=("ext-sensitivity", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()

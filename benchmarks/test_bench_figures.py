@@ -1,0 +1,100 @@
+"""Benchmarks regenerating the paper's figures (1, 6-12) and Section 6.2.
+
+Each bench reruns the full experiment pipeline (multi-seed, 30-day traces),
+prints the series the figure plots, persists the report and asserts the
+paper's qualitative claims hold.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig1_spot_price_traces(benchmark, full_config, report_sink):
+    """Figure 1: a month of spot prices (small & large, us-east)."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig1", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig6_proactive_vs_reactive(benchmark, full_config, report_sink):
+    """Figure 6(a-d): proactive vs reactive cost/unavailability/migrations."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig6", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig7_migration_mechanisms(benchmark, full_config, report_sink):
+    """Figure 7: the four mechanism combos, typical & pessimistic."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig7", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig8_multi_market(benchmark, full_config, report_sink):
+    """Figure 8(a-c): multi-market vs single-market within a region."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig8", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig9_multi_region(benchmark, full_config, report_sink):
+    """Figure 9(a-c): multi-region vs single-region over AZ pairs."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig9", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig10_price_variability(benchmark, full_config, report_sink):
+    """Figure 10: price standard deviation per region/size."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig10", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig11_pure_spot(benchmark, full_config, report_sink):
+    """Figure 11(a-b): proactive vs pure-spot cost and unavailability."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig11", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig12_tpcw(benchmark, full_config, report_sink):
+    """Figure 12(a-b): TPC-W response time, native vs nested."""
+    report = benchmark.pedantic(
+        run_experiment, args=("fig12", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_sec62_overhead_cost(benchmark, full_config, report_sink):
+    """Section 6.2: cost savings after nested-overhead capacity inflation."""
+    report = benchmark.pedantic(
+        run_experiment, args=("sec62", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()

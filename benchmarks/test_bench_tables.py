@@ -1,0 +1,49 @@
+"""Benchmarks regenerating the paper's tables (1-4).
+
+Run with ``pytest benchmarks/ --benchmark-only``; each bench prints the
+table it regenerates and asserts the paper-vs-measured verdicts hold.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_tab1_startup_times(benchmark, full_config, report_sink):
+    """Table 1: startup latency of on-demand vs spot per region."""
+    report = benchmark.pedantic(
+        run_experiment, args=("tab1", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_tab2_migration_overheads(benchmark, full_config, report_sink):
+    """Table 2: live-migration / checkpoint / disk-copy overheads."""
+    report = benchmark.pedantic(
+        run_experiment, args=("tab2", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_tab3_hosting_matrix(benchmark, full_config, report_sink):
+    """Table 3: cost/availability matrix of the three hosting modes."""
+    report = benchmark.pedantic(
+        run_experiment, args=("tab3", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_tab4_io_overheads(benchmark, full_config, report_sink):
+    """Table 4: nested vs native network/disk throughput."""
+    report = benchmark.pedantic(
+        run_experiment, args=("tab4", full_config), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert report.all_hold()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Operating a derivative cloud: tenant placement vs spare capacity.
+
+You run a SpotCheck-style platform: 12 customer services hosted on spot
+servers, with warm on-demand spares absorbing revocations. How you place
+tenants across markets decides how many spares you must keep:
+
+* put everyone in the cheapest market and one sharp price spike revokes
+  the whole fleet at once — you need a spare per tenant;
+* spread tenants across markets/AZs and co-revocations are bounded by the
+  tenants-per-market count — a fraction of the fleet in spares suffices.
+
+Usage::
+
+    python examples/derivative_cloud_pool.py [n_services] [seed]
+"""
+
+import sys
+
+from repro.analysis.tables import Table
+from repro.pool import PoolConfig, SpotPool
+
+REGIONS = ("us-east-1a", "us-east-1b", "us-west-1a", "eu-west-1a")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 9
+
+    t = Table(
+        headers=("placement", "norm cost %", "mean unavail %",
+                 "forced migrations", "spares needed", "spare fraction"),
+        title=f"{n} tenant services, 30 days, {len(REGIONS)} AZs (seed {seed})",
+    )
+    for placement in ("concentrated", "diverse"):
+        pool = SpotPool(PoolConfig(
+            n_services=n, placement=placement, seed=seed, regions=REGIONS,
+        ))
+        r = pool.run()
+        t.add_row(
+            placement, r.normalized_cost_percent, r.mean_unavailability_percent,
+            r.total_forced, r.spare_servers_needed, r.spare_fraction,
+        )
+    print(t.render())
+    print()
+    print("Reading: the concentrated pool is cheaper per hour but must keep a")
+    print("spare for every tenant; the diverse pool pays a few points more and")
+    print("covers its worst burst with a fraction of the fleet — statistical")
+    print("multiplexing is what makes a derivative cloud's economics work.")
+
+
+if __name__ == "__main__":
+    main()

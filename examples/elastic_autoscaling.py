@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Autoscaling a web tier on the spot market.
+
+Your service's stateless frontend needs 4 servers overnight and 12 at the
+evening peak (quieter on weekends). Three ways to provision it:
+
+1. dedicated hardware sized for the peak (the pre-cloud baseline);
+2. elastic on-demand capacity (the cloud baseline);
+3. an elastic *spot* fleet — this library's
+   :class:`~repro.core.elastic.ElasticSpotFleet` — with reactive or
+   predictive (lead-time) scaling.
+
+Usage::
+
+    python examples/elastic_autoscaling.py [seed]
+"""
+
+import sys
+
+from repro.analysis.tables import Table
+from repro.cloud.provider import CloudProvider
+from repro.core.elastic import DemandCurve, ElasticSpotFleet
+from repro.simulator.engine import Engine
+from repro.simulator.rng import RngStreams
+from repro.traces.catalog import build_catalog
+from repro.units import days, hours
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 17
+    horizon = days(30)
+    demand = DemandCurve.diurnal(base=4, peak=12, peak_hour=20.0)
+
+    cat = build_catalog(seed=seed, horizon=horizon,
+                        regions=("us-east-1a", "us-east-1b"), sizes=("small",))
+    runs = {}
+    for label, lead in (("reactive", 0.0), ("predictive +2h", hours(2))):
+        provider = CloudProvider(cat, rng=RngStreams(seed).get(f"ex/{label}"))
+        fleet = ElasticSpotFleet(Engine(), provider, demand, cat.markets(),
+                                 horizon=horizon, provision_lead_s=lead)
+        runs[label] = fleet.run()
+
+    any_run = next(iter(runs.values()))
+    print(f"30 days of a diurnal web tier (4..12 small servers, seed {seed})\n")
+    print(f"dedicated peak-provisioned servers would cost "
+          f"${any_run.peak_on_demand_cost:.2f}")
+    print(f"elastic on-demand capacity would cost     "
+          f"${any_run.elastic_on_demand_cost:.2f}\n")
+
+    t = Table(
+        headers=("spot fleet", "cost $", "vs peak %", "vs elastic od %",
+                 "shortfall %", "scale ups/downs", "revoked+replaced"),
+    )
+    for label, r in runs.items():
+        t.add_row(label, r.total_cost, r.vs_peak_percent, r.vs_elastic_od_percent,
+                  r.shortfall_fraction * 100, f"{r.scale_ups}/{r.scale_downs}",
+                  r.replacements)
+    print(t.render())
+    print()
+    print("Predictive scaling provisions against demand two hours ahead:")
+    print("the fleet is already booted when the evening ramp arrives, so the")
+    print("capacity shortfall all but disappears for a point or two of cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Result rendering: tables, ASCII charts, experiment reports."""
+
+from repro.analysis.tables import Table, format_value
+from repro.analysis.figures import bar_chart, line_chart, sparkline
+from repro.analysis.report import ExperimentReport, ComparisonRow
+
+__all__ = [
+    "Table",
+    "format_value",
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "ExperimentReport",
+    "ComparisonRow",
+]

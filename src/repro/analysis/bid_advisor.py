@@ -1,0 +1,186 @@
+"""Bid analysis: what does a given bid price buy in a given market?
+
+Section 3.1 frames the bidding trade-off: "a higher bid price reduces the
+chances that the spot price will rise above the bid ... However, there is a
+risk that the spot price could increase but still stay below the bid price,
+resulting in more cost". This module quantifies that trade-off empirically
+from a price trace (synthetic or a loaded AWS archive):
+
+* revocation rate and mean time between revocations at a bid;
+* the fraction of time the server is held, and the mean sojourn of the
+  outages (how long a pure-spot tenant stays dark per revocation);
+* the mean price actually paid while held (held-time-weighted);
+* a total-cost estimate for a migrating scheduler, charging the on-demand
+  price during above-bid periods plus a per-revocation migration penalty —
+  which makes the reactive-vs-proactive gap visible directly from the trace.
+
+Everything is vectorised over the trace's segments, so sweeping a whole
+bid grid over a month-long trace is instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = ["BidPoint", "BidAnalysis"]
+
+
+@dataclass(frozen=True)
+class BidPoint:
+    """What one bid buys in one market."""
+
+    bid: float
+    revocations_per_hour: float
+    held_fraction: float  #: fraction of time price <= bid
+    mean_time_between_revocations_h: float  #: inf when never revoked
+    mean_outage_s: float  #: mean sojourn above the bid (0 when never)
+    mean_price_while_held: float  #: time-weighted over held periods
+    est_cost_per_hour: float  #: migrating-scheduler estimate (see class doc)
+
+    @property
+    def availability_pure_spot_percent(self) -> float:
+        """Availability of a non-migrating (pure-spot) tenant at this bid."""
+        return 100.0 * self.held_fraction
+
+
+class BidAnalysis:
+    """Analyses bids against one market's price history.
+
+    Parameters
+    ----------
+    trace:
+        The market's price history.
+    on_demand_price:
+        Price of the non-revocable fallback (caps the scheduler's spend
+        during above-bid periods).
+    migration_penalty:
+        USD charged per revocation in the cost estimate (wasted partial
+        hours, overlap hours, engineering risk). Defaults to one on-demand
+        hour.
+    """
+
+    def __init__(
+        self,
+        trace: PriceTrace,
+        on_demand_price: float,
+        migration_penalty: float | None = None,
+    ) -> None:
+        if on_demand_price <= 0:
+            raise TraceError("on-demand price must be positive")
+        self.trace = trace
+        self.on_demand_price = float(on_demand_price)
+        self.migration_penalty = (
+            float(migration_penalty) if migration_penalty is not None else on_demand_price
+        )
+        # Pre-extract the segment decomposition once.
+        bounds = np.concatenate([trace.times, [trace.horizon]])
+        self._durations = np.diff(bounds)
+        self._prices = trace.prices
+        self._total_s = float(self._durations.sum())
+
+    # ----------------------------------------------------------- primitives
+    def revocations_per_hour(self, bid: float) -> float:
+        """Rate of upward crossings of the bid (provider revocations)."""
+        crossings = self.trace.crossings_above(bid)
+        # A trace that *starts* above the bid is not a revocation (the
+        # request would simply not be granted yet).
+        n = len(crossings)
+        if n and crossings[0] == self.trace.start and self._prices[0] > bid:
+            n -= 1
+        return n / (self._total_s / SECONDS_PER_HOUR)
+
+    def held_fraction(self, bid: float) -> float:
+        """Fraction of time the price is at or below the bid."""
+        mask = self._prices <= bid
+        return float(self._durations[mask].sum() / self._total_s)
+
+    def mean_price_while_held(self, bid: float) -> float:
+        """Time-weighted mean price over at-or-below-bid periods."""
+        mask = self._prices <= bid
+        held = self._durations[mask].sum()
+        if held <= 0:
+            return float("nan")
+        return float(np.dot(self._durations[mask], self._prices[mask]) / held)
+
+    def mean_outage_s(self, bid: float) -> float:
+        """Mean contiguous sojourn above the bid."""
+        above = self._prices > bid
+        if not above.any():
+            return 0.0
+        # group consecutive above-segments
+        total = 0.0
+        count = 0
+        run = 0.0
+        for dur, hot in zip(self._durations, above):
+            if hot:
+                run += dur
+            elif run > 0:
+                total += run
+                count += 1
+                run = 0.0
+        if run > 0:
+            total += run
+            count += 1
+        return total / count if count else 0.0
+
+    def estimated_cost_per_hour(self, bid: float) -> float:
+        """Cost estimate for a migrating scheduler at this bid.
+
+        Pays the spot price while held, the on-demand price while the
+        market is above the bid, plus the migration penalty per revocation.
+        """
+        held = self.held_fraction(bid)
+        spot_part = held * (self.mean_price_while_held(bid) if held > 0 else 0.0)
+        od_part = (1.0 - held) * self.on_demand_price
+        churn = self.revocations_per_hour(bid) * self.migration_penalty
+        return float(spot_part + od_part + churn)
+
+    # ---------------------------------------------------------------- sweeps
+    def point(self, bid: float) -> BidPoint:
+        """Full analysis of one bid."""
+        rate = self.revocations_per_hour(bid)
+        return BidPoint(
+            bid=float(bid),
+            revocations_per_hour=rate,
+            held_fraction=self.held_fraction(bid),
+            mean_time_between_revocations_h=(1.0 / rate) if rate > 0 else float("inf"),
+            mean_outage_s=self.mean_outage_s(bid),
+            mean_price_while_held=self.mean_price_while_held(bid),
+            est_cost_per_hour=self.estimated_cost_per_hour(bid),
+        )
+
+    def sweep(self, bids: Sequence[float]) -> List[BidPoint]:
+        """Analyse a grid of bids (e.g. multiples of on-demand)."""
+        if len(bids) == 0:
+            raise TraceError("empty bid grid")
+        return [self.point(b) for b in bids]
+
+    def default_grid(self, n: int = 13) -> np.ndarray:
+        """A sensible bid grid: from half to 4x the on-demand price."""
+        return np.linspace(0.5 * self.on_demand_price, 4.0 * self.on_demand_price, n)
+
+    # ------------------------------------------------------- recommendations
+    def recommend(
+        self,
+        max_revocations_per_month: float = 3.0,
+        bids: Sequence[float] | None = None,
+    ) -> BidPoint:
+        """Cheapest bid whose revocation rate fits the monthly budget.
+
+        Falls back to the highest-bid point when no candidate satisfies the
+        budget (the best one can do is bid the cap).
+        """
+        grid = self.default_grid() if bids is None else list(bids)
+        points = self.sweep(grid)
+        budget_per_hour = max_revocations_per_month / (30 * 24.0)
+        ok = [p for p in points if p.revocations_per_hour <= budget_per_hour]
+        if not ok:
+            return max(points, key=lambda p: p.bid)
+        return min(ok, key=lambda p: p.est_cost_per_hour)

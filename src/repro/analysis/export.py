@@ -1,0 +1,140 @@
+"""Exporting results: JSON, CSV, and Markdown.
+
+Simulation results and experiment reports are plain dataclasses; these
+helpers serialise them for downstream analysis (pandas, spreadsheets,
+papers) without adding dependencies:
+
+* :func:`results_to_json` / :func:`results_to_csv` — flat per-run records;
+* :func:`report_to_markdown` — an experiment report as a Markdown section
+  (tables preserved as code blocks, comparisons as a Markdown table);
+* :func:`trace_to_json` — a price trace as ``{times, prices, horizon}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, TextIO
+
+from repro.analysis.report import ExperimentReport
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.traces.trace import PriceTrace
+
+__all__ = [
+    "result_to_dict",
+    "results_to_json",
+    "results_to_csv",
+    "report_to_markdown",
+    "trace_to_json",
+]
+
+#: Flat columns exported for each simulation result, in order.
+_RESULT_FIELDS = (
+    "label",
+    "seed",
+    "duration_hours",
+    "total_cost",
+    "baseline_cost",
+    "normalized_cost_percent",
+    "unavailability_percent",
+    "downtime_s",
+    "degraded_s",
+    "forced_migrations",
+    "planned_migrations",
+    "reverse_migrations",
+    "outages",
+    "spot_cost",
+    "on_demand_cost",
+    "spot_time_fraction",
+)
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """One result as a flat JSON-ready dict (derived metrics included)."""
+    out = {f: getattr(result, f) for f in _RESULT_FIELDS}
+    out["forced_per_hour"] = result.forced_per_hour
+    out["planned_reverse_per_hour"] = result.planned_reverse_per_hour
+    out["savings_percent"] = result.savings_percent
+    out["downtime_by_cause"] = dict(result.downtime_by_cause)
+    return out
+
+
+def _open_sink(dest: str | Path | TextIO):
+    if isinstance(dest, (str, Path)):
+        return open(dest, "w", newline=""), True
+    return dest, False
+
+
+def results_to_json(
+    results: Sequence[SimulationResult], dest: str | Path | TextIO
+) -> None:
+    """Write results as a JSON array."""
+    fh, close = _open_sink(dest)
+    try:
+        json.dump([result_to_dict(r) for r in results], fh, indent=2)
+        fh.write("\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def results_to_csv(
+    results: Sequence[SimulationResult], dest: str | Path | TextIO
+) -> None:
+    """Write results as CSV (one row per run; per-cause downtime omitted)."""
+    if not results:
+        raise ConfigurationError("nothing to export")
+    fields = list(_RESULT_FIELDS) + [
+        "forced_per_hour", "planned_reverse_per_hour", "savings_percent",
+    ]
+    fh, close = _open_sink(dest)
+    try:
+        writer = csv.DictWriter(fh, fieldnames=fields, extrasaction="ignore")
+        writer.writeheader()
+        for r in results:
+            writer.writerow(result_to_dict(r))
+    finally:
+        if close:
+            fh.close()
+
+
+def report_to_markdown(report: ExperimentReport) -> str:
+    """Render an experiment report as a Markdown section."""
+    lines: List[str] = [f"## {report.experiment_id}: {report.title}", ""]
+    for artifact in report.artifacts:
+        lines += ["```text", artifact, "```", ""]
+    if report.comparisons:
+        lines += [
+            "| metric | measured | paper | unit | expectation | verdict |",
+            "|---|---|---|---|---|---|",
+        ]
+        for c in report.comparisons:
+            paper = "-" if c.paper is None else f"{c.paper:g}"
+            lines.append(
+                f"| {c.metric} | {c.measured:g} | {paper} | {c.unit or '-'} "
+                f"| {c.expectation or '-'} | {c.verdict()} |"
+            )
+        lines.append("")
+    for n in report.notes:
+        lines.append(f"> {n}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def trace_to_json(trace: PriceTrace, dest: str | Path | TextIO) -> None:
+    """Write a price trace as ``{market, region, horizon, times, prices}``."""
+    payload = {
+        "market": trace.market,
+        "region": trace.region,
+        "horizon": trace.horizon,
+        "times": [float(t) for t in trace.times],
+        "prices": [float(p) for p in trace.prices],
+    }
+    fh, close = _open_sink(dest)
+    try:
+        json.dump(payload, fh)
+        fh.write("\n")
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,114 @@
+"""ASCII chart rendering: bar charts and line charts for terminal output.
+
+The benchmark harness regenerates each paper figure as a labelled series;
+these renderers make the shape visible directly in CI logs without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    ``log_scale`` mirrors the paper's log-axis unavailability plots
+    (Figs 7, 11b): bars scale with log10 of the value relative to the
+    smallest positive value.
+    """
+    if not values:
+        return title
+    labels = list(values)
+    vals = [float(values[k]) for k in labels]
+    if log_scale:
+        positive = [v for v in vals if v > 0]
+        floor = min(positive) if positive else 1.0
+        scaled = [math.log10(max(v, floor) / floor) + 1e-9 if v > 0 else 0.0 for v in vals]
+    else:
+        scaled = [max(v, 0.0) for v in vals]
+    peak = max(scaled) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, raw, s in zip(labels, vals, scaled):
+        frac = s / peak
+        whole = int(frac * width)
+        rem = int((frac * width - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[rem] if rem else "")
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {raw:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a label to ``[(x, y), ...]``; each series plots with its
+    own marker.
+    """
+    markers = "ox+*#@%&"
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return title
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    for mi, (label, data) in enumerate(series.items()):
+        mark = markers[mi % len(markers)]
+        for x, y in data:
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{y_label} [{y0:g} .. {y1:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label} [{x0:g} .. {x1:g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line price-trace sketch using block characters."""
+    if not values:
+        return ""
+    n = len(values)
+    if n > width:
+        step = n / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return "▄" * len(values)
+    ramp = "▁▂▃▄▅▆▇█"
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(ramp) - 1))
+        out.append(ramp[idx])
+    return "".join(out)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints the rows the paper's table/figure reports; this
+module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_value", "Table"]
+
+
+def format_value(v: Any, precision: int = 4) -> str:
+    """Format one cell: floats get ``precision`` significant handling."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.1f}"
+        if abs(v) >= 1:
+            return f"{v:.{precision}g}"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    title: str = ""
+    precision: int = 4
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        cells = [[format_value(c, self.precision) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

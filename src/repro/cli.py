@@ -1,0 +1,161 @@
+"""``repro-simulate`` — run custom scheduler simulations from the shell.
+
+Examples::
+
+    repro-simulate                                    # paper defaults
+    repro-simulate --bidding reactive --size large
+    repro-simulate --strategy multi-market --region us-east-1b
+    repro-simulate --strategy multi-region --region us-east-1a eu-west-1a
+    repro-simulate --mechanism ckpt+lr --pessimistic --seeds 1 2 3
+    repro-simulate --strategy pure-spot --days 60
+    repro-simulate --csv history.csv --size small --region us-east-1a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.core.results import aggregate
+from repro.core.simulation import SimulationConfig, run_many, run_simulation
+from repro.core.strategies import (
+    MultiMarketStrategy,
+    MultiRegionStrategy,
+    OnDemandOnlyStrategy,
+    PureSpotStrategy,
+    SingleMarketStrategy,
+    StabilityAwareStrategy,
+)
+from repro.traces.calibration import REGIONS, SIZES, on_demand_price
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.loader import load_aws_csv
+from repro.units import days
+from repro.vm.mechanisms import Mechanism, PESSIMISTIC_PARAMS, TYPICAL_PARAMS
+
+__all__ = ["main", "build_parser"]
+
+STRATEGIES = ("single", "multi-market", "multi-region", "pure-spot", "on-demand", "stability")
+MECHANISMS = {m.value: m for m in Mechanism}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Host an always-on service on the simulated spot market.",
+    )
+    p.add_argument("--strategy", choices=STRATEGIES, default="single")
+    p.add_argument("--bidding", choices=("proactive", "reactive"), default="proactive")
+    p.add_argument("--k", type=float, default=4.0, help="proactive bid multiplier")
+    p.add_argument("--mechanism", choices=sorted(MECHANISMS), default="ckpt+lr+live")
+    p.add_argument("--pessimistic", action="store_true",
+                   help="use the pessimistic mechanism parameters")
+    p.add_argument("--region", nargs="+", default=["us-east-1a"], choices=REGIONS,
+                   metavar="AZ", help="availability zone(s)")
+    p.add_argument("--size", choices=SIZES, default="small")
+    p.add_argument("--units", type=int, default=8,
+                   help="fleet size in small-equivalents (multi strategies)")
+    p.add_argument("--seeds", type=int, nargs="+", default=[11, 23, 37])
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--csv", type=str, default=None,
+                   help="replay an AWS-format spot history instead of "
+                   "generating traces (single-market strategies only)")
+    p.add_argument("--stability-weight", type=float, default=2.0)
+    return p
+
+
+def _make_strategy(args) -> tuple:
+    """Returns (strategy factory, regions tuple)."""
+    key = MarketKey(args.region[0], args.size)
+    if args.strategy == "single":
+        return (lambda: SingleMarketStrategy(key)), (args.region[0],)
+    if args.strategy == "pure-spot":
+        return (lambda: PureSpotStrategy(key)), (args.region[0],)
+    if args.strategy == "on-demand":
+        return (lambda: OnDemandOnlyStrategy(key)), (args.region[0],)
+    if args.strategy == "multi-market":
+        return (
+            lambda: MultiMarketStrategy(args.region[0], service_units=args.units)
+        ), (args.region[0],)
+    if args.strategy == "multi-region":
+        return (
+            lambda: MultiRegionStrategy(tuple(args.region), service_units=args.units)
+        ), tuple(args.region)
+    if args.strategy == "stability":
+        return (
+            lambda: StabilityAwareStrategy(
+                tuple(args.region), service_units=args.units,
+                stability_weight=args.stability_weight,
+            )
+        ), tuple(args.region)
+    raise AssertionError(args.strategy)  # pragma: no cover
+
+
+def _csv_catalog(args) -> TraceCatalog:
+    trace = load_aws_csv(args.csv)
+    key = MarketKey(args.region[0], args.size)
+    od = on_demand_price(args.region[0], args.size)
+    return TraceCatalog({key: trace}, {key: od}, trace.horizon)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    bidding = (
+        ProactiveBidding(k=args.k) if args.bidding == "proactive" else ReactiveBidding()
+    )
+    strategy, regions = _make_strategy(args)
+    catalog = None
+    horizon = days(args.days)
+    if args.csv is not None:
+        if args.strategy not in ("single", "pure-spot", "on-demand"):
+            print("--csv supports single-market strategies only", file=sys.stderr)
+            return 2
+        catalog = _csv_catalog(args)
+        horizon = catalog.horizon
+
+    cfg = SimulationConfig(
+        strategy=strategy,
+        bidding=bidding,
+        mechanism=MECHANISMS[args.mechanism],
+        params=PESSIMISTIC_PARAMS if args.pessimistic else TYPICAL_PARAMS,
+        horizon_s=horizon,
+        regions=regions,
+        sizes=tuple(SIZES),
+        catalog=catalog,
+        label=f"{args.bidding}/{args.strategy}",
+    )
+
+    t = Table(
+        headers=("seed", "norm cost %", "unavail %", "downtime (s)",
+                 "forced", "planned+rev", "spot $", "od $"),
+        title=f"{args.strategy} / {args.bidding} / {args.mechanism}"
+        f"{' (pessimistic)' if args.pessimistic else ''} over {args.days:g} days",
+    )
+    if catalog is not None:
+        results = [run_simulation(cfg)]
+    else:
+        results = run_many(cfg, args.seeds)
+    for r in results:
+        t.add_row(
+            r.seed, r.normalized_cost_percent, r.unavailability_percent,
+            r.downtime_s, r.forced_migrations,
+            r.planned_migrations + r.reverse_migrations, r.spot_cost, r.on_demand_cost,
+        )
+    print(t.render())
+    if len(results) > 1:
+        agg = aggregate(results)
+        print(
+            f"\nmean over {agg.n_runs} seeds: "
+            f"{agg.normalized_cost_percent:.1f}% of baseline "
+            f"(+-{agg.normalized_cost_std:.1f}), "
+            f"{agg.unavailability_percent:.4f}% unavailable"
+        )
+        meets = agg.unavailability_percent <= 0.01
+        print(f"four-nines target: {'met' if meets else 'MISSED'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

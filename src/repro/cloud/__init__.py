@@ -1,0 +1,47 @@
+"""Cloud-provider simulator: instance types, regions, markets, billing.
+
+This package reproduces the EC2 semantics the paper's scheduler relies on
+(Section 2.1):
+
+* on-demand servers: fixed hourly price, non-revocable, ~1.5 min startup;
+* spot servers: variable price, granted only while price <= bid, revoked
+  when price > bid with a two-minute grace warning, billed the start-of-hour
+  spot price per hour with revoked partial hours free, bids capped at 4x the
+  on-demand price, ~3.5-4.5 min startup;
+* networked storage volumes (EBS) that survive server revocation;
+* VPC-style IP reassignment so a migrated nested VM keeps its address.
+"""
+
+from repro.cloud.instance_types import InstanceType, INSTANCE_TYPES, instance_type
+from repro.cloud.regions import Region, REGION_TABLE, region_of, link_between, RegionLink
+from repro.cloud.startup import StartupModel, StartupSampler
+from repro.cloud.billing import BillingRecord, bill_spot_lease, bill_on_demand_lease
+from repro.cloud.spot_market import SpotMarket, BID_CAP_MULTIPLIER
+from repro.cloud.ebs import Volume, VolumeStore
+from repro.cloud.vpc import ElasticIp, VirtualPrivateCloud
+from repro.cloud.provider import CloudProvider, Lease, LeaseKind
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "instance_type",
+    "Region",
+    "REGION_TABLE",
+    "region_of",
+    "link_between",
+    "RegionLink",
+    "StartupModel",
+    "StartupSampler",
+    "BillingRecord",
+    "bill_spot_lease",
+    "bill_on_demand_lease",
+    "SpotMarket",
+    "BID_CAP_MULTIPLIER",
+    "Volume",
+    "VolumeStore",
+    "ElasticIp",
+    "VirtualPrivateCloud",
+    "CloudProvider",
+    "Lease",
+    "LeaseKind",
+]

@@ -1,0 +1,103 @@
+"""Hourly billing semantics for spot and on-demand leases.
+
+EC2's 2015-era rules, as described in Section 2.1 of the paper:
+
+* **Spot**: "billed on an hourly basis, based on the spot price (not the
+  bid price) at the beginning of each hour. Partial hours are not billed if
+  a spot server is revoked before the end of an hourly billing period."
+  Conversely, a *voluntarily* terminated partial hour is billed in full —
+  which is exactly why the scheduler times planned and reverse migrations
+  "near the end of a billing period".
+* **On-demand**: fixed hourly price, partial hours rounded up.
+
+Billing hour boundaries are anchored at the *lease start*, not wall-clock
+hours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MarketError
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = ["BillingRecord", "bill_spot_lease", "bill_on_demand_lease", "billing_boundaries"]
+
+
+@dataclass(frozen=True)
+class BillingRecord:
+    """One billed hour of one lease."""
+
+    hour_start: float  #: absolute sim time of the billing hour start
+    rate: float  #: USD/hour charged for this hour
+    amount: float  #: USD actually charged (rate, or 0 for a free revoked hour)
+    kind: str  #: 'spot' or 'on_demand'
+    note: str = ""
+
+
+def billing_boundaries(start: float, end: float) -> List[float]:
+    """Hour boundaries of a lease on (start, end): start+1h, start+2h, ...
+
+    Returns every boundary strictly inside the lease plus the one at or
+    after ``end`` is *not* included; callers reason about the final partial
+    hour explicitly.
+    """
+    if end < start:
+        raise MarketError(f"lease ends before it starts: [{start}, {end}]")
+    out = []
+    k = 1
+    while start + k * SECONDS_PER_HOUR < end:
+        out.append(start + k * SECONDS_PER_HOUR)
+        k += 1
+    return out
+
+
+def bill_spot_lease(
+    trace: PriceTrace,
+    start: float,
+    end: float,
+    revoked: bool,
+) -> List[BillingRecord]:
+    """Bill a spot lease running on [start, end).
+
+    Full hours are charged at the spot price in force at the hour's start.
+    The final partial hour (if any) is free when ``revoked``, and charged
+    at its start-of-hour price otherwise.
+    """
+    if end < start:
+        raise MarketError(f"lease ends before it starts: [{start}, {end}]")
+    records: List[BillingRecord] = []
+    if end == start:
+        return records
+    n_full = int(math.floor((end - start) / SECONDS_PER_HOUR))
+    for k in range(n_full):
+        hs = start + k * SECONDS_PER_HOUR
+        rate = float(trace.price_at(hs))
+        records.append(BillingRecord(hs, rate, rate, "spot"))
+    last_start = start + n_full * SECONDS_PER_HOUR
+    if last_start < end:
+        rate = float(trace.price_at(last_start))
+        if revoked:
+            records.append(BillingRecord(last_start, rate, 0.0, "spot", note="revoked-free"))
+        else:
+            records.append(BillingRecord(last_start, rate, rate, "spot", note="voluntary-full"))
+    return records
+
+
+def bill_on_demand_lease(rate: float, start: float, end: float) -> List[BillingRecord]:
+    """Bill an on-demand lease: fixed rate, partial hours rounded up."""
+    if end < start:
+        raise MarketError(f"lease ends before it starts: [{start}, {end}]")
+    if rate < 0:
+        raise MarketError(f"negative on-demand rate {rate}")
+    records: List[BillingRecord] = []
+    if end == start:
+        return records
+    n_hours = int(math.ceil((end - start) / SECONDS_PER_HOUR))
+    for k in range(n_hours):
+        hs = start + k * SECONDS_PER_HOUR
+        records.append(BillingRecord(hs, rate, rate, "on_demand"))
+    return records

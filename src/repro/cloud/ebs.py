@@ -1,0 +1,123 @@
+"""Networked storage volumes (EBS-style).
+
+The paper's availability argument depends on disk state *surviving* a spot
+revocation: "all data on the storage volume is preserved when the server is
+revoked and the volume can simply be re-attached to the new on-demand
+server" (Section 3). :class:`VolumeStore` models exactly that contract —
+contents persist across detach/attach cycles and a volume can be attached
+to at most one server at a time. Checkpoint images are written to volumes,
+which is why they remain readable after the source server is gone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import MarketError
+
+__all__ = ["Volume", "VolumeStore"]
+
+
+@dataclass
+class Volume:
+    """A networked block volume.
+
+    ``contents`` maps object names (e.g. ``"root"``, ``"checkpoint"``) to
+    opaque payload descriptors with a byte size; the simulator only tracks
+    sizes and write times, not actual bytes.
+    """
+
+    volume_id: str
+    zone: str
+    size_gib: float
+    attached_to: Optional[str] = None
+    contents: Dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: (written_at, size_gib) per object name
+
+    @property
+    def attached(self) -> bool:
+        return self.attached_to is not None
+
+    def used_gib(self) -> float:
+        """Total size of stored objects."""
+        return sum(size for _, size in self.contents.values())
+
+
+class VolumeStore:
+    """Creates, attaches and persists volumes within one availability zone's
+    storage service (cross-zone attachment is not allowed, as on EC2 —
+    cross-region migrations must *copy* disk state instead, Table 2)."""
+
+    def __init__(self) -> None:
+        self._volumes: Dict[str, Volume] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, zone: str, size_gib: float) -> Volume:
+        """Provision a new empty volume in ``zone``."""
+        if size_gib <= 0:
+            raise MarketError(f"volume size must be positive, got {size_gib}")
+        vid = f"vol-{next(self._ids):06d}"
+        vol = Volume(volume_id=vid, zone=zone, size_gib=size_gib)
+        self._volumes[vid] = vol
+        return vol
+
+    def get(self, volume_id: str) -> Volume:
+        try:
+            return self._volumes[volume_id]
+        except KeyError as exc:
+            raise MarketError(f"unknown volume {volume_id}") from exc
+
+    def attach(self, volume_id: str, server_id: str, zone: str) -> Volume:
+        """Attach a volume to a server in the same zone.
+
+        Raises
+        ------
+        MarketError
+            If the volume is already attached or the zones differ.
+        """
+        vol = self.get(volume_id)
+        if vol.attached:
+            raise MarketError(f"{volume_id} already attached to {vol.attached_to}")
+        if vol.zone != zone:
+            raise MarketError(
+                f"{volume_id} lives in {vol.zone}, cannot attach in {zone}; "
+                "cross-region moves must copy disk state"
+            )
+        vol.attached_to = server_id
+        return vol
+
+    def detach(self, volume_id: str) -> Volume:
+        """Detach a volume; contents persist. Idempotent."""
+        vol = self.get(volume_id)
+        vol.attached_to = None
+        return vol
+
+    def write(self, volume_id: str, name: str, size_gib: float, at: float) -> None:
+        """Record an object written to an attached volume."""
+        vol = self.get(volume_id)
+        if not vol.attached:
+            raise MarketError(f"cannot write to detached volume {volume_id}")
+        if size_gib < 0:
+            raise MarketError("object size must be >= 0")
+        if vol.used_gib() - vol.contents.get(name, (0.0, 0.0))[1] + size_gib > vol.size_gib:
+            raise MarketError(f"volume {volume_id} full")
+        vol.contents[name] = (at, size_gib)
+
+    def read(self, volume_id: str, name: str) -> tuple[float, float]:
+        """Read an object descriptor; allowed even while detached (the data
+        survives the server), mirroring re-attach-then-restore."""
+        vol = self.get(volume_id)
+        try:
+            return vol.contents[name]
+        except KeyError as exc:
+            raise MarketError(f"volume {volume_id} has no object {name!r}") from exc
+
+    def clone_to_zone(self, volume_id: str, zone: str) -> Volume:
+        """Create a copy of a volume in another zone (the WAN disk copy of
+        Table 2); the caller accounts for the transfer time."""
+        src = self.get(volume_id)
+        dst = self.create(zone, src.size_gib)
+        dst.contents = dict(src.contents)
+        return dst

@@ -1,0 +1,82 @@
+"""The instance-type catalog.
+
+The paper evaluates small, medium, large and xlarge servers (EC2's classic
+first-generation ladder). ``capacity_units`` encodes the packing arithmetic
+of the multi-market strategy — a large server can host four small-sized
+nested VMs ("a multi-market strategy involves packing multiple nested VMs
+onto a larger spot or on-demand server", Section 4) — and ``memory_gib``
+drives every migration-latency model in :mod:`repro.vm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InstanceType", "INSTANCE_TYPES", "instance_type", "SIZE_ORDER"]
+
+#: Canonical small-to-large ordering of the paper's sizes.
+SIZE_ORDER = ("small", "medium", "large", "xlarge")
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A virtual-server configuration.
+
+    Attributes
+    ----------
+    name:
+        The paper's size label (``small`` .. ``xlarge``).
+    ec2_name:
+        The corresponding first-generation EC2 API name.
+    vcpus:
+        Virtual CPU count.
+    memory_gib:
+        RAM in GiB; sets checkpoint/migration data volumes.
+    capacity_units:
+        Number of small-equivalent nested VMs the server can host after
+        reserving dom0 overhead (powers of two up the ladder).
+    disk_gib:
+        Root EBS volume size used for WAN disk-copy estimates.
+    """
+
+    name: str
+    ec2_name: str
+    vcpus: int
+    memory_gib: float
+    capacity_units: int
+    disk_gib: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gib <= 0 or self.capacity_units <= 0:
+            raise ConfigurationError(f"invalid instance type {self!r}")
+
+    @property
+    def nested_memory_gib(self) -> float:
+        """Memory available to nested VMs after the dom0 reservation.
+
+        Section 6.1: on a 3.75 GiB m3.medium the nested VM gets 3 GiB —
+        a fixed fraction models the same reservation across sizes.
+        """
+        return self.memory_gib * 0.8
+
+
+#: The four market sizes studied in the evaluation. Memory follows the
+#: classic m1 ladder (1.7 / 3.75 / 7.5 / 15 GiB).
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    "small": InstanceType("small", "m1.small", 1, 1.7, 1, 8.0),
+    "medium": InstanceType("medium", "m1.medium", 1, 3.75, 2, 8.0),
+    "large": InstanceType("large", "m1.large", 2, 7.5, 4, 8.0),
+    "xlarge": InstanceType("xlarge", "m1.xlarge", 4, 15.0, 8, 8.0),
+}
+
+
+def instance_type(name: str) -> InstanceType:
+    """Look up an instance type by its paper size label."""
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; known: {sorted(INSTANCE_TYPES)}"
+        ) from exc

@@ -1,0 +1,103 @@
+"""Regions, availability zones, and the WAN links between them.
+
+The paper's Table 2 measures migration overheads *inside* a region (LAN,
+networked storage shared, no disk copy) and *across* regions (WAN, disk
+state must be copied). The :class:`RegionLink` table reproduces those
+bandwidth asymmetries: US-East <-> US-West is faster than either coast to
+EU-West.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Region", "REGION_TABLE", "region_of", "RegionLink", "link_between", "GEO_REGIONS"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An availability zone (the paper uses AZ-level markets).
+
+    ``geo`` groups AZs into geographic regions: migrations between AZs of
+    the same geo use the LAN path (shared networked storage), matching the
+    paper's intra-region measurements.
+    """
+
+    name: str
+    geo: str
+    display: str
+
+
+REGION_TABLE: dict[str, Region] = {
+    "us-east-1a": Region("us-east-1a", "us-east", "US East 1a"),
+    "us-east-1b": Region("us-east-1b", "us-east", "US East 1b"),
+    "us-west-1a": Region("us-west-1a", "us-west", "US West 1a"),
+    "eu-west-1a": Region("eu-west-1a", "eu-west", "EU West 1a"),
+}
+
+#: Distinct geographic regions.
+GEO_REGIONS = ("us-east", "us-west", "eu-west")
+
+
+def region_of(name: str) -> Region:
+    """Look up an availability zone record."""
+    try:
+        return REGION_TABLE[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown region {name!r}; known: {sorted(REGION_TABLE)}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class RegionLink:
+    """Connectivity between two locations for migration purposes.
+
+    Attributes
+    ----------
+    intra:
+        True when both endpoints share a geo (LAN path, shared EBS).
+    memory_bandwidth_mbps:
+        Effective bandwidth for memory-state transfer (live migration
+        pre-copy or checkpoint shipping).
+    disk_bandwidth_mbps:
+        Effective bandwidth for bulk disk copies (WAN only; intra-region
+        migrations re-attach the networked volume instead of copying).
+    rtt_ms:
+        Round-trip time, adds per-round latency to pre-copy.
+    """
+
+    intra: bool
+    memory_bandwidth_mbps: float
+    disk_bandwidth_mbps: float
+    rtt_ms: float
+
+
+#: Calibrated so the analytic models in :mod:`repro.vm` reproduce Table 2:
+#: ~58 s to live migrate a 2 GB nested VM inside a region, 73-140 s across
+#: regions, and 2-3 minutes per GB of disk cross-region.
+_INTRA_LINK = RegionLink(intra=True, memory_bandwidth_mbps=300.0, disk_bandwidth_mbps=300.0, rtt_ms=0.5)
+
+_WAN_LINKS: dict[frozenset[str], RegionLink] = {
+    frozenset(("us-east", "us-west")): RegionLink(False, 245.0, 70.2, 70.0),
+    frozenset(("us-east", "eu-west")): RegionLink(False, 242.0, 61.1, 85.0),
+    frozenset(("us-west", "eu-west")): RegionLink(False, 127.0, 50.0, 140.0),
+}
+
+
+def link_between(a: str, b: str) -> RegionLink:
+    """The link used to migrate between two availability zones.
+
+    Same geo (including the same AZ) -> LAN link; different geo -> the
+    calibrated WAN link for that region pair.
+    """
+    ra, rb = region_of(a), region_of(b)
+    if ra.geo == rb.geo:
+        return _INTRA_LINK
+    key = frozenset((ra.geo, rb.geo))
+    try:
+        return _WAN_LINKS[key]
+    except KeyError as exc:  # pragma: no cover - table is total over GEO_REGIONS
+        raise ConfigurationError(f"no link between {ra.geo} and {rb.geo}") from exc

@@ -1,0 +1,85 @@
+"""VPC-style address management.
+
+The paper relies on "virtual private cloud [features] that allow customer
+control over the assignment of IP addresses ... to ensure that the address
+assigned to the nested VM on a spot server can be transparently reassigned
+to an on-demand server upon migration" (Section 3.2). This module models
+that contract: an :class:`ElasticIp` is bound to at most one server at a
+time and can be re-bound instantly within a geo region; re-binding across
+geo regions requires a (modelled) DNS/WAN reconfiguration delay, which is
+one of the extra overheads of multi-region migration (Section 4, footnote).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cloud.regions import region_of
+from repro.errors import MarketError
+
+__all__ = ["ElasticIp", "VirtualPrivateCloud", "WAN_REBIND_DELAY_S"]
+
+#: Network reconfiguration delay when an address moves across geo regions
+#: (CloudNet-style WAN migration re-signalling, [21] in the paper).
+WAN_REBIND_DELAY_S = 5.0
+
+
+@dataclass
+class ElasticIp:
+    """A stable service address that follows the nested VM around."""
+
+    address: str
+    geo: str
+    bound_to: Optional[str] = None  #: server id currently answering
+    bound_zone: Optional[str] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.bound_to is not None
+
+
+class VirtualPrivateCloud:
+    """Allocates and re-binds service addresses."""
+
+    def __init__(self) -> None:
+        self._ips: Dict[str, ElasticIp] = {}
+        self._counter = itertools.count(1)
+
+    def allocate(self, zone: str) -> ElasticIp:
+        """Allocate a new address homed in ``zone``'s geo region."""
+        geo = region_of(zone).geo
+        n = next(self._counter)
+        ip = ElasticIp(address=f"10.0.{n // 256}.{n % 256}", geo=geo)
+        self._ips[ip.address] = ip
+        return ip
+
+    def get(self, address: str) -> ElasticIp:
+        try:
+            return self._ips[address]
+        except KeyError as exc:
+            raise MarketError(f"unknown address {address}") from exc
+
+    def bind(self, address: str, server_id: str, zone: str) -> float:
+        """Bind (or re-bind) an address to a server.
+
+        Returns the reconfiguration delay in seconds: 0 within the home geo
+        (LAN re-binding is transparent), :data:`WAN_REBIND_DELAY_S` when the
+        service moves to another geo (the address is re-homed).
+        """
+        ip = self.get(address)
+        geo = region_of(zone).geo
+        delay = 0.0
+        if geo != ip.geo:
+            delay = WAN_REBIND_DELAY_S
+            ip.geo = geo
+        ip.bound_to = server_id
+        ip.bound_zone = zone
+        return delay
+
+    def unbind(self, address: str) -> None:
+        """Detach the address from its server (service unreachable)."""
+        ip = self.get(address)
+        ip.bound_to = None
+        ip.bound_zone = None

@@ -1,0 +1,60 @@
+"""The cloud scheduler — the paper's primary contribution.
+
+A :class:`~repro.core.scheduler.CloudScheduler` hosts an always-on service
+on a mix of spot and on-demand servers, combining a bidding policy
+(:mod:`repro.core.bidding`: reactive vs proactive), a hosting strategy
+(:mod:`repro.core.strategies`: single-market, multi-market, multi-region,
+pure-spot, on-demand-only) and a migration mechanism
+(:mod:`repro.vm.mechanisms`). Costs and downtime are tracked by
+:mod:`repro.core.accounting`; :func:`repro.core.simulation.run_simulation`
+is the one-call facade the experiments use.
+"""
+
+from repro.core.accounting import AvailabilityTracker, CostLedger, DowntimeInterval
+from repro.core.bidding import BiddingPolicy, ReactiveBidding, ProactiveBidding
+from repro.core.adaptive import AdaptiveBidding
+from repro.core.strategies import (
+    HostingStrategy,
+    SingleMarketStrategy,
+    MultiMarketStrategy,
+    MultiRegionStrategy,
+    PureSpotStrategy,
+    OnDemandOnlyStrategy,
+    StabilityAwareStrategy,
+)
+from repro.core.scheduler import CloudScheduler, MigrationRecord, PlacementRecord, ServiceContext
+from repro.core.replication import ReplicatedScheduler
+from repro.core.elastic import DemandCurve, ElasticResult, ElasticSpotFleet
+from repro.core.results import SimulationResult, AggregateResult, aggregate
+from repro.core.simulation import SimulationConfig, run_simulation, run_many
+
+__all__ = [
+    "AvailabilityTracker",
+    "CostLedger",
+    "DowntimeInterval",
+    "BiddingPolicy",
+    "ReactiveBidding",
+    "ProactiveBidding",
+    "AdaptiveBidding",
+    "HostingStrategy",
+    "SingleMarketStrategy",
+    "MultiMarketStrategy",
+    "MultiRegionStrategy",
+    "PureSpotStrategy",
+    "OnDemandOnlyStrategy",
+    "StabilityAwareStrategy",
+    "CloudScheduler",
+    "MigrationRecord",
+    "PlacementRecord",
+    "ServiceContext",
+    "ReplicatedScheduler",
+    "DemandCurve",
+    "ElasticResult",
+    "ElasticSpotFleet",
+    "SimulationResult",
+    "AggregateResult",
+    "aggregate",
+    "SimulationConfig",
+    "run_simulation",
+    "run_many",
+]

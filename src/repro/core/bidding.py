@@ -1,0 +1,108 @@
+"""Bidding policies: reactive versus proactive (Section 3.1).
+
+Both policies hold a spot server while it is cheap and run on-demand while
+it is not; they differ in *who initiates* the transition off spot:
+
+* **Reactive** bids exactly the on-demand price (``p_b = p_on``). The cloud
+  platform revokes the server the moment the spot price exceeds the
+  on-demand price, so every transition off spot is a *forced* migration
+  executed inside the revocation grace window.
+* **Proactive** bids ``k`` times the on-demand price (``k = 4``, the
+  provider's cap). The scheduler watches the price itself and *voluntarily*
+  migrates — with all the time it needs — when the spot price exceeds the
+  on-demand price at a billing boundary. Only a sharp spike past ``k * p_on``
+  (before a planned migration can start or finish) forces a migration.
+
+Because spot hours are billed at the start-of-hour price, a mid-hour price
+excursion costs a proactive bidder nothing until the next boundary — which
+is also why the policy evaluates planned migrations "near the end of a
+billing period" rather than instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cloud.spot_market import SpotMarket
+from repro.errors import ConfigurationError
+
+__all__ = ["BiddingPolicy", "ReactiveBidding", "ProactiveBidding"]
+
+
+class BiddingPolicy(Protocol):
+    """What the scheduler needs from a bidding policy."""
+
+    name: str
+
+    def bid_price(self, market: SpotMarket, t: float = 0.0) -> float:
+        """The maximum hourly price to bid in ``market`` at time ``t``.
+
+        Static policies ignore ``t``; adaptive ones inspect the market's
+        trailing price history up to that instant.
+        """
+        ...
+
+    def wants_planned_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        """Leave the spot market voluntarily at the next boundary?"""
+        ...
+
+    def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        """Return to the spot market at the next boundary?"""
+        ...
+
+
+@dataclass(frozen=True)
+class ReactiveBidding:
+    """Bid the on-demand price; let the provider's revocation do the work."""
+
+    name: str = "reactive"
+
+    def bid_price(self, market: SpotMarket, t: float = 0.0) -> float:
+        return market.on_demand_price
+
+    def wants_planned_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        # The bid equals the on-demand price, so the price can never sit
+        # strictly between bid and on-demand: planned migrations never fire.
+        return False
+
+    def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        return spot_price <= on_demand_price
+
+    @property
+    def is_proactive(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ProactiveBidding:
+    """Bid ``k * p_on`` and migrate voluntarily when the price passes p_on.
+
+    ``reverse_threshold_frac`` adds a little hysteresis on the way back to
+    spot: a reverse migration is only worthwhile when the spot price is
+    comfortably below on-demand, otherwise small oscillations around p_on
+    would churn migrations.
+    """
+
+    k: float = 4.0
+    reverse_threshold_frac: float = 0.9
+    name: str = "proactive"
+
+    def __post_init__(self) -> None:
+        if self.k <= 1.0:
+            raise ConfigurationError(f"proactive bid multiplier must exceed 1, got {self.k}")
+        if not 0 < self.reverse_threshold_frac <= 1.0:
+            raise ConfigurationError("reverse threshold must be in (0, 1]")
+
+    def bid_price(self, market: SpotMarket, t: float = 0.0) -> float:
+        return min(self.k * market.on_demand_price, market.bid_cap)
+
+    def wants_planned_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        return spot_price > on_demand_price
+
+    def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
+        return spot_price <= on_demand_price * self.reverse_threshold_frac
+
+    @property
+    def is_proactive(self) -> bool:
+        return True

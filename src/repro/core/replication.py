@@ -1,0 +1,369 @@
+"""A replicated (hot-standby) spot scheduler — extension beyond the paper.
+
+The paper's scheduler owns one server at a time and survives revocations by
+checkpoint-migrating within the grace window. This extension instead keeps
+a **Remus hot standby** on a *second, independent spot market*: when the
+primary is revoked the service fails over in a couple of seconds, and a new
+standby is procured in whichever market is cheapest. The standing cost is a
+second spot price (still far below one on-demand price), buying downtime
+that neither grows with memory size nor depends on any restore path.
+
+Event loop (mirrors :class:`repro.core.scheduler.CloudScheduler`):
+
+* **primary revocation** — ride the grace window, then fail over to the
+  standby (if its initial sync completed; otherwise fall back to a
+  checkpoint restore on an emergency on-demand server), then re-procure a
+  standby;
+* **standby revocation** — no downtime; replace the standby;
+* **billing-boundary check** — if the primary's market has risen above the
+  on-demand price, do a *planned* failover (sub-second) and re-procure; if
+  the standby's market has, replace the standby.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.cloud.instance_types import instance_type
+from repro.cloud.provider import CloudProvider, Lease, LeaseKind
+from repro.cloud.regions import link_between
+from repro.core.accounting import AvailabilityTracker, CostLedger
+from repro.core.bidding import BiddingPolicy
+from repro.core.scheduler import MigrationRecord
+from repro.errors import SchedulingError
+from repro.simulator.engine import Engine
+from repro.simulator.process import Process, Timeout
+from repro.traces.catalog import MarketKey
+from repro.units import SECONDS_PER_HOUR
+from repro.vm.memory import MemoryProfile
+from repro.vm.replication import RemusReplication
+from repro.vm.restore import LazyRestore
+
+__all__ = ["ReplicatedScheduler"]
+
+
+@dataclass
+class _Node:
+    """One server of the replicated pair."""
+
+    lease: Lease
+    key: MarketKey
+    protected_from: float  #: when the standby's initial sync completes
+
+
+class ReplicatedScheduler:
+    """Hosts one service as a Remus-protected primary/standby spot pair.
+
+    Results are read from :attr:`ledger`, :attr:`availability` and
+    :attr:`migrations` exactly as for the paper's scheduler, so the same
+    aggregation machinery applies.
+    """
+
+    BOUNDARY_LEAD_S = 60.0
+    #: Re-optimization hysteresis: a move must beat the current primary
+    #: price by this factor, and happen at most once per dwell period —
+    #: each planned failover costs a sub-second blackout, so chasing noise
+    #: would spend the availability budget on pennies.
+    REOPT_IMPROVEMENT = 0.70
+    REOPT_DWELL_S = 12 * SECONDS_PER_HOUR
+
+    def __init__(
+        self,
+        engine: Engine,
+        provider: CloudProvider,
+        bidding: BiddingPolicy,
+        service_size: str,
+        candidate_keys: List[MarketKey],
+        remus: RemusReplication,
+        rng: np.random.Generator,
+        horizon: float,
+    ) -> None:
+        if not candidate_keys:
+            raise SchedulingError("need at least one candidate market")
+        cap_needed = instance_type(service_size).capacity_units
+        self.candidates = [
+            k for k in candidate_keys
+            if instance_type(k.size).capacity_units >= cap_needed
+        ]
+        if not self.candidates:
+            raise SchedulingError("no candidate market can host the service size")
+        self.engine = engine
+        self.provider = provider
+        self.bidding = bidding
+        self.service_size = service_size
+        self.remus = remus
+        self.rng = rng
+        self.horizon = float(horizon)
+        self.memory = MemoryProfile(size_gib=instance_type(service_size).nested_memory_gib)
+
+        self.ledger = CostLedger()
+        self.availability = AvailabilityTracker()
+        self.migrations: List[MigrationRecord] = []
+        self.primary: Optional[_Node] = None
+        self.standby: Optional[_Node] = None
+        self.unprotected_s = 0.0  #: time spent without a synced standby
+        self._process: Optional[Process] = None
+        self._last_reopt = -float("inf")
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> None:
+        if self._process is None:
+            self._process = Process(self.engine, self._main(), label="replicated-scheduler")
+        self.engine.run(until=self.horizon + 1.0)
+        if self._process.alive:
+            raise SchedulingError("replicated scheduler did not finish")
+
+    def migration_count(self, *kinds: str) -> int:
+        return sum(1 for m in self.migrations if m.kind in kinds)
+
+    # -------------------------------------------------------------- helpers
+    def _bid(self, key: MarketKey) -> float:
+        return self.bidding.bid_price(self.provider.market(key), self.engine.now)
+
+    def _cheapest_grantable(self, t: float, exclude: Optional[MarketKey]) -> Optional[MarketKey]:
+        best_key, best_price = None, None
+        for key in self.candidates:
+            if key == exclude:
+                continue
+            market = self.provider.market(key)
+            if not market.grantable(self._bid(key), t):
+                continue
+            price = market.price_at(t)
+            if best_price is None or price < best_price:
+                best_key, best_price = key, price
+        return best_key
+
+    def _acquire_spot(self, key: MarketKey, t: float) -> _Node:
+        lease = self.provider.request_spot(key, self._bid(key), t)
+        sync = self.remus.initial_sync_s(
+            self.memory, link_between(key.region, key.region)
+        )
+        return _Node(lease=lease, key=key, protected_from=lease.ready_at + sync)
+
+    def _release(self, node: _Node, t: float, *, revoked: bool, reason: str) -> None:
+        done = self.provider.terminate(node.lease, t, revoked=revoked, reason=reason)
+        self.ledger.add_records(done.records, market=str(node.key))
+
+    def _warning(self, node: Optional[_Node], from_t: float) -> Optional[float]:
+        if node is None or node.lease.kind is not LeaseKind.SPOT:
+            return None
+        assert node.lease.bid is not None
+        return self.provider.market(node.key).revocation_warning_time(
+            node.lease.bid, from_t
+        )
+
+    def _record(self, kind: str, start: float, end: float, down: float,
+                src: str, dst: str) -> None:
+        self.migrations.append(MigrationRecord(kind, start, end, down, src, dst))
+
+    def _procure_standby(self, t: float) -> None:
+        """Acquire a fresh standby in the cheapest market not hosting the
+        primary; falls back to on-demand when nothing is grantable."""
+        assert self.primary is not None
+        key = self._cheapest_grantable(t, exclude=self.primary.key)
+        if key is not None:
+            self.standby = self._acquire_spot(key, t)
+        else:
+            od_key = min(
+                self.candidates, key=lambda k: self.provider.on_demand_price(k)
+            )
+            lease = self.provider.request_on_demand(od_key, t)
+            sync = self.remus.initial_sync_s(
+                self.memory, link_between(od_key.region, od_key.region)
+            )
+            self.standby = _Node(lease=lease, key=od_key,
+                                 protected_from=lease.ready_at + sync)
+
+    # ============================================================= main loop
+    def _main(self) -> Generator:
+        t = self.engine.now
+        first = self._cheapest_grantable(t, exclude=None)
+        if first is None:
+            # No spot market grantable at t=0: start on-demand as primary.
+            od_key = min(self.candidates, key=lambda k: self.provider.on_demand_price(k))
+            lease = self.provider.request_on_demand(od_key, t)
+            self.primary = _Node(lease=lease, key=od_key, protected_from=lease.ready_at)
+        else:
+            self.primary = self._acquire_spot(first, t)
+        ready = min(self.primary.lease.ready_at, self.horizon)
+        yield Timeout(max(0.0, ready - t))
+        self.availability.open_window(ready)
+        self._procure_standby(self.engine.now)
+
+        while self.engine.now < self.horizon:
+            yield from self._step()
+        self._finalize()
+
+    def _step(self) -> Generator:
+        now = self.engine.now
+        assert self.primary is not None
+        wp = self._warning(self.primary, now)
+        ws = self._warning(self.standby, now)
+        anchor = self.primary.lease.ready_at
+        k = int(max(1, np.ceil((now + self.BOUNDARY_LEAD_S - anchor) / SECONDS_PER_HOUR)))
+        check = anchor + k * SECONDS_PER_HOUR - self.BOUNDARY_LEAD_S
+        while check <= now + 1e-9:
+            k += 1
+            check = anchor + k * SECONDS_PER_HOUR - self.BOUNDARY_LEAD_S
+
+        t_next = min(
+            wp if wp is not None else float("inf"),
+            ws if ws is not None else float("inf"),
+            check,
+            self.horizon,
+        )
+        # account unprotected exposure up to the next event
+        if self.standby is None or self.standby.protected_from > now:
+            shield = self.standby.protected_from if self.standby else t_next
+            self.unprotected_s += max(0.0, min(t_next, shield) - now)
+        yield Timeout(max(0.0, t_next - now))
+        now = self.engine.now
+        if now >= self.horizon:
+            return
+        if wp is not None and now >= wp - 1e-9:
+            yield from self._primary_revoked(wp)
+        elif ws is not None and now >= ws - 1e-9:
+            yield from self._standby_revoked(ws)
+        else:
+            self._boundary_check(now)
+
+    # ---------------------------------------------------------------- events
+    def _primary_revoked(self, warning: float) -> Generator:
+        assert self.primary is not None
+        grace = self.provider.grace_s
+        dead_at = min(warning + grace, self.horizon)
+        yield Timeout(max(0.0, dead_at - self.engine.now))
+        old = self.primary
+        self._release(old, dead_at, revoked=True, reason="revoked")
+
+        if self.standby is not None and self.standby.protected_from <= dead_at:
+            fo = self.remus.failover()
+            resume = dead_at + fo.downtime_s
+            self.availability.record_downtime(dead_at, min(resume, self.horizon), "failover")
+            self.primary = self.standby
+            self.standby = None
+            self._record("failover", warning, resume, fo.downtime_s,
+                         str(old.key), str(self.primary.key))
+        else:
+            # Unprotected: emergency on-demand restore from the periodic
+            # EBS checkpoint (lazy restore, size-independent).
+            if self.standby is not None:
+                self._release(self.standby, dead_at, revoked=False, reason="unsynced")
+                self.standby = None
+            od_key = min(self.candidates, key=lambda k: self.provider.on_demand_price(k))
+            lease = self.provider.request_on_demand(od_key, warning)
+            restore = LazyRestore().restore(self.memory)
+            resume = max(dead_at, lease.ready_at) + restore.downtime_s
+            self.availability.record_downtime(
+                dead_at, min(resume, self.horizon), "unprotected-restore"
+            )
+            self.primary = _Node(lease=lease, key=od_key, protected_from=lease.ready_at)
+            self._record("unprotected-restore", warning, resume,
+                         resume - dead_at, str(old.key), str(od_key))
+        if self.engine.now < self.horizon:
+            self._procure_standby(max(self.engine.now, dead_at))
+        yield Timeout(max(0.0, min(self.horizon, self.engine.now) - self.engine.now))
+
+    def _standby_revoked(self, warning: float) -> Generator:
+        grace = self.provider.grace_s
+        dead_at = min(warning + grace, self.horizon)
+        yield Timeout(max(0.0, dead_at - self.engine.now))
+        if self.standby is not None:
+            old = self.standby
+            self._release(old, dead_at, revoked=True, reason="revoked")
+            self.standby = None
+            self._record("standby-replace", warning, dead_at, 0.0, str(old.key), "-")
+        if self.engine.now < self.horizon:
+            self._procure_standby(dead_at)
+
+    def _planned_failover(self, now: float, reason: str) -> None:
+        """Promote the (synced) standby, retire the primary, re-procure."""
+        assert self.primary is not None and self.standby is not None
+        fo = self.remus.planned_failover()
+        old = self.primary
+        self._release(old, now, revoked=False, reason=reason)
+        self.availability.record_downtime(
+            now, min(now + fo.downtime_s, self.horizon), "planned-failover"
+        )
+        self.primary = self.standby
+        self.standby = None
+        self._record(reason, now, now + fo.downtime_s,
+                     fo.downtime_s, str(old.key), str(self.primary.key))
+        self._procure_standby(now)
+
+    def _swap_standby(self, now: float) -> None:
+        assert self.standby is not None
+        old = self.standby
+        self._release(old, now, revoked=False, reason="standby-swap")
+        self.standby = None
+        self._record("standby-replace", now, now, 0.0, str(old.key), "-")
+        self._procure_standby(now)
+
+    def _boundary_check(self, now: float) -> None:
+        assert self.primary is not None
+        p_price = self.provider.market(self.primary.key).price_at(now)
+        p_od = self.provider.on_demand_price(self.primary.key)
+        standby_synced = (
+            self.standby is not None
+            and self.standby.protected_from <= now
+            and self.standby.lease.kind is LeaseKind.SPOT
+        )
+        s_price = (
+            self.provider.market(self.standby.key).price_at(now)
+            if self.standby is not None else float("inf")
+        )
+
+        # Mandatory exit: the primary's market has risen above on-demand.
+        if (
+            self.primary.lease.kind is LeaseKind.SPOT
+            and p_price > p_od
+            and standby_synced
+        ):
+            self._planned_failover(now, "planned-failover")
+            return
+        # Cost re-optimization (phase 2): the staged standby is much
+        # cheaper than the primary — promote it.
+        if (
+            standby_synced
+            and s_price < self.REOPT_IMPROVEMENT * p_price
+            and now - self._last_reopt >= self.REOPT_DWELL_S
+        ):
+            self._last_reopt = now
+            self._planned_failover(now, "reopt-failover")
+            return
+
+        # Standby maintenance / re-optimization phase 1.
+        if self.standby is None:
+            self._procure_standby(now)
+            return
+        s_od = self.provider.on_demand_price(self.standby.key)
+        too_expensive = (
+            self.standby.lease.kind is LeaseKind.ON_DEMAND or s_price > s_od
+        )
+        cheapest = self._cheapest_grantable(now, self.primary.key)
+        if too_expensive and cheapest is not None:
+            self._swap_standby(now)
+            return
+        # Stage the standby in a much cheaper market so the next boundary
+        # can fail over onto it (two-phase move toward the cheap market).
+        if (
+            cheapest is not None
+            and cheapest != self.standby.key
+            and self.provider.market(cheapest).price_at(now)
+            < self.REOPT_IMPROVEMENT * min(p_price, s_price)
+        ):
+            self._swap_standby(now)
+
+    def _finalize(self) -> None:
+        now = min(self.engine.now, self.horizon)
+        for node in (self.primary, self.standby):
+            if node is not None and node.lease.active:
+                self._release(node, now, revoked=False, reason="horizon")
+        self.primary = None
+        self.standby = None
+        if self.availability.window_start is None:
+            self.availability.open_window(now)
+        self.availability.close_window(self.horizon)

@@ -1,0 +1,681 @@
+"""The cloud scheduler: a DES process hosting one always-on service.
+
+The scheduler owns a *placement* — a fleet of spot or on-demand leases in
+one market — and walks the paper's three-step bidding loop (Section 3.1):
+
+1. **Forced migration** — the spot price crossed the bid: the provider
+   issues a revocation warning; the scheduler flushes the bounded
+   checkpoint inside the grace window and restores on an on-demand server
+   requested at the warning instant.
+2. **Planned migration** — near the end of a billing hour the spot price
+   sits above the on-demand price (but below the bid): migrate voluntarily
+   to the cheapest alternative (another spot market if the strategy allows
+   it, else on-demand), with as much time as the mechanism needs.
+3. **Reverse migration** — near the end of a billing hour the spot price is
+   back below the on-demand price while running on-demand: re-procure a
+   spot server and migrate back.
+
+Because spot hours are billed at the start-of-hour price, decisions are
+evaluated a *lead time* before each billing boundary — long enough to
+acquire the target server and complete the migration just before the
+boundary. A price excursion that begins and ends between boundaries costs a
+proactive bidder nothing and triggers no migration; the same excursion
+revokes a reactive bidder immediately.
+
+A planned migration in flight can still be overtaken by a sharp spike past
+the bid ("a large sharp spike of the spot price above the bid price will
+cause the spot server to be revoked ... before the proactive algorithm can
+begin (or finish) its voluntary migration") — the scheduler detects the
+overlap and converts the move into a forced migration. Likewise a reverse
+migration is aborted when the freshly acquired spot server would be revoked
+before the service even lands on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.cloud.provider import CloudProvider, Lease, LeaseKind
+from repro.cloud.regions import link_between, region_of
+from repro.cloud.startup import STARTUP_MEANS_S
+from repro.core.accounting import AvailabilityTracker, CostLedger
+from repro.core.bidding import BiddingPolicy
+from repro.core.strategies import HostingStrategy, PlacementTarget
+from repro.errors import SchedulingError
+from repro.simulator.engine import Engine
+from repro.simulator.process import Process, Timeout
+from repro.traces.catalog import MarketKey
+from repro.units import SECONDS_PER_HOUR
+from repro.vm.disk_copy import disk_copy_seconds_between
+from repro.vm.mechanisms import MigrationModel
+
+__all__ = ["MigrationRecord", "CloudScheduler"]
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One migration (or aborted attempt) performed by the scheduler."""
+
+    kind: str  #: 'forced' | 'planned' | 'reverse' | 'spot-switch' | 'aborted-reverse'
+    started_at: float
+    completed_at: float
+    downtime_s: float
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """One tenure on a placement: the service held these leases over
+    [start, end). Together the records form the run's placement timeline."""
+
+    start: float
+    end: float
+    kind: str  #: 'spot' | 'on_demand'
+    market: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _Placement:
+    """The fleet currently hosting the service."""
+
+    kind: LeaseKind
+    key: MarketKey
+    leases: List[Lease] = field(default_factory=list)
+
+    @property
+    def ready_at(self) -> float:
+        return max(l.ready_at for l in self.leases)
+
+
+@dataclass
+class ServiceContext:
+    """Persistent identity of the hosted service: its networked volume
+    (disk state + checkpoint images survive revocations) and its stable
+    address (re-bound to whichever server currently runs the nested VM)."""
+
+    volume_id: str
+    address: str
+
+
+class CloudScheduler:
+    """Hosts one always-on service over a simulated cloud.
+
+    Construct over an :class:`Engine` and call :meth:`run`; read results
+    from :attr:`ledger`, :attr:`availability` and :attr:`migrations`.
+    The service's disk state lives on an EBS-style networked volume and its
+    address on a VPC elastic IP; both follow the nested VM through every
+    migration (cloned/re-homed on cross-region moves).
+    """
+
+    #: Safety margin added to migration lead times (seconds).
+    LEAD_MARGIN_S = 60.0
+
+    def __init__(
+        self,
+        engine: Engine,
+        provider: CloudProvider,
+        bidding: BiddingPolicy,
+        strategy: HostingStrategy,
+        migration_model: MigrationModel,
+        rng: np.random.Generator,
+        horizon: float,
+        service_disk_gib: float = 2.0,
+    ) -> None:
+        self.engine = engine
+        self.provider = provider
+        self.bidding = bidding
+        self.strategy = strategy
+        self.model = migration_model
+        self.rng = rng
+        self.horizon = float(horizon)
+        self.service_disk_gib = float(service_disk_gib)
+
+        self.ledger = CostLedger()
+        self.availability = AvailabilityTracker()
+        self.migrations: List[MigrationRecord] = []
+        self.placement_log: List[PlacementRecord] = []
+        self._placement: Optional[_Placement] = None
+        self._open_tenure: Optional[tuple] = None  #: (start, kind, market)
+        self._process: Optional[Process] = None
+        self._last_spot_switch = -float("inf")
+        self.service: Optional[ServiceContext] = None
+
+    # ------------------------------------------------------------- placement
+    @property
+    def placement(self) -> Optional[_Placement]:
+        """The fleet currently holding the service (None while dark)."""
+        return self._placement
+
+    @placement.setter
+    def placement(self, value: Optional[_Placement]) -> None:
+        now = min(self.engine.now, self.horizon)
+        if self._open_tenure is not None:
+            start, kind, market = self._open_tenure
+            if now > start:
+                self.placement_log.append(
+                    PlacementRecord(start=start, end=now, kind=kind, market=market)
+                )
+            self._open_tenure = None
+        if value is not None:
+            self._open_tenure = (now, value.kind.value, str(value.key))
+        self._placement = value
+
+    def spot_time_fraction(self) -> float:
+        """Fraction of recorded tenure spent on spot leases."""
+        total = sum(r.duration for r in self.placement_log)
+        if total <= 0:
+            return 0.0
+        spot = sum(r.duration for r in self.placement_log if r.kind == "spot")
+        return spot / total
+
+    # ------------------------------------------------------------------ run
+    def start(self) -> None:
+        """Register the scheduler process on the engine."""
+        if self._process is not None:
+            raise SchedulingError("scheduler already started")
+        self._process = Process(self.engine, self._main(), label="cloud-scheduler")
+
+    def run(self) -> None:
+        """Start (if needed) and run the simulation to the horizon."""
+        if self._process is None:
+            self.start()
+        self.engine.run(until=self.horizon + 1.0)
+        if self._process is not None and self._process.alive:
+            raise SchedulingError("scheduler process did not finish by the horizon")
+
+    # ------------------------------------------------------------ reporting
+    def migration_count(self, *kinds: str) -> int:
+        """Number of migrations of the given kinds."""
+        return sum(1 for m in self.migrations if m.kind in kinds)
+
+    def migrations_per_hour(self, *kinds: str) -> float:
+        """Migration rate over the availability window."""
+        hours = self.availability.window_duration / SECONDS_PER_HOUR
+        if hours <= 0:
+            return 0.0
+        return self.migration_count(*kinds) / hours
+
+    # ---------------------------------------------------------------- leases
+    def _acquire(self, key: MarketKey, n_servers: int, kind: LeaseKind, t: float) -> _Placement:
+        leases: List[Lease] = []
+        for _ in range(n_servers):
+            if kind is LeaseKind.SPOT:
+                bid = self.bidding.bid_price(self.provider.market(key), t)
+                leases.append(self.provider.request_spot(key, bid, t))
+            else:
+                leases.append(self.provider.request_on_demand(key, t))
+        return _Placement(kind=kind, key=key, leases=leases)
+
+    def _release(self, placement: _Placement, t: float, *, revoked: bool, reason: str) -> None:
+        for lease in placement.leases:
+            done = self.provider.terminate(lease, t, revoked=revoked, reason=reason)
+            self.ledger.add_records(done.records, market=str(placement.key))
+
+    # ------------------------------------------------------- service identity
+    def _provision_service(self, placement: _Placement, t: float) -> None:
+        """Create the service's volume and address on first placement."""
+        # Room for the root filesystem plus a full checkpoint image of the
+        # *largest* server the strategy might ever migrate onto.
+        biggest = max(
+            self.strategy.migration_memory(key).size_gib
+            for key in self.strategy.candidate_markets(self.provider)
+        )
+        size = self.service_disk_gib + biggest + 1.0
+        vol = self.provider.volumes.create(placement.key.region, size)
+        ip = self.provider.vpc.allocate(placement.key.region)
+        self.provider.volumes.attach(vol.volume_id, placement.leases[0].lease_id,
+                                     placement.key.region)
+        self.provider.vpc.bind(ip.address, placement.leases[0].lease_id,
+                               placement.key.region)
+        self.provider.volumes.write(vol.volume_id, "root", self.service_disk_gib, at=t)
+        self.service = ServiceContext(volume_id=vol.volume_id, address=ip.address)
+
+    def _write_checkpoint(self, t: float) -> None:
+        """Record the (incremental) checkpoint image on the service volume."""
+        if self.service is None or self.placement is None:
+            return
+        mem = self.strategy.migration_memory(self.placement.key)
+        self.provider.volumes.write(self.service.volume_id, "checkpoint",
+                                    mem.size_gib, at=t)
+
+    def _move_service(self, src_key: MarketKey, dst: _Placement, t: float) -> float:
+        """Re-home volume and address onto the new placement.
+
+        Returns the network-reconfiguration delay (0 in-region; the WAN
+        re-bind delay across geo regions), which extends the blackout.
+        """
+        if self.service is None:
+            return 0.0
+        vols = self.provider.volumes
+        vols.detach(self.service.volume_id)
+        if src_key.region != dst.key.region:
+            # EBS volumes are AZ-scoped: moving to any other zone switches to
+            # the replica copied during prep (over the LAN within a geo, over
+            # the WAN across geos — the WAN copy time is in the prep window).
+            clone = vols.clone_to_zone(self.service.volume_id, dst.key.region)
+            self.service.volume_id = clone.volume_id
+        vols.attach(self.service.volume_id, dst.leases[0].lease_id, dst.key.region)
+        return self.provider.vpc.bind(self.service.address,
+                                      dst.leases[0].lease_id, dst.key.region)
+
+    # -------------------------------------------------------------- helpers
+    def _market(self, key: MarketKey):
+        return self.provider.market(key)
+
+    def _bid(self, key: MarketKey) -> float:
+        return self.bidding.bid_price(self._market(key), self.engine.now)
+
+    def _current_spot_rate(self, t: float) -> float:
+        assert self.placement is not None
+        return self.strategy.spot_rate(
+            self.placement.key, self._market(self.placement.key).price_at(t)
+        )
+
+    def _disk_copy_s(self, src: MarketKey, dst: MarketKey) -> float:
+        return disk_copy_seconds_between(self.service_disk_gib, src.region, dst.region)
+
+    def _planned_lead(self, source: MarketKey) -> float:
+        """Lead before a billing boundary at which to evaluate moves.
+
+        Long enough to start the slowest plausible target server,
+        pre-stage the migration and copy disk state cross-region, so the
+        blackout lands just before the boundary. Capped at half an hour so
+        boundary checks are never skipped.
+        """
+        mem = self.strategy.migration_memory(source)
+        worst_prep = 0.0
+        worst_disk = 0.0
+        for key in self.strategy.candidate_markets(self.provider):
+            link = link_between(source.region, key.region)
+            timing = self.model.planned(mem, link, rng=None)
+            worst_prep = max(worst_prep, timing.total_s)
+            worst_disk = max(worst_disk, self._disk_copy_s(source, key))
+        geo = region_of(source.region).geo
+        startup = max(STARTUP_MEANS_S["spot"][geo], STARTUP_MEANS_S["on_demand"][geo])
+        lead = startup + worst_prep + worst_disk + self.LEAD_MARGIN_S
+        return min(lead, 0.5 * SECONDS_PER_HOUR)
+
+    def _next_boundary_check(self, now: float, lead: float) -> float:
+        """Next (billing boundary - lead) instant strictly after ``now``,
+        with boundaries anchored at the placement's ready time."""
+        assert self.placement is not None
+        anchor = self.placement.ready_at
+        k = max(1, math.ceil((now + lead - anchor) / SECONDS_PER_HOUR - 1e-9))
+        check = anchor + k * SECONDS_PER_HOUR - lead
+        while check <= now + 1e-9:
+            k += 1
+            check = anchor + k * SECONDS_PER_HOUR - lead
+        return check
+
+    def _best_local_on_demand(self, source: MarketKey):
+        """Cheapest on-demand placement in the source's own region, falling
+        back to the global best when the strategy has no local candidate."""
+        from repro.core.strategies import PlacementTarget
+
+        if not self.strategy.allows_on_demand:
+            return None
+        best: Optional[PlacementTarget] = None
+        for key in self.strategy.candidate_markets(self.provider):
+            if key.region != source.region:
+                continue
+            rate = self.strategy.on_demand_rate(self.provider, key)
+            if best is None or rate < best.rate:
+                best = PlacementTarget(
+                    key=key, n_servers=self.strategy.servers_needed(key), rate=rate
+                )
+        return best or self.strategy.best_on_demand_target(self.provider)
+
+    def _record_migration(
+        self, kind: str, start: float, end: float, downtime: float, src: str, dst: str
+    ) -> None:
+        self.migrations.append(
+            MigrationRecord(
+                kind=kind,
+                started_at=start,
+                completed_at=end,
+                downtime_s=downtime,
+                source=src,
+                target=dst,
+            )
+        )
+
+    def _blackout(self, start: float, end: float, cause: str, degraded_s: float) -> None:
+        """Record a service blackout (clipped to the horizon) plus any
+        lazy-restore degradation window that follows it."""
+        if self.availability.window_start is None:
+            return
+        self.availability.record_downtime(start, min(end, self.horizon), cause)
+        if degraded_s > 0 and end < self.horizon:
+            self.availability.record_degraded(
+                end, min(end + degraded_s, self.horizon), f"{cause}-degraded"
+            )
+
+    # ============================================================= main loop
+    def _main(self) -> Generator:
+        yield from self._initial_placement(self.engine.now)
+        while self.engine.now < self.horizon and self.placement is not None:
+            if self.placement.kind is LeaseKind.SPOT:
+                yield from self._spot_phase()
+            else:
+                yield from self._on_demand_phase()
+        self._finalize()
+
+    def _finalize(self) -> None:
+        now = min(self.engine.now, self.horizon)
+        if self.placement is not None:
+            self._release(self.placement, now, revoked=False, reason="horizon")
+            self.placement = None
+        if self.service is not None:
+            self.provider.volumes.detach(self.service.volume_id)
+            self.provider.vpc.unbind(self.service.address)
+        if self.availability.window_start is None:
+            # The service never came up (degenerate short horizons).
+            self.availability.open_window(now)
+        self.availability.close_window(self.horizon)
+
+    # ----------------------------------------------------- initial placement
+    def _initial_placement(self, t: float) -> Generator:
+        spot = self.strategy.best_spot_target(self.provider, self.bidding, t)
+        od = self.strategy.best_on_demand_target(self.provider)
+        if spot is not None and (od is None or spot.rate < od.rate):
+            self.placement = self._acquire(spot.key, spot.n_servers, LeaseKind.SPOT, t)
+        elif od is not None:
+            self.placement = self._acquire(od.key, od.n_servers, LeaseKind.ON_DEMAND, t)
+        else:
+            # Pure spot with the market currently above the bid: wait for it.
+            key = self.strategy.candidate_markets(self.provider)[0]
+            grant = self._market(key).next_grant_time(self._bid(key), t)
+            if grant is None or grant >= self.horizon:
+                self.availability.open_window(t)
+                self.availability.record_downtime(t, self.horizon, "waiting-spot")
+                yield Timeout(max(0.0, self.horizon - t))
+                return
+            yield Timeout(grant - t)
+            n = self.strategy.servers_needed(key)
+            self.placement = self._acquire(key, n, LeaseKind.SPOT, grant)
+        ready = min(self.placement.ready_at, self.horizon)
+        yield Timeout(max(0.0, ready - self.engine.now))
+        self.availability.open_window(ready)
+        self._provision_service(self.placement, ready)
+
+    # ------------------------------------------------------------ spot phase
+    def _spot_phase(self) -> Generator:
+        placement = self.placement
+        assert placement is not None and placement.kind is LeaseKind.SPOT
+        now = self.engine.now
+        bid = placement.leases[0].bid
+        assert bid is not None
+        market = self._market(placement.key)
+        lead = self._planned_lead(placement.key)
+
+        warning = market.revocation_warning_time(bid, now)
+        check = self._next_boundary_check(now, lead)
+        t_next = min(
+            warning if warning is not None else float("inf"),
+            check,
+            self.horizon,
+        )
+        yield Timeout(max(0.0, t_next - now))
+        now = self.engine.now
+        if now >= self.horizon:
+            return
+        if warning is not None and now >= warning - 1e-9:
+            yield from self._forced_migration(warning)
+        else:
+            yield from self._boundary_decision_on_spot(now)
+
+    def _boundary_decision_on_spot(self, now: float) -> Generator:
+        placement = self.placement
+        assert placement is not None
+        market = self._market(placement.key)
+        price = market.price_at(now)
+        od_price = market.on_demand_price
+
+        if self.bidding.wants_planned_migration(price, od_price):
+            # Price above on-demand here: leave at the boundary, to the
+            # cheapest spot sibling if one beats on-demand, else on-demand.
+            od = self.strategy.best_on_demand_target(self.provider)
+            alt = self.strategy.best_spot_target(
+                self.provider, self.bidding, now, exclude=placement.key
+            )
+            if alt is not None and (od is None or alt.rate < od.rate):
+                yield from self._voluntary_migration(now, alt.key, alt.n_servers,
+                                                     LeaseKind.SPOT, "planned")
+            elif od is not None:
+                yield from self._voluntary_migration(now, od.key, od.n_servers,
+                                                     LeaseKind.ON_DEMAND, "planned")
+            # Pure spot has no fallback: stay; a later boundary or the
+            # revocation path (price > bid) handles it.
+            return
+
+        # Price is fine here. The opportunistic-switching extension (off by
+        # default — the paper's algorithm only changes markets inside the
+        # planned step) may still chase a sufficiently cheaper sibling,
+        # subject to rate hysteresis and a dwell time.
+        if not self.strategy.opportunistic_switching:
+            return
+        if now - self._last_spot_switch < self.strategy.min_dwell_s:
+            return
+        alt = self.strategy.best_spot_target(
+            self.provider, self.bidding, now, exclude=placement.key
+        )
+        if alt is None:
+            return
+        if alt.rate < self._current_spot_rate(now) * self.strategy.improvement_factor:
+            yield from self._voluntary_migration(now, alt.key, alt.n_servers,
+                                                 LeaseKind.SPOT, "spot-switch")
+
+    # ------------------------------------------------------- on-demand phase
+    def _on_demand_phase(self) -> Generator:
+        placement = self.placement
+        assert placement is not None and placement.kind is LeaseKind.ON_DEMAND
+        now = self.engine.now
+        lead = self._planned_lead(placement.key)
+        check = min(self._next_boundary_check(now, lead), self.horizon)
+        yield Timeout(max(0.0, check - now))
+        now = self.engine.now
+        if now >= self.horizon:
+            return
+        od_rate = self.strategy.on_demand_rate(self.provider, placement.key)
+        spot = self.strategy.best_spot_target(self.provider, self.bidding, now)
+        if spot is None:
+            return
+        price = self._market(spot.key).price_at(now)
+        od_single = self.provider.on_demand_price(spot.key)
+        if spot.rate < od_rate and self.bidding.wants_reverse_migration(price, od_single):
+            yield from self._voluntary_migration(now, spot.key, spot.n_servers,
+                                                 LeaseKind.SPOT, "reverse")
+
+    # ------------------------------------------------------------ migrations
+    def _voluntary_migration(
+        self,
+        now: float,
+        target_key: MarketKey,
+        n_servers: int,
+        target_kind: LeaseKind,
+        kind: str,
+    ) -> Generator:
+        """A planned / reverse / spot-switch migration starting at ``now``.
+
+        Sequence: request the target fleet, pre-stage state while the source
+        keeps serving, suspend once both the state and the target are ready,
+        blackout for the mechanism's downtime, resume on the target. If the
+        source is a spot fleet and the price crosses the bid mid-flight, the
+        move degenerates into a forced migration (source-revocation race).
+        If the *target* is a spot fleet that would be revoked before the
+        blackout even starts, the move is aborted and the source keeps
+        serving.
+        """
+        placement = self.placement
+        assert placement is not None
+        source_key = placement.key
+        mem = self.strategy.migration_memory(source_key)
+        link = link_between(source_key.region, target_key.region)
+
+        target = self._acquire(target_key, n_servers, target_kind, now)
+        timing = self.model.planned(mem, link, self.rng)
+        disk_s = self._disk_copy_s(source_key, target_key)
+        prep_end = max(now + timing.prep_s + disk_s, target.ready_at)
+        suspend_at = prep_end
+        resume_at = suspend_at + timing.downtime_s
+
+        # Source-revocation race (only when the source is a spot fleet).
+        if placement.kind is LeaseKind.SPOT:
+            bid = placement.leases[0].bid
+            assert bid is not None
+            warn = self._market(source_key).revocation_warning_time(bid, now)
+            if warn is not None and warn < suspend_at:
+                # The platform wins the race: cancel the voluntary target
+                # (unless it is the on-demand server we need anyway) and
+                # take the forced path from the warning instant.
+                yield Timeout(max(0.0, warn - now))
+                reuse = target if target_kind is LeaseKind.ON_DEMAND else None
+                if reuse is None:
+                    self._release(target, self.engine.now, revoked=False, reason="cancelled")
+                yield from self._forced_migration(warn, prebuilt_target=reuse)
+                return
+
+        # Target-revocation race (only when the target is a spot fleet):
+        # abort rather than land on a server about to vanish.
+        if target_kind is LeaseKind.SPOT:
+            tbid = target.leases[0].bid
+            assert tbid is not None
+            twarn = self._market(target_key).revocation_warning_time(tbid, now)
+            if twarn is not None and twarn < resume_at + self.provider.grace_s:
+                yield Timeout(max(0.0, min(twarn, self.horizon) - now))
+                self._release(target, self.engine.now, revoked=False, reason="aborted-target")
+                self._record_migration(
+                    f"aborted-{kind}", now, self.engine.now, 0.0,
+                    str(source_key), str(target_key),
+                )
+                return
+
+        if suspend_at >= self.horizon:
+            # Migration cannot finish inside the window; cancel it.
+            self._release(target, now, revoked=False, reason="horizon-cancel")
+            yield Timeout(max(0.0, self.horizon - now))
+            return
+
+        yield Timeout(suspend_at - now)
+        self._write_checkpoint(suspend_at)
+        self._release(placement, suspend_at, revoked=False, reason=kind)
+        self.placement = target
+        rebind = self._move_service(source_key, target, suspend_at)
+        resume_at += rebind
+        if target_kind is LeaseKind.SPOT:
+            self._last_spot_switch = suspend_at
+        self._blackout(suspend_at, resume_at, f"{kind}-migration", timing.degraded_s)
+        self._record_migration(
+            kind, now, resume_at, timing.downtime_s + rebind, str(source_key), str(target_key)
+        )
+        yield Timeout(max(0.0, min(resume_at, self.horizon) - suspend_at))
+
+    def _forced_migration(
+        self, warning: float, prebuilt_target: Optional[_Placement] = None
+    ) -> Generator:
+        """Handle a revocation warning at time ``warning``.
+
+        Pure-spot strategies have no fallback: the service rides the grace
+        window, checkpoints, and stays down until the market price returns
+        below the bid and a new spot fleet boots.
+        """
+        placement = self.placement
+        assert placement is not None and placement.kind is LeaseKind.SPOT
+        source_key = placement.key
+        mem = self.strategy.migration_memory(source_key)
+        grace = self.provider.grace_s
+        terminate_at = warning + grace
+
+        if not self.strategy.allows_on_demand:
+            yield from self._pure_spot_outage(warning)
+            return
+
+        if prebuilt_target is not None:
+            target = prebuilt_target
+        else:
+            # A forced migration races the grace window: the replacement
+            # on-demand server must be in the *source* region so the restore
+            # reads the checkpoint volume over the LAN. Cross-region
+            # consolidation, if worthwhile, happens later as a planned move.
+            od = self._best_local_on_demand(source_key)
+            if od is None:
+                raise SchedulingError("forced migration with no on-demand fallback")
+            target = self._acquire(od.key, od.n_servers, LeaseKind.ON_DEMAND, warning)
+        target_delay = max(0.0, target.ready_at - warning)
+        link = link_between(source_key.region, target.key.region)
+        timing = self.model.forced(mem, link, grace, target_delay, self.rng)
+        suspend_at = warning + timing.prep_s
+        resume_at = suspend_at + timing.downtime_s
+
+        yield Timeout(max(0.0, min(terminate_at, self.horizon) - self.engine.now))
+        self._write_checkpoint(min(suspend_at, self.horizon))
+        self._release(placement, min(terminate_at, self.horizon), revoked=True, reason="revoked")
+        self.placement = target
+        rebind = self._move_service(source_key, target, terminate_at)
+        resume_at += rebind
+        self._blackout(suspend_at, resume_at, "forced-migration", timing.degraded_s)
+        self._record_migration(
+            "forced", warning, resume_at, timing.downtime_s + rebind,
+            str(source_key), str(target.key),
+        )
+        yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))
+
+    def _pure_spot_outage(self, warning: float) -> Generator:
+        """Pure-spot revocation: checkpoint, go dark, return when cheap."""
+        placement = self.placement
+        assert placement is not None
+        key = placement.key
+        mem = self.strategy.migration_memory(key)
+        grace = self.provider.grace_s
+        bid = placement.leases[0].bid
+        assert bid is not None
+        ckpt = self.model.params.checkpointer(mem)
+        inc = min(ckpt.final_increment(self.rng).suspend_write_s, grace)
+        suspend_at = warning + grace - inc
+        terminate_at = warning + grace
+
+        yield Timeout(max(0.0, min(terminate_at, self.horizon) - self.engine.now))
+        self._write_checkpoint(min(suspend_at, self.horizon))
+        self._release(placement, min(terminate_at, self.horizon), revoked=True, reason="revoked")
+        if self.service is not None:
+            self.provider.volumes.detach(self.service.volume_id)
+            self.provider.vpc.unbind(self.service.address)
+        self.placement = None
+
+        grant = self._market(key).next_grant_time(bid, terminate_at)
+        if grant is None or grant >= self.horizon:
+            self._blackout(suspend_at, self.horizon, "waiting-spot", 0.0)
+            self._record_migration(
+                "outage", warning, self.horizon, self.horizon - suspend_at, str(key), "-"
+            )
+            yield Timeout(max(0.0, self.horizon - self.engine.now))
+            return
+
+        yield Timeout(max(0.0, grant - self.engine.now))
+        n = self.strategy.servers_needed(key)
+        target = self._acquire(key, n, LeaseKind.SPOT, grant)
+        if self.service is not None:
+            self.provider.volumes.attach(self.service.volume_id,
+                                         target.leases[0].lease_id, key.region)
+            self.provider.vpc.bind(self.service.address,
+                                   target.leases[0].lease_id, key.region)
+        link = link_between(key.region, key.region)
+        # Restore once the replacement fleet boots; reuse the forced-path
+        # restore arithmetic with the grace window already behind us.
+        timing = self.model.forced(mem, link, 0.0, max(0.0, target.ready_at - grant), self.rng)
+        resume_at = grant + timing.downtime_s
+        self.placement = target
+        self._blackout(suspend_at, resume_at, "waiting-spot", timing.degraded_s)
+        self._record_migration(
+            "outage", warning, resume_at, resume_at - suspend_at, str(key), str(key)
+        )
+        yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))

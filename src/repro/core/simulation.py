@@ -1,0 +1,147 @@
+"""One-call simulation facade: config in, results out.
+
+:func:`run_simulation` builds the whole stack for one seed — trace catalog,
+provider, scheduler — runs it to the horizon, and distils a
+:class:`~repro.core.results.SimulationResult`. :func:`run_many` repeats it
+over seeds, mirroring the paper's "different sample for each simulation
+run" methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Mapping, Optional
+
+from repro.core.bidding import BiddingPolicy, ProactiveBidding
+from repro.core.results import SimulationResult
+from repro.core.scheduler import CloudScheduler
+from repro.core.strategies import HostingStrategy
+from repro.cloud.provider import CloudProvider
+from repro.errors import ConfigurationError
+from repro.simulator.engine import Engine
+from repro.simulator.rng import RngStreams
+from repro.traces.calibration import MarketCalibration, REGIONS, SIZES
+from repro.traces.catalog import TraceCatalog, build_catalog
+from repro.units import SECONDS_PER_HOUR, days
+from repro.vm.mechanisms import (
+    Mechanism,
+    MechanismParams,
+    MigrationModel,
+    TYPICAL_PARAMS,
+)
+
+__all__ = ["SimulationConfig", "run_simulation", "run_many"]
+
+#: Strategy factory: builds a fresh strategy per run (strategies are cheap
+#: and some hold per-run state in the future).
+StrategyFactory = Callable[[], HostingStrategy]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one scheduler run needs.
+
+    ``catalog`` may be supplied to reuse a pre-built trace set (e.g. to run
+    several policies on the *same* price sample, as the paper's policy
+    comparisons require); otherwise a catalog is generated from ``seed``.
+    """
+
+    strategy: StrategyFactory
+    bidding: BiddingPolicy = field(default_factory=ProactiveBidding)
+    mechanism: Mechanism = Mechanism.CKPT_LR_LIVE
+    params: MechanismParams = TYPICAL_PARAMS
+    seed: int = 0
+    horizon_s: float = days(30)
+    regions: tuple = REGIONS
+    sizes: tuple = SIZES
+    catalog: Optional[TraceCatalog] = None
+    calibrations: Optional[Mapping[tuple, MarketCalibration]] = None
+    startup_cv: float = 0.25
+    service_disk_gib: float = 2.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= SECONDS_PER_HOUR:
+            raise ConfigurationError("horizon must exceed one hour")
+
+    def with_(self, **kw) -> "SimulationConfig":
+        """A copy with fields replaced."""
+        return replace(self, **kw)
+
+
+def _result_label(config: SimulationConfig, strategy: HostingStrategy) -> str:
+    if config.label:
+        return config.label
+    return f"{config.bidding.name}/{config.mechanism.value}/{strategy!r}"
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run one seeded scheduler simulation and summarise it."""
+    catalog = config.catalog
+    if catalog is None:
+        catalog = build_catalog(
+            seed=config.seed,
+            horizon=config.horizon_s,
+            regions=config.regions,
+            sizes=config.sizes,
+            calibrations=config.calibrations,
+        )
+    streams = RngStreams(config.seed)
+    provider = CloudProvider(
+        catalog,
+        rng=streams.get("provider/startup"),
+        startup_cv=config.startup_cv,
+    )
+    strategy = config.strategy()
+    engine = Engine()
+    scheduler = CloudScheduler(
+        engine=engine,
+        provider=provider,
+        bidding=config.bidding,
+        strategy=strategy,
+        migration_model=MigrationModel(config.mechanism, config.params),
+        rng=streams.get("scheduler/jitter"),
+        horizon=config.horizon_s,
+        service_disk_gib=config.service_disk_gib,
+    )
+    scheduler.run()
+
+    avail = scheduler.availability
+    ledger = scheduler.ledger
+    duration_h = avail.window_duration / SECONDS_PER_HOUR
+    baseline_rate = strategy.baseline_rate(provider)
+    baseline_cost = baseline_rate * duration_h
+    norm = (
+        ledger.normalized_cost_percent(baseline_rate, avail.window_duration)
+        if duration_h > 0
+        else 0.0
+    )
+    by_cause: dict[str, float] = {}
+    for iv in avail.downtime:
+        by_cause[iv.cause] = by_cause.get(iv.cause, 0.0) + iv.duration
+    return SimulationResult(
+        label=_result_label(config, strategy),
+        seed=config.seed,
+        duration_hours=duration_h,
+        total_cost=ledger.total,
+        baseline_cost=baseline_cost,
+        normalized_cost_percent=norm,
+        unavailability_percent=avail.unavailability_percent(),
+        downtime_s=avail.total_downtime(),
+        degraded_s=avail.total_degraded(),
+        forced_migrations=scheduler.migration_count("forced"),
+        planned_migrations=scheduler.migration_count("planned", "spot-switch"),
+        reverse_migrations=scheduler.migration_count("reverse"),
+        outages=scheduler.migration_count("outage"),
+        spot_cost=ledger.total_by_kind("spot"),
+        on_demand_cost=ledger.total_by_kind("on_demand"),
+        spot_time_fraction=scheduler.spot_time_fraction(),
+        downtime_by_cause=by_cause,
+    )
+
+
+def run_many(config: SimulationConfig, seeds: List[int]) -> List[SimulationResult]:
+    """Run the same configuration over several trace samples."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    return [run_simulation(config.with_(seed=s, catalog=None)) for s in seeds]

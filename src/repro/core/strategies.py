@@ -1,0 +1,311 @@
+"""Hosting strategies: which markets the scheduler may use and how.
+
+The paper evaluates three scheduler scopes of increasing freedom
+(Section 4) plus two baselines (Section 5):
+
+* **single-market** — one size in one AZ, alternating with on-demand of the
+  same size (Figs 6, 7, 11);
+* **multi-market** — any size within one AZ, packing the service's nested
+  VMs onto larger servers when their per-unit price is lower (Fig 8);
+* **multi-region** — any size in any allowed AZ; cross-region moves pay
+  WAN migration costs (Fig 9);
+* **pure-spot** — spot only, no on-demand fallback: cheap but unavailable
+  whenever the price exceeds the bid (Fig 11);
+* **on-demand-only** — the cost baseline (100 % by construction).
+
+A strategy answers: what markets are candidates, how many servers does the
+service need in each, what does a placement cost per hour, and what is the
+normalization baseline. ``service_units`` counts small-equivalents: a
+single-market strategy hosts one server's worth of its chosen size, the
+multi-market strategies host a fleet of small-sized nested VMs that can be
+packed 2/4/8-to-a-server up the size ladder.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cloud.instance_types import instance_type
+from repro.cloud.provider import CloudProvider
+from repro.core.bidding import BiddingPolicy
+from repro.errors import ConfigurationError
+from repro.traces.catalog import MarketKey
+from repro.units import SECONDS_PER_HOUR
+from repro.vm.memory import MemoryProfile
+
+__all__ = [
+    "PlacementTarget",
+    "HostingStrategy",
+    "SingleMarketStrategy",
+    "MultiMarketStrategy",
+    "MultiRegionStrategy",
+    "PureSpotStrategy",
+    "OnDemandOnlyStrategy",
+    "StabilityAwareStrategy",
+]
+
+
+@dataclass(frozen=True)
+class PlacementTarget:
+    """A concrete placement option: a market plus the fleet rate there."""
+
+    key: MarketKey
+    n_servers: int
+    rate: float  #: USD/hour for the whole fleet at current prices
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError("placement needs at least one server")
+
+
+class HostingStrategy(ABC):
+    """Base class: candidate markets plus packing/rate arithmetic."""
+
+    #: Small-equivalent units of capacity the service needs.
+    service_units: int = 1
+    #: May the scheduler fall back to on-demand servers?
+    allows_on_demand: bool = True
+    #: May the scheduler use spot servers at all?
+    allows_spot: bool = True
+    #: Opportunistic spot->spot switching while the current price is still
+    #: below on-demand. The paper's multi-market algorithm only changes
+    #: market inside the *planned* step (when the price has risen above
+    #: on-demand); chasing cent-level differences between calm markets is
+    #: an extension, off by default, gated by the two knobs below.
+    opportunistic_switching: bool = False
+    #: A spot->spot move must beat the current rate by this factor
+    #: (hysteresis against churn between near-equal markets).
+    improvement_factor: float = 0.75
+    #: Minimum seconds between voluntary opportunistic switches.
+    min_dwell_s: float = 12 * SECONDS_PER_HOUR
+
+    # ----------------------------------------------------------- candidates
+    @abstractmethod
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        """Markets the scheduler may bid in."""
+
+    def servers_needed(self, key: MarketKey) -> int:
+        """Servers of ``key``'s size needed to host ``service_units``."""
+        cap = instance_type(key.size).capacity_units
+        return max(1, math.ceil(self.service_units / cap))
+
+    # ----------------------------------------------------------------- rates
+    def spot_rate(self, key: MarketKey, price: float) -> float:
+        """Fleet USD/hour in a spot market at the given price."""
+        return self.servers_needed(key) * price
+
+    def on_demand_rate(self, provider: CloudProvider, key: MarketKey) -> float:
+        """Fleet USD/hour on on-demand servers of one market's size/zone."""
+        return self.servers_needed(key) * provider.on_demand_price(key)
+
+    def rate_adjustment(self, provider: CloudProvider, key: MarketKey, t: float) -> float:
+        """Additive penalty applied when ranking spot targets (USD/hour).
+
+        The greedy strategies return 0; :class:`StabilityAwareStrategy`
+        penalizes volatile markets (the paper's future-work extension).
+        """
+        return 0.0
+
+    # --------------------------------------------------------------- targets
+    def best_spot_target(
+        self,
+        provider: CloudProvider,
+        bidding: BiddingPolicy,
+        t: float,
+        exclude: Optional[MarketKey] = None,
+    ) -> Optional[PlacementTarget]:
+        """Cheapest currently-grantable spot placement, or ``None``.
+
+        A market is usable when the bidding policy's bid would be granted
+        right now (price <= bid).
+        """
+        if not self.allows_spot:
+            return None
+        best: Optional[PlacementTarget] = None
+        for key in self.candidate_markets(provider):
+            if exclude is not None and key == exclude:
+                continue
+            market = provider.market(key)
+            bid = bidding.bid_price(market, t)
+            if not market.grantable(bid, t):
+                continue
+            rate = self.spot_rate(key, market.price_at(t))
+            ranked = rate + self.rate_adjustment(provider, key, t)
+            if best is None or ranked < best.rate:
+                best = PlacementTarget(key=key, n_servers=self.servers_needed(key), rate=ranked)
+        return best
+
+    def best_on_demand_target(self, provider: CloudProvider) -> Optional[PlacementTarget]:
+        """Cheapest on-demand placement across candidate markets."""
+        if not self.allows_on_demand:
+            return None
+        best: Optional[PlacementTarget] = None
+        for key in self.candidate_markets(provider):
+            rate = self.on_demand_rate(provider, key)
+            if best is None or rate < best.rate:
+                best = PlacementTarget(key=key, n_servers=self.servers_needed(key), rate=rate)
+        return best
+
+    # -------------------------------------------------------------- baseline
+    def baseline_rate(self, provider: CloudProvider) -> float:
+        """USD/hour of the all-on-demand baseline used for normalization.
+
+        Default: the cheapest on-demand placement among candidates (the
+        paper normalizes multi-region runs by "the lowest on-demand cost
+        available in the two allowable regions").
+        """
+        best = None
+        for key in self.candidate_markets(provider):
+            rate = self.on_demand_rate(provider, key)
+            best = rate if best is None else min(best, rate)
+        if best is None:
+            raise ConfigurationError("strategy has no candidate markets")
+        return best
+
+    # -------------------------------------------------------------- migration
+    def migration_memory(self, key: MarketKey) -> MemoryProfile:
+        """Memory that must move when leaving a placement in ``key``.
+
+        Fleet transfers run in parallel across server pairs, so wall-clock
+        migration time is governed by one server's nested memory.
+        """
+        return MemoryProfile(size_gib=instance_type(key.size).nested_memory_gib)
+
+
+@dataclass(frozen=True)
+class _FixedUnits:
+    pass
+
+
+class SingleMarketStrategy(HostingStrategy):
+    """One size in one AZ, with on-demand fallback of the same size."""
+
+    def __init__(self, key: MarketKey) -> None:
+        self.key = key
+        self.service_units = instance_type(key.size).capacity_units
+
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        return [self.key]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SingleMarket({self.key})"
+
+
+class MultiMarketStrategy(HostingStrategy):
+    """All sizes within one AZ; the fleet packs onto whichever size is
+    cheapest per unit of capacity."""
+
+    def __init__(self, region: str, service_units: int = 8) -> None:
+        if service_units <= 0:
+            raise ConfigurationError("service_units must be positive")
+        self.region = region
+        self.service_units = service_units
+
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        return provider.catalog.markets_in_region(self.region)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MultiMarket({self.region}, units={self.service_units})"
+
+
+class MultiRegionStrategy(HostingStrategy):
+    """All sizes across several AZs; cross-region moves are allowed."""
+
+    def __init__(self, regions: Sequence[str], service_units: int = 8) -> None:
+        if not regions:
+            raise ConfigurationError("need at least one region")
+        if service_units <= 0:
+            raise ConfigurationError("service_units must be positive")
+        self.regions = tuple(regions)
+        self.service_units = service_units
+
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        out: List[MarketKey] = []
+        for region in self.regions:
+            out.extend(provider.catalog.markets_in_region(region))
+        return sorted(out)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MultiRegion({','.join(self.regions)}, units={self.service_units})"
+
+
+class PureSpotStrategy(HostingStrategy):
+    """Spot only — the Section 5 comparison showing why migration matters.
+
+    When the price exceeds the bid the service is simply down until the
+    price returns, the server is re-granted, and the checkpoint restores.
+    """
+
+    allows_on_demand = False
+
+    def __init__(self, key: MarketKey) -> None:
+        self.key = key
+        self.service_units = instance_type(key.size).capacity_units
+
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        return [self.key]
+
+    def baseline_rate(self, provider: CloudProvider) -> float:
+        return self.on_demand_rate(provider, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PureSpot({self.key})"
+
+
+class OnDemandOnlyStrategy(HostingStrategy):
+    """The cost baseline: on-demand servers only, normalized cost 100 %."""
+
+    allows_spot = False
+
+    def __init__(self, key: MarketKey) -> None:
+        self.key = key
+        self.service_units = instance_type(key.size).capacity_units
+
+    def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
+        return [self.key]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OnDemandOnly({self.key})"
+
+
+class StabilityAwareStrategy(MultiRegionStrategy):
+    """Multi-region bidding that also weighs price *stability*.
+
+    The paper's conclusion proposes "bidding strategies that take spot
+    price stability into account" as future work; this extension penalizes
+    each market's rate by ``stability_weight`` times the fleet-scaled price
+    standard deviation over a trailing window, steering the scheduler away
+    from cheap-but-volatile markets (the Fig 9c failure mode).
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[str],
+        service_units: int = 8,
+        stability_weight: float = 1.0,
+        lookback_s: float = 3 * 24 * SECONDS_PER_HOUR,
+    ) -> None:
+        super().__init__(regions, service_units)
+        if stability_weight < 0:
+            raise ConfigurationError("stability weight must be >= 0")
+        if lookback_s <= 0:
+            raise ConfigurationError("lookback must be positive")
+        self.stability_weight = stability_weight
+        self.lookback_s = lookback_s
+
+    def rate_adjustment(self, provider: CloudProvider, key: MarketKey, t: float) -> float:
+        trace = provider.catalog.trace(key)
+        t0 = max(trace.start, t - self.lookback_s)
+        if t - t0 < SECONDS_PER_HOUR:
+            return 0.0
+        std = trace.price_std(t0, max(t, t0 + SECONDS_PER_HOUR))
+        return self.stability_weight * self.servers_needed(key) * std
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StabilityAware({','.join(self.regions)}, units={self.service_units}, "
+            f"w={self.stability_weight})"
+        )

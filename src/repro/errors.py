@@ -1,0 +1,112 @@
+"""Exception hierarchy for the spot-hosting reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to discriminate between configuration problems, market-semantics violations,
+and simulation-engine faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "MarketError",
+    "BidRejectedError",
+    "BidTooHighError",
+    "InstanceNotHeldError",
+    "TraceError",
+    "TraceFormatError",
+    "CalibrationError",
+    "MigrationError",
+    "CheckpointBoundError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly.
+
+    Examples: scheduling an event in the past, running a finished engine,
+    or re-activating a cancelled process.
+    """
+
+
+class SchedulingError(ReproError):
+    """The cloud scheduler reached an inconsistent state.
+
+    This indicates a bug in a hosting strategy (e.g. starting a migration
+    while one is already in flight) rather than a user error.
+    """
+
+
+class MarketError(ReproError):
+    """Base class for cloud-market semantics violations."""
+
+
+class BidRejectedError(MarketError):
+    """A spot request was rejected because the bid is below the current price."""
+
+    def __init__(self, bid: float, current_price: float, market: str = "") -> None:
+        self.bid = bid
+        self.current_price = current_price
+        self.market = market
+        super().__init__(
+            f"bid ${bid:.4f}/hr below current spot price "
+            f"${current_price:.4f}/hr{f' in {market}' if market else ''}"
+        )
+
+
+class BidTooHighError(MarketError):
+    """A bid exceeded the provider's bid cap (4x on-demand on EC2 circa 2015)."""
+
+    def __init__(self, bid: float, cap: float, market: str = "") -> None:
+        self.bid = bid
+        self.cap = cap
+        self.market = market
+        super().__init__(
+            f"bid ${bid:.4f}/hr exceeds provider cap ${cap:.4f}/hr"
+            f"{f' in {market}' if market else ''}"
+        )
+
+
+class InstanceNotHeldError(MarketError):
+    """An operation referenced an instance the caller does not hold."""
+
+
+class TraceError(ReproError):
+    """Base class for spot-price trace problems."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file or array pair violated the step-function invariants."""
+
+
+class CalibrationError(TraceError):
+    """A market-calibration parameter set is out of its valid range."""
+
+
+class MigrationError(ReproError):
+    """A VM migration could not be modelled (bad sizes, bandwidths, etc.)."""
+
+
+class CheckpointBoundError(MigrationError):
+    """Yank-style bounded checkpointing cannot satisfy the requested bound.
+
+    Raised when the bound tau is too small for even a single dirty page to be
+    flushed within it, i.e. the background checkpointer can never keep up.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload/queueing-model parameterisation is infeasible."""

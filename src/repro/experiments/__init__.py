@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(config: ExperimentConfig) -> ExperimentReport``
+and registers itself in :mod:`repro.experiments.registry`. The CLI
+(``python -m repro.experiments <id>`` or ``repro-experiments <id>``)
+renders the report — the same rows/series the paper reports, plus a
+paper-vs-measured comparison table.
+"""
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentConfig", "EXPERIMENTS", "get_experiment", "run_experiment"]

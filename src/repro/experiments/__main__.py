@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` entry point."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

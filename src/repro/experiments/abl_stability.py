@@ -1,0 +1,75 @@
+"""Ablation: stability-aware multi-region bidding (the paper's future work).
+
+Figure 9(c) shows greedy multi-region bidding can *increase* unavailability
+by chasing cheap-but-volatile us-east markets. The paper's conclusion
+proposes "bidding strategies that take spot price stability into account".
+This experiment implements that proposal: the stability-aware strategy
+penalizes each market's rate by a multiple of its trailing price standard
+deviation, and the sweep shows the cost/availability trade-off it buys on
+the most volatility-exposed pair.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.core.strategies import MultiRegionStrategy, StabilityAwareStrategy
+from repro.experiments.common import ExperimentConfig, simulate
+
+EXPERIMENT_ID = "abl-stability"
+TITLE = "Ablation: stability-aware multi-region bidding"
+
+PAIR = ("us-east-1b", "eu-west-1a")
+WEIGHTS = (0.5, 2.0, 8.0)
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    rows = {}
+    rows["greedy"] = simulate(
+        cfg, lambda: MultiRegionStrategy(PAIR), regions=PAIR, label="greedy",
+    )
+    for w in WEIGHTS:
+        rows[f"w={w}"] = simulate(
+            cfg,
+            lambda w=w: StabilityAwareStrategy(PAIR, stability_weight=w),
+            regions=PAIR,
+            label=f"w={w}",
+        )
+
+    t = Table(
+        headers=("strategy", "norm cost %", "unavail %", "forced/hr"),
+        title=f"stability-weight sweep on {PAIR[0]}+{PAIR[1]}",
+    )
+    for label, a in rows.items():
+        t.add_row(label, a.normalized_cost_percent, a.unavailability_percent,
+                  a.forced_per_hour)
+    report.add_artifact(t.render())
+
+    greedy = rows["greedy"]
+    strongest = rows[f"w={WEIGHTS[-1]}"]
+    report.compare(
+        "strong stability weight reduces forced migrations",
+        strongest.forced_per_hour / max(greedy.forced_per_hour, 1e-9),
+        expectation="avoiding volatile markets avoids sharp spikes",
+        holds=strongest.forced_per_hour <= greedy.forced_per_hour + 1e-9,
+    )
+    report.compare(
+        "stability costs money (strongest vs greedy)",
+        strongest.normalized_cost_percent - greedy.normalized_cost_percent,
+        unit="% pts",
+        expectation="the stable region is the pricier one",
+        holds=strongest.normalized_cost_percent >= greedy.normalized_cost_percent - 1.0,
+    )
+    report.compare(
+        "moderate weight keeps cost within a few points of greedy",
+        rows[f"w={WEIGHTS[0]}"].normalized_cost_percent
+        - greedy.normalized_cost_percent,
+        unit="% pts",
+        expectation="a mild stability preference is nearly free",
+        holds=abs(
+            rows[f"w={WEIGHTS[0]}"].normalized_cost_percent
+            - greedy.normalized_cost_percent
+        ) < 6.0,
+    )
+    return report

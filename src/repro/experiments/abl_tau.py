@@ -1,0 +1,83 @@
+"""Ablation: the Yank checkpoint bound tau.
+
+tau caps the final incremental checkpoint write during a forced migration.
+A small tau means a nearly-empty increment at suspend time (shorter
+blackout) but more aggressive background checkpointing; tau must also fit,
+together with the restore, inside what the revocation grace window allows.
+This sweep shows unavailability growing with tau, and the background
+storage-bandwidth fraction it costs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.core.strategies import SingleMarketStrategy
+from repro.experiments.common import ExperimentConfig, simulate
+from repro.traces.catalog import MarketKey
+from repro.vm.checkpoint import BoundedCheckpointer
+from repro.vm.mechanisms import Mechanism, TYPICAL_PARAMS
+from repro.vm.memory import MemoryProfile
+
+EXPERIMENT_ID = "abl-tau"
+TITLE = "Ablation: Yank checkpoint bound tau"
+
+TAUS = (2.0, 5.0, 10.0, 30.0, 60.0)
+KEY = MarketKey("us-east-1a", "small")
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    mem = MemoryProfile(size_gib=1.36)
+    rows = {}
+    for tau in TAUS:
+        params = TYPICAL_PARAMS.with_overrides(tau_s=tau)
+        agg = simulate(
+            cfg, lambda: SingleMarketStrategy(KEY),
+            mechanism=Mechanism.CKPT_LR, params=params,
+            regions=("us-east-1a",), sizes=("small",), label=f"tau={tau}",
+        )
+        ck = BoundedCheckpointer(mem, tau_s=tau)
+        rows[tau] = (agg, ck)
+
+    t = Table(
+        headers=("tau (s)", "unavail %", "worst final flush (s)",
+                 "ckpt period (s)", "bg bandwidth frac"),
+        title="tau sweep (CKPT+LR, small, us-east-1a)",
+    )
+    for tau, (agg, ck) in rows.items():
+        period = ck.steady_state_period_s()
+        t.add_row(
+            tau, agg.unavailability_percent,
+            ck.final_increment(None).suspend_write_s,
+            period if period != float("inf") else -1.0,
+            ck.background_bandwidth_fraction(),
+        )
+    report.add_artifact(t.render())
+
+    u_small = rows[TAUS[0]][0].unavailability_percent
+    u_large = rows[TAUS[-1]][0].unavailability_percent
+    report.compare(
+        "unavailability grows with tau",
+        u_large / max(u_small, 1e-9),
+        expectation="larger final increments lengthen forced blackouts",
+        holds=u_large >= u_small,
+    )
+    worst = rows[TAUS[-1]][1].final_increment(None).suspend_write_s
+    report.compare(
+        "largest tau still fits the 120 s grace window",
+        worst, unit="s",
+        expectation="Yank's bound must fit the revocation warning window",
+        holds=worst < 120.0,
+    )
+    report.compare(
+        "background bandwidth cost independent of tau",
+        rows[TAUS[0]][1].background_bandwidth_fraction()
+        - rows[TAUS[-1]][1].background_bandwidth_fraction(),
+        expectation="steady-state write stream is dirty-rate bound",
+        holds=abs(
+            rows[TAUS[0]][1].background_bandwidth_fraction()
+            - rows[TAUS[-1]][1].background_bandwidth_fraction()
+        ) < 1e-9,
+    )
+    return report

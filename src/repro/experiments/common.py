@@ -1,0 +1,67 @@
+"""Shared configuration and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from repro.core.bidding import BiddingPolicy, ProactiveBidding
+from repro.core.results import AggregateResult, aggregate
+from repro.core.simulation import SimulationConfig, run_many
+from repro.core.strategies import HostingStrategy
+from repro.traces.calibration import REGIONS, SIZES
+from repro.units import days
+from repro.vm.mechanisms import Mechanism, MechanismParams, TYPICAL_PARAMS
+
+__all__ = ["ExperimentConfig", "simulate", "DEFAULT_SEEDS"]
+
+#: Seeds used by default — "a different sample for each simulation run".
+DEFAULT_SEEDS: tuple = (11, 23, 37, 41, 53)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    ``fast`` shrinks seeds/horizon for quick smoke runs (used by the unit
+    tests); benchmarks run the full configuration.
+    """
+
+    seeds: Sequence[int] = DEFAULT_SEEDS
+    horizon_s: float = days(30)
+    fast: bool = False
+
+    def effective_seeds(self) -> List[int]:
+        return list(self.seeds[:2] if self.fast else self.seeds)
+
+    def effective_horizon(self) -> float:
+        return days(10) if self.fast else self.horizon_s
+
+    def with_(self, **kw) -> "ExperimentConfig":
+        return replace(self, **kw)
+
+
+def simulate(
+    cfg: ExperimentConfig,
+    strategy: Callable[[], HostingStrategy],
+    *,
+    bidding: BiddingPolicy | None = None,
+    mechanism: Mechanism = Mechanism.CKPT_LR_LIVE,
+    params: MechanismParams = TYPICAL_PARAMS,
+    regions: Sequence[str] = REGIONS,
+    sizes: Sequence[str] = SIZES,
+    label: str = "",
+) -> AggregateResult:
+    """Run one policy over the experiment's seeds and aggregate."""
+    sim = SimulationConfig(
+        strategy=strategy,
+        bidding=bidding or ProactiveBidding(),
+        mechanism=mechanism,
+        params=params,
+        horizon_s=cfg.effective_horizon(),
+        regions=tuple(regions),
+        sizes=tuple(sizes),
+        label=label,
+    )
+    results = run_many(sim, cfg.effective_seeds())
+    return aggregate(results, label=label or None)

@@ -1,0 +1,141 @@
+"""Figure 6: proactive versus reactive bidding (single market, us-east).
+
+Four panels over the small/medium/large/xlarge markets:
+
+(a) normalized cost — both policies land at 17-33 % of the on-demand
+    baseline, proactive slightly cheaper;
+(b) unavailability — proactive lower by a factor of 2.5-18;
+(c) forced migrations per hour — proactive far fewer;
+(d) planned+reverse migrations per hour — similar for both.
+
+Both policies run bounded checkpointing with lazy restore (the paper's
+Section 4.2 setup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import bar_chart
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.core.strategies import SingleMarketStrategy
+from repro.experiments.common import ExperimentConfig, simulate
+from repro.traces.calibration import SIZES
+from repro.traces.catalog import MarketKey
+from repro.vm.mechanisms import Mechanism
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Proactive versus reactive bidding (single market, us-east-1a)"
+
+REGION = "us-east-1a"
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    rows = {}
+    for size in SIZES:
+        key = MarketKey(REGION, size)
+        for bidding in (ReactiveBidding(), ProactiveBidding()):
+            agg = simulate(
+                cfg,
+                lambda key=key: SingleMarketStrategy(key),
+                bidding=bidding,
+                mechanism=Mechanism.CKPT_LR,
+                regions=(REGION,),
+                sizes=(size,),
+                label=f"{bidding.name}/{size}",
+            )
+            rows[(bidding.name, size)] = agg
+
+    t = Table(
+        headers=(
+            "market", "policy", "norm cost %", "unavail %", "forced/hr", "planned+rev/hr",
+        ),
+        title="Fig 6(a-d) series",
+    )
+    for size in SIZES:
+        for pol in ("reactive", "proactive"):
+            a = rows[(pol, size)]
+            t.add_row(
+                size, pol, a.normalized_cost_percent, a.unavailability_percent,
+                a.forced_per_hour, a.planned_reverse_per_hour,
+            )
+    report.add_artifact(t.render())
+    report.add_artifact(
+        bar_chart(
+            {f"{s}/{p}": rows[(p, s)].unavailability_percent for s in SIZES
+             for p in ("reactive", "proactive")},
+            title="Fig 6(b): unavailability (%)",
+        )
+    )
+
+    costs = [rows[(p, s)].normalized_cost_percent for s in SIZES for p in ("reactive", "proactive")]
+    report.compare(
+        "normalized cost range low", min(costs), paper=17.0, unit="%",
+        expectation="17-33 % of baseline",
+        holds=min(costs) >= 10.0,
+    )
+    report.compare(
+        "normalized cost range high", max(costs), paper=33.0, unit="%",
+        expectation="17-33 % of baseline",
+        holds=max(costs) <= 45.0,
+    )
+    ratios = [
+        rows[("reactive", s)].unavailability_percent
+        / max(rows[("proactive", s)].unavailability_percent, 1e-9)
+        for s in SIZES
+    ]
+    report.compare(
+        "reactive/proactive unavailability ratio (min over sizes)", min(ratios),
+        paper=2.5, expectation="proactive 2.5-18x better", holds=min(ratios) >= 1.5,
+    )
+    report.compare(
+        "reactive/proactive unavailability ratio (max over sizes)", max(ratios),
+        paper=18.0, expectation="proactive 2.5-18x better", holds=max(ratios) >= 2.5,
+    )
+    report.compare(
+        "proactive cheaper than reactive (mean cost delta)",
+        float(np.mean([
+            rows[("reactive", s)].normalized_cost_percent
+            - rows[("proactive", s)].normalized_cost_percent
+            for s in SIZES
+        ])),
+        unit="% pts",
+        expectation="proactive slightly cheaper in every market",
+        holds=all(
+            rows[("proactive", s)].normalized_cost_percent
+            <= rows[("reactive", s)].normalized_cost_percent + 0.5
+            for s in SIZES
+        ),
+    )
+    report.compare(
+        "forced migrations: proactive/reactive (mean)",
+        float(np.mean([
+            rows[("proactive", s)].forced_per_hour
+            / max(rows[("reactive", s)].forced_per_hour, 1e-9)
+            for s in SIZES
+        ])),
+        expectation="proactive has far fewer forced migrations",
+        holds=all(
+            rows[("proactive", s)].forced_per_hour
+            < 0.6 * rows[("reactive", s)].forced_per_hour + 1e-9
+            for s in SIZES
+        ),
+    )
+    report.compare(
+        "planned+reverse rates same order of magnitude",
+        float(np.mean([
+            rows[("proactive", s)].planned_reverse_per_hour
+            / max(rows[("reactive", s)].planned_reverse_per_hour, 1e-9)
+            for s in SIZES
+        ])),
+        expectation="similar planned/reverse migration counts (Fig 6d)",
+        holds=all(
+            0.2 <= rows[("proactive", s)].planned_reverse_per_hour
+            / max(rows[("reactive", s)].planned_reverse_per_hour, 1e-9) <= 5.0
+            for s in SIZES
+        ),
+    )
+    return report

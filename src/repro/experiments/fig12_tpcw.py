@@ -1,0 +1,90 @@
+"""Figure 12: TPC-W response time, native versus nested VM.
+
+(a) browsers fetch images: I/O-bound, nested matches native;
+(b) browsers do not fetch images (CDN case): CPU-bound, nested response
+    time up to ~50 % worse under load.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import line_chart
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.experiments.common import ExperimentConfig
+from repro.workload.tpcw import TpcwConfig, TpcwModel
+
+EXPERIMENT_ID = "fig12"
+TITLE = "TPC-W response time under nested virtualization"
+
+POPULATIONS = (100, 150, 200, 250, 300, 350, 400)
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    results: dict[bool, dict[str, list]] = {}
+    for images in (True, False):
+        model = TpcwModel(TpcwConfig(fetch_images=images))
+        native = model.response_curve(POPULATIONS, nested=False)
+        nested = model.response_curve(POPULATIONS, nested=True)
+        results[images] = {"native": native, "nested": nested}
+
+        label = "images fetched" if images else "images not fetched"
+        t = Table(
+            headers=("EBs", "Amazon VM (ms)", "Nested VM (ms)", "ratio", "bottleneck"),
+            title=f"Fig 12({'a' if images else 'b'}): {label}",
+        )
+        for a, b in zip(native, nested):
+            t.add_row(
+                a.emulated_browsers, a.response_time_ms, b.response_time_ms,
+                b.response_time_ms / max(a.response_time_ms, 1e-9), a.bottleneck,
+            )
+        report.add_artifact(t.render())
+        report.add_artifact(
+            line_chart(
+                {
+                    "native": [(p.emulated_browsers, p.response_time_ms) for p in native],
+                    "nested": [(p.emulated_browsers, p.response_time_ms) for p in nested],
+                },
+                title=f"Fig 12({'a' if images else 'b'}) response time vs EBs ({label})",
+                x_label="EBs",
+                y_label="ms",
+            )
+        )
+
+    img = results[True]
+    noimg = results[False]
+    img_ratio_400 = (
+        img["nested"][-1].response_time_ms / img["native"][-1].response_time_ms
+    )
+    noimg_ratio_400 = (
+        noimg["nested"][-1].response_time_ms / noimg["native"][-1].response_time_ms
+    )
+    report.compare(
+        "images: native response at 400 EBs",
+        img["native"][-1].response_time_ms, paper=20000.0, unit="ms",
+    )
+    report.compare(
+        "images: nested/native ratio at 400 EBs", img_ratio_400, paper=1.0,
+        expectation="nested no worse than native when I/O-bound",
+        holds=img_ratio_400 <= 1.1,
+    )
+    report.compare(
+        "no images: native response at 400 EBs",
+        noimg["native"][-1].response_time_ms, paper=6000.0, unit="ms",
+    )
+    report.compare(
+        "no images: nested/native ratio at 400 EBs", noimg_ratio_400, paper=1.5,
+        expectation="up to ~50 % worse when CPU-bound",
+        holds=1.2 <= noimg_ratio_400 <= 2.2,
+    )
+    report.compare(
+        "no images: degradation grows with load",
+        noimg["nested"][-1].response_time_ms - noimg["nested"][0].response_time_ms,
+        unit="ms",
+        expectation="CPU overhead is load-dependent",
+        holds=(
+            noimg["nested"][-1].response_time_ms / noimg["native"][-1].response_time_ms
+            > noimg["nested"][0].response_time_ms / noimg["native"][0].response_time_ms
+        ),
+    )
+    return report

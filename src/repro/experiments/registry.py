@@ -1,0 +1,81 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Callable, Dict
+
+from repro.analysis.report import ExperimentReport
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    abl_adaptive,
+    abl_bid_multiplier,
+    abl_grace,
+    abl_stability,
+    abl_tau,
+    ext_elastic,
+    ext_frontier,
+    ext_pool,
+    ext_sensitivity,
+    fig01_spot_traces,
+    fig06_proactive_vs_reactive,
+    fig07_migration_mechanisms,
+    fig08_multimarket,
+    fig09_multiregion,
+    fig10_price_variability,
+    fig11_pure_spot,
+    fig12_tpcw,
+    sec62_overhead_cost,
+    tab01_startup_times,
+    tab02_migration_overheads,
+    tab03_summary,
+    tab04_io_overheads,
+)
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+_MODULES = (
+    fig01_spot_traces,
+    tab01_startup_times,
+    tab02_migration_overheads,
+    fig06_proactive_vs_reactive,
+    fig07_migration_mechanisms,
+    fig08_multimarket,
+    fig09_multiregion,
+    fig10_price_variability,
+    fig11_pure_spot,
+    tab03_summary,
+    tab04_io_overheads,
+    fig12_tpcw,
+    sec62_overhead_cost,
+    abl_bid_multiplier,
+    abl_tau,
+    abl_stability,
+    abl_adaptive,
+    abl_grace,
+    ext_sensitivity,
+    ext_frontier,
+    ext_pool,
+    ext_elastic,
+)
+
+#: Experiment id -> driver module (each exposes EXPERIMENT_ID, TITLE, run).
+EXPERIMENTS: Dict[str, ModuleType] = {m.EXPERIMENT_ID: m for m in _MODULES}
+
+
+def get_experiment(experiment_id: str) -> Callable[[ExperimentConfig], ExperimentReport]:
+    """The ``run`` callable for one experiment id."""
+    try:
+        return EXPERIMENTS[experiment_id].run
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from exc
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentReport:
+    """Run one experiment under the given (or default) configuration."""
+    return get_experiment(experiment_id)(config or ExperimentConfig())

@@ -1,0 +1,83 @@
+"""Section 6.2: impact of nested-VM performance overheads on cost savings.
+
+I/O-bound services keep essentially all of the spot savings (nested I/O is
+native-speed); CPU-bound services need extra capacity to compensate for the
+nested hypervisor, shrinking savings. In the paper's worst case performance
+is halved (capacity factor 2), and the savings of a 17-33 % deployment drop
+accordingly ("actual savings of 12 %-34 % of the baseline cost").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.core.strategies import SingleMarketStrategy
+from repro.experiments.common import ExperimentConfig, simulate
+from repro.traces.calibration import SIZES
+from repro.traces.catalog import MarketKey
+from repro.vm.nested import NestedOverheadModel
+from repro.workload.capacity import (
+    WORST_CASE_CAPACITY_FACTOR,
+    CapacityModel,
+    savings_with_overhead,
+)
+
+EXPERIMENT_ID = "sec62"
+TITLE = "Impact of nested-VM performance overheads on cost savings"
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    norms = {}
+    for size in SIZES:
+        key = MarketKey("us-east-1a", size)
+        agg = simulate(
+            cfg, lambda key=key: SingleMarketStrategy(key),
+            regions=("us-east-1a",), sizes=(size,), label=f"proactive/{size}",
+        )
+        norms[size] = agg.normalized_cost_percent
+
+    io_factor = CapacityModel(cpu_fraction=0.0).capacity_factor()
+    cpu_typ_factor = CapacityModel(
+        overheads=NestedOverheadModel(cpu_overhead_idle=1.05, cpu_overhead_peak=1.25),
+        cpu_fraction=1.0,
+    ).capacity_factor()
+
+    t = Table(
+        headers=(
+            "market", "norm cost %", "savings (I/O-bound) %",
+            "savings (CPU typ) %", "savings (worst case) %",
+        ),
+        title="savings after capacity inflation",
+    )
+    worst_savings = {}
+    for size in SIZES:
+        s_io = savings_with_overhead(norms[size], io_factor)
+        s_cpu = savings_with_overhead(norms[size], cpu_typ_factor)
+        s_worst = savings_with_overhead(norms[size], WORST_CASE_CAPACITY_FACTOR)
+        worst_savings[size] = s_worst
+        t.add_row(size, norms[size], s_io, s_cpu, s_worst)
+    report.add_artifact(t.render())
+
+    report.compare(
+        "I/O-bound capacity factor", io_factor, paper=1.02,
+        expectation="disk/network services keep ~all savings",
+        holds=io_factor <= 1.05,
+    )
+    report.compare(
+        "worst-case savings low end", min(worst_savings.values()), unit="%",
+        expectation="savings shrink but remain positive at capacity factor 2",
+        holds=min(worst_savings.values()) > 0,
+    )
+    report.compare(
+        "worst-case savings high end", max(worst_savings.values()), unit="%",
+        expectation="paper quotes 12-34 % (interpretation-dependent); "
+        "we report 100 - 2 * normalized cost",
+        holds=max(worst_savings.values()) <= 100.0,
+    )
+    report.note(
+        "The paper's '12 %-34 %' worst-case savings figure is not derivable "
+        "unambiguously from its own 17-33 % normalized costs; we report the "
+        "direct arithmetic savings = 100 - capacity_factor * normalized_cost."
+    )
+    return report

@@ -1,0 +1,74 @@
+"""Table 4: network and disk I/O of nested VMs versus native VMs.
+
+Paper values (Mbit/s):
+
+============  ==========  =========
+Metric        Amazon VM   Nested VM
+============  ==========  =========
+Network TX          304        304
+Network RX          316        314
+Disk read         304.6      297.6
+Disk write        280.4      274.2
+============  ==========  =========
+
+Claim: nested I/O is within ~2 % of native.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import Table
+from repro.experiments.common import ExperimentConfig
+from repro.simulator.rng import spawn_rng
+from repro.workload.diskbench import DiskBenchSimulator
+from repro.workload.iperf import IperfSimulator
+
+EXPERIMENT_ID = "tab4"
+TITLE = "Network and disk I/O of nested versus native VMs"
+
+PAPER = {
+    ("tx", False): 304.0, ("tx", True): 304.0,
+    ("rx", False): 316.0, ("rx", True): 314.0,
+    ("read", False): 304.6, ("read", True): 297.6,
+    ("write", False): 280.4, ("write", True): 274.2,
+}
+
+
+def run(cfg: ExperimentConfig) -> ExperimentReport:
+    report = ExperimentReport(EXPERIMENT_ID, TITLE)
+    rng = spawn_rng(cfg.effective_seeds()[0], "experiments/tab4")
+    runs = 5 if cfg.fast else 25
+    iperf = IperfSimulator(rng)
+    disk = DiskBenchSimulator(rng)
+
+    native_net = iperf.mean_of(nested=False, runs=runs)
+    nested_net = iperf.mean_of(nested=True, runs=runs)
+    native_disk = disk.mean_of(nested=False, runs=runs)
+    nested_disk = disk.mean_of(nested=True, runs=runs)
+
+    t = Table(headers=("metric", "Amazon VM (Mbps)", "Nested VM (Mbps)"))
+    t.add_row("Network TX", native_net.tx_mbps, nested_net.tx_mbps)
+    t.add_row("Network RX", native_net.rx_mbps, nested_net.rx_mbps)
+    t.add_row("Disk Read", native_disk.read_mbps, nested_disk.read_mbps)
+    t.add_row("Disk Write", native_disk.write_mbps, nested_disk.write_mbps)
+    report.add_artifact(t.render())
+
+    measured = {
+        ("tx", False): native_net.tx_mbps, ("tx", True): nested_net.tx_mbps,
+        ("rx", False): native_net.rx_mbps, ("rx", True): nested_net.rx_mbps,
+        ("read", False): native_disk.read_mbps, ("read", True): nested_disk.read_mbps,
+        ("write", False): native_disk.write_mbps, ("write", True): nested_disk.write_mbps,
+    }
+    for (metric, nested), value in measured.items():
+        label = f"{'nested' if nested else 'native'} {metric}"
+        report.compare(label, value, paper=PAPER[(metric, nested)], unit="Mbps")
+
+    degradation = max(
+        1 - measured[(m, True)] / measured[(m, False)] for m in ("tx", "rx", "read", "write")
+    )
+    report.compare(
+        "worst nested I/O degradation", degradation * 100, paper=2.0, unit="%",
+        expectation="nested I/O within ~2 % of native",
+        holds=degradation <= 0.05,
+    )
+    return report

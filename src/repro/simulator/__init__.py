@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every simulation in this library — market dynamics, scheduler decisions,
+migrations — is driven by :class:`~repro.simulator.engine.Engine`, a simple
+priority-queue event loop with a monotone clock. Generator-based processes
+(:mod:`repro.simulator.process`) layer a coroutine style on top for entities
+like the cloud scheduler whose control flow is naturally sequential.
+"""
+
+from repro.simulator.engine import Engine, EventHandle
+from repro.simulator.events import Event, EventKind
+from repro.simulator.process import Process, Timeout, WaitEvent, Interrupt
+from repro.simulator.rng import RngStreams, spawn_rng
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Event",
+    "EventKind",
+    "Process",
+    "Timeout",
+    "WaitEvent",
+    "Interrupt",
+    "RngStreams",
+    "spawn_rng",
+]

@@ -1,0 +1,72 @@
+"""Event records for the discrete-event engine.
+
+An :class:`Event` is an immutable record of *when* something happens plus an
+arbitrary payload and callback. Ordering is total and deterministic:
+``(time, priority, seq)`` where ``seq`` is the engine-assigned insertion
+counter, so two events at the same instant fire in the order they were
+scheduled (FIFO) unless a priority says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.IntEnum):
+    """Coarse classification of events, mostly for tracing and debugging.
+
+    The engine itself is agnostic to the kind; schedulers and tests use it to
+    filter event logs.
+    """
+
+    GENERIC = 0
+    PRICE_CHANGE = 1
+    BILLING_BOUNDARY = 2
+    REVOCATION_WARNING = 3
+    TERMINATION = 4
+    SERVER_READY = 5
+    MIGRATION_DONE = 6
+    PROCESS_RESUME = 7
+    TIMER = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled occurrence inside an :class:`~repro.simulator.engine.Engine`.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds at which the event fires.
+    priority:
+        Tie-breaker at equal times; *lower* fires first. Default 0.
+    seq:
+        Engine-assigned monotone counter; guarantees deterministic FIFO
+        ordering among equal ``(time, priority)`` events.
+    kind:
+        Coarse category used for tracing.
+    callback:
+        Invoked as ``callback(engine, event)`` when the event fires.
+    payload:
+        Arbitrary data carried to the callback.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = -1
+    kind: EventKind = EventKind.GENERIC
+    callback: Optional[Callable[..., None]] = None
+    payload: Any = None
+    label: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The total-order key used by the engine's priority queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lbl = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.3f} {self.kind.name}{lbl} seq={self.seq}>"

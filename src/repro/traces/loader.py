@@ -1,0 +1,176 @@
+"""IO for spot-price traces in the AWS ``DescribeSpotPriceHistory`` CSV shape.
+
+Real Amazon spot-price history (as returned by
+``aws ec2 describe-spot-price-history`` and mirrored by several public
+archives) is a sequence of records::
+
+    Timestamp,InstanceType,ProductDescription,AvailabilityZone,SpotPrice
+    2015-02-01T00:04:17Z,m1.small,Linux/UNIX,us-east-1a,0.0071
+
+This module converts between that format and :class:`PriceTrace`, so users
+with access to archived traces can seed every experiment with real data
+instead of the synthetic calibration (the substitution documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import PriceTrace
+
+__all__ = ["load_aws_csv", "save_aws_csv", "parse_aws_timestamp", "format_aws_timestamp"]
+
+_HEADER = ["Timestamp", "InstanceType", "ProductDescription", "AvailabilityZone", "SpotPrice"]
+_EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
+
+
+def parse_aws_timestamp(text: str) -> float:
+    """Parse an ISO-8601 ``Z``-suffixed timestamp to epoch seconds."""
+    text = text.strip()
+    try:
+        if text.endswith("Z"):
+            dt = _dt.datetime.fromisoformat(text[:-1]).replace(tzinfo=_dt.timezone.utc)
+        else:
+            dt = _dt.datetime.fromisoformat(text)
+            if dt.tzinfo is None:
+                dt = dt.replace(tzinfo=_dt.timezone.utc)
+    except ValueError as exc:
+        raise TraceFormatError(f"bad timestamp {text!r}") from exc
+    return (dt - _EPOCH).total_seconds()
+
+
+def format_aws_timestamp(epoch_seconds: float) -> str:
+    """Format epoch seconds as the ``Z``-suffixed ISO form AWS emits."""
+    dt = _EPOCH + _dt.timedelta(seconds=float(epoch_seconds))
+    return dt.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", newline=""), True
+    return source, False
+
+
+def load_aws_csv(
+    source: str | Path | TextIO,
+    *,
+    instance_type: str | None = None,
+    availability_zone: str | None = None,
+    horizon: float | None = None,
+    rebase_to_zero: bool = True,
+) -> PriceTrace:
+    """Load one market's trace from an AWS-format CSV.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    instance_type / availability_zone:
+        Optional filters; required if the file mixes several markets.
+    horizon:
+        Validity end; defaults to one hour past the last record.
+    rebase_to_zero:
+        Shift times so the first record is at t=0 (what the simulator
+        expects).
+
+    Raises
+    ------
+    TraceFormatError
+        On malformed rows, empty selections, or ambiguous (multi-market)
+        content when no filter is given.
+    """
+    fh, should_close = _open_for_read(source)
+    try:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            raise TraceFormatError("empty trace file")
+        header = [h.strip() for h in header]
+        if header != _HEADER:
+            raise TraceFormatError(f"unexpected header {header!r}; want {_HEADER!r}")
+        rows: list[tuple[float, str, str, float]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row or all(not c.strip() for c in row):
+                continue
+            if len(row) != 5:
+                raise TraceFormatError(f"line {lineno}: expected 5 fields, got {len(row)}")
+            ts, itype, _product, az, price_s = (c.strip() for c in row)
+            try:
+                price = float(price_s)
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: bad price {price_s!r}") from exc
+            rows.append((parse_aws_timestamp(ts), itype, az, price))
+    finally:
+        if should_close:
+            fh.close()
+
+    if instance_type is not None:
+        rows = [r for r in rows if r[1] == instance_type]
+    if availability_zone is not None:
+        rows = [r for r in rows if r[2] == availability_zone]
+    if not rows:
+        raise TraceFormatError("no records match the requested market")
+
+    markets = {(r[1], r[2]) for r in rows}
+    if len(markets) > 1:
+        raise TraceFormatError(
+            f"file contains {len(markets)} markets {sorted(markets)}; "
+            "pass instance_type/availability_zone filters"
+        )
+    (itype, az) = next(iter(markets))
+
+    rows.sort(key=lambda r: r[0])
+    times = np.array([r[0] for r in rows])
+    prices = np.array([r[3] for r in rows])
+    # AWS reports a record per change but occasionally repeats a timestamp;
+    # keep the last record of each timestamp.
+    keep = np.concatenate([np.diff(times) > 0, [True]])
+    times, prices = times[keep], prices[keep]
+
+    if rebase_to_zero:
+        times = times - times[0]
+    end = horizon if horizon is not None else float(times[-1] + 3600.0)
+    return PriceTrace(times, prices, end, market=itype, region=az)
+
+
+def save_aws_csv(
+    trace: PriceTrace,
+    dest: str | Path | TextIO,
+    *,
+    instance_type: str | None = None,
+    availability_zone: str | None = None,
+    product: str = "Linux/UNIX",
+    epoch_offset: float = 0.0,
+) -> None:
+    """Write a trace in the AWS CSV shape (inverse of :func:`load_aws_csv`)."""
+    itype = instance_type or trace.market or "unknown"
+    az = availability_zone or trace.region or "unknown"
+
+    def _write(fh: TextIO) -> None:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for t, p in zip(trace.times, trace.prices):
+            writer.writerow([format_aws_timestamp(t + epoch_offset), itype, product, az, f"{p:.6f}"])
+
+    if isinstance(dest, (str, Path)):
+        with open(dest, "w", newline="") as fh:
+            _write(fh)
+    else:
+        _write(dest)
+
+
+def roundtrip_equal(a: PriceTrace, b: PriceTrace, tol: float = 1e-9) -> bool:
+    """True when two traces have identical change points and prices."""
+    return (
+        len(a) == len(b)
+        and bool(np.allclose(a.times, b.times, atol=tol))
+        and bool(np.allclose(a.prices, b.prices, atol=tol))
+    )

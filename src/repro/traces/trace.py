@@ -1,0 +1,290 @@
+"""The :class:`PriceTrace` step-function data structure.
+
+A spot-price history is a right-open step function: the price set at
+``times[i]`` holds on ``[times[i], times[i+1])`` and the last price holds to
+``horizon``. All queries are NumPy-vectorised (``searchsorted`` under the
+hood) so month-long traces with thousands of change points stay cheap even
+when the scheduler interrogates them at every decision point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+
+__all__ = ["PriceTrace"]
+
+
+class PriceTrace:
+    """An immutable spot-price step function.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing change times in seconds; ``times[0]`` is the
+        trace start.
+    prices:
+        Price (USD/hour) in force from each change time; same length.
+    horizon:
+        End of the trace's validity (seconds); must be > ``times[-1]``.
+
+    Invariants (enforced at construction):
+
+    * ``len(times) == len(prices) >= 1``
+    * ``times`` strictly increasing, ``prices`` strictly positive and finite
+    * ``horizon > times[-1]``
+    """
+
+    __slots__ = ("times", "prices", "horizon", "market", "region")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        prices: Sequence[float] | np.ndarray,
+        horizon: float,
+        *,
+        market: str = "",
+        region: str = "",
+    ) -> None:
+        t = np.ascontiguousarray(times, dtype=np.float64)
+        p = np.ascontiguousarray(prices, dtype=np.float64)
+        if t.ndim != 1 or p.ndim != 1:
+            raise TraceFormatError("times and prices must be 1-D")
+        if t.shape != p.shape:
+            raise TraceFormatError(f"length mismatch: {t.shape[0]} times vs {p.shape[0]} prices")
+        if t.shape[0] == 0:
+            raise TraceFormatError("trace must contain at least one point")
+        if not np.all(np.isfinite(t)) or not np.all(np.isfinite(p)):
+            raise TraceFormatError("times/prices must be finite")
+        if np.any(np.diff(t) <= 0):
+            raise TraceFormatError("times must be strictly increasing")
+        if np.any(p <= 0):
+            raise TraceFormatError("prices must be strictly positive")
+        if horizon <= t[-1]:
+            raise TraceFormatError(f"horizon {horizon} must exceed last change time {t[-1]}")
+        t.setflags(write=False)
+        p.setflags(write=False)
+        self.times = t
+        self.prices = p
+        self.horizon = float(horizon)
+        self.market = market
+        self.region = region
+
+    # ------------------------------------------------------------- basic info
+    @property
+    def start(self) -> float:
+        """Trace start time in seconds."""
+        return float(self.times[0])
+
+    @property
+    def duration(self) -> float:
+        """Length of the trace's validity window in seconds."""
+        return self.horizon - self.start
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = f"{self.region}/{self.market}" if self.region or self.market else "trace"
+        return (
+            f"<PriceTrace {tag} n={len(self)} "
+            f"[{self.start:.0f},{self.horizon:.0f})s "
+            f"mean=${self.mean_price():.4f}/hr>"
+        )
+
+    # ----------------------------------------------------------------- lookup
+    def _index_at(self, t: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.times, t, side="right") - 1
+        return np.clip(idx, 0, len(self.times) - 1)
+
+    def price_at(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Price in force at time(s) ``t``.
+
+        Times before the trace start clamp to the first price; times at or
+        beyond the horizon clamp to the last price (callers normally stay in
+        range — the clamps make vector post-processing forgiving).
+        """
+        arr = np.asarray(t, dtype=np.float64)
+        out = self.prices[self._index_at(arr)]
+        if np.isscalar(t) or arr.ndim == 0:
+            return float(out)
+        return out
+
+    def next_change_after(self, t: float) -> float | None:
+        """First change time strictly after ``t``, or ``None`` if none before horizon."""
+        idx = int(np.searchsorted(self.times, t, side="right"))
+        if idx >= len(self.times):
+            return None
+        return float(self.times[idx])
+
+    # --------------------------------------------------------------- segments
+    def segments(self, t0: float | None = None, t1: float | None = None) -> Iterator[
+        tuple[float, float, float]
+    ]:
+        """Yield ``(seg_start, seg_end, price)`` covering ``[t0, t1)``.
+
+        Defaults to the full trace window. Segments are clipped to the
+        requested window.
+        """
+        lo = self.start if t0 is None else max(t0, self.start)
+        hi = self.horizon if t1 is None else min(t1, self.horizon)
+        if hi <= lo:
+            return
+        bounds = np.concatenate([self.times, [self.horizon]])
+        i = int(np.clip(np.searchsorted(self.times, lo, side="right") - 1, 0, len(self.times) - 1))
+        while i < len(self.times) and bounds[i] < hi:
+            seg_lo = max(float(bounds[i]), lo)
+            seg_hi = min(float(bounds[i + 1]), hi)
+            if seg_hi > seg_lo:
+                yield (seg_lo, seg_hi, float(self.prices[i]))
+            i += 1
+
+    # -------------------------------------------------------------- aggregates
+    def _segment_durations(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised (durations, prices) of segments clipped to [t0, t1)."""
+        bounds = np.concatenate([self.times, [self.horizon]])
+        lo = np.clip(bounds[:-1], t0, t1)
+        hi = np.clip(bounds[1:], t0, t1)
+        dur = hi - lo
+        mask = dur > 0
+        return dur[mask], self.prices[mask]
+
+    def mean_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted mean price over ``[t0, t1)`` (default: whole trace)."""
+        a = self.start if t0 is None else t0
+        b = self.horizon if t1 is None else t1
+        dur, prices = self._segment_durations(a, b)
+        total = dur.sum()
+        if total <= 0:
+            raise TraceFormatError(f"empty window [{a}, {b})")
+        return float(np.dot(dur, prices) / total)
+
+    def price_std(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted standard deviation of the price over the window."""
+        a = self.start if t0 is None else t0
+        b = self.horizon if t1 is None else t1
+        dur, prices = self._segment_durations(a, b)
+        total = dur.sum()
+        if total <= 0:
+            raise TraceFormatError(f"empty window [{a}, {b})")
+        mean = np.dot(dur, prices) / total
+        var = np.dot(dur, (prices - mean) ** 2) / total
+        return float(np.sqrt(max(var, 0.0)))
+
+    def time_above(self, threshold: float, t0: float | None = None, t1: float | None = None) -> float:
+        """Total seconds in the window during which price > ``threshold``."""
+        a = self.start if t0 is None else t0
+        b = self.horizon if t1 is None else t1
+        dur, prices = self._segment_durations(a, b)
+        return float(dur[prices > threshold].sum())
+
+    def max_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Maximum price attained in the window."""
+        a = self.start if t0 is None else t0
+        b = self.horizon if t1 is None else t1
+        dur, prices = self._segment_durations(a, b)
+        if prices.size == 0:
+            raise TraceFormatError(f"empty window [{a}, {b})")
+        return float(prices.max())
+
+    def min_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Minimum price attained in the window."""
+        a = self.start if t0 is None else t0
+        b = self.horizon if t1 is None else t1
+        dur, prices = self._segment_durations(a, b)
+        if prices.size == 0:
+            raise TraceFormatError(f"empty window [{a}, {b})")
+        return float(prices.min())
+
+    # -------------------------------------------------------------- crossings
+    def crossings_above(self, threshold: float) -> np.ndarray:
+        """Change times at which price transitions from <= threshold to > it.
+
+        If the trace *starts* above the threshold, the start time is included
+        as a crossing.
+        """
+        above = self.prices > threshold
+        rising = np.flatnonzero(above[1:] & ~above[:-1]) + 1
+        out = self.times[rising]
+        if above[0]:
+            out = np.concatenate([[self.times[0]], out])
+        return out
+
+    def crossings_below(self, threshold: float) -> np.ndarray:
+        """Change times at which price transitions from > threshold to <= it."""
+        above = self.prices > threshold
+        falling = np.flatnonzero(~above[1:] & above[:-1]) + 1
+        return self.times[falling]
+
+    def first_time_above(self, threshold: float, from_t: float) -> float | None:
+        """Earliest time >= ``from_t`` with price > ``threshold``, or ``None``.
+
+        If the price is already above the threshold at ``from_t`` the answer
+        is ``from_t`` itself.
+        """
+        if from_t >= self.horizon:
+            return None
+        if float(self.price_at(from_t)) > threshold:
+            return max(from_t, self.start)
+        cross = self.crossings_above(threshold)
+        later = cross[cross > from_t]
+        if later.size == 0:
+            return None
+        return float(later[0])
+
+    def first_time_at_or_below(self, threshold: float, from_t: float) -> float | None:
+        """Earliest time >= ``from_t`` with price <= ``threshold``, or ``None``."""
+        if from_t >= self.horizon:
+            return None
+        if float(self.price_at(from_t)) <= threshold:
+            return max(from_t, self.start)
+        cross = self.crossings_below(threshold)
+        later = cross[cross > from_t]
+        if later.size == 0:
+            return None
+        return float(later[0])
+
+    # -------------------------------------------------------------- transforms
+    def resample(self, grid: np.ndarray) -> np.ndarray:
+        """Sample the step function on an arbitrary time grid (vectorised)."""
+        return np.asarray(self.price_at(np.asarray(grid, dtype=np.float64)))
+
+    def regular_grid(self, step_seconds: float) -> tuple[np.ndarray, np.ndarray]:
+        """Resample on a regular grid of ``step_seconds``; returns (grid, prices)."""
+        if step_seconds <= 0:
+            raise TraceFormatError("step must be positive")
+        grid = np.arange(self.start, self.horizon, step_seconds)
+        return grid, self.resample(grid)
+
+    def slice(self, t0: float, t1: float) -> "PriceTrace":
+        """A sub-trace covering ``[t0, t1)`` with the same prices."""
+        if not (self.start <= t0 < t1 <= self.horizon):
+            raise TraceFormatError(
+                f"slice [{t0}, {t1}) outside trace [{self.start}, {self.horizon})"
+            )
+        seg = list(self.segments(t0, t1))
+        times = np.array([s[0] for s in seg])
+        prices = np.array([s[2] for s in seg])
+        return PriceTrace(times, prices, t1, market=self.market, region=self.region)
+
+    def shift(self, dt: float) -> "PriceTrace":
+        """The same trace translated by ``dt`` seconds."""
+        return PriceTrace(
+            self.times + dt, self.prices, self.horizon + dt, market=self.market, region=self.region
+        )
+
+    def scale_prices(self, factor: float) -> "PriceTrace":
+        """The same trace with every price multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise TraceFormatError("scale factor must be positive")
+        return PriceTrace(
+            self.times, self.prices * factor, self.horizon, market=self.market, region=self.region
+        )
+
+    @staticmethod
+    def constant(price: float, start: float, horizon: float, **kw: str) -> "PriceTrace":
+        """A trace with a single constant price (handy in tests and baselines)."""
+        return PriceTrace(np.array([start]), np.array([price]), horizon, **kw)

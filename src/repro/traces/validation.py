@@ -1,0 +1,158 @@
+"""Validating price traces against the calibrated statistical structure.
+
+Whether a trace was synthesised or loaded from an AWS archive, the
+scheduler's results only transfer if the trace has the structure the
+calibration encodes — calm level far below on-demand, an excursion process
+of roughly the expected intensity, sharp spikes that actually cross the
+bid cap. :func:`validate_trace` checks one trace against one
+:class:`~repro.traces.calibration.MarketCalibration` and returns a
+structured report of per-property checks with observed vs expected values.
+
+Tolerances are deliberately loose (a single month of one market is a small
+sample of a bursty process): the point is to catch *category* errors — a
+trace in the wrong units, a mislabeled market, a calm level above
+on-demand — not to re-estimate parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.traces.calibration import MarketCalibration
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = ["ValidationCheck", "ValidationReport", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """One property check."""
+
+    name: str
+    observed: float
+    expected_lo: float
+    expected_hi: float
+
+    @property
+    def ok(self) -> bool:
+        return self.expected_lo <= self.observed <= self.expected_hi
+
+    def describe(self) -> str:
+        flag = "ok " if self.ok else "FAIL"
+        return (
+            f"[{flag}] {self.name}: observed {self.observed:.4g} "
+            f"(expected {self.expected_lo:.4g} .. {self.expected_hi:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All checks for one trace/calibration pair."""
+
+    market: str
+    checks: tuple
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> List[ValidationCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def describe(self) -> str:
+        head = f"validation of {self.market}: {'PASS' if self.ok else 'FAIL'}"
+        return "\n".join([head] + ["  " + c.describe() for c in self.checks])
+
+
+def validate_trace(
+    trace: PriceTrace,
+    cal: MarketCalibration,
+    *,
+    level_tolerance: float = 2.0,
+    rate_tolerance: float = 3.0,
+) -> ValidationReport:
+    """Check a trace against a calibration's statistical promises.
+
+    ``level_tolerance`` multiplies the allowed band around price levels;
+    ``rate_tolerance`` multiplies the band around event rates (rates are
+    noisier on monthly samples).
+    """
+    od = cal.on_demand
+    hours = trace.duration / SECONDS_PER_HOUR
+    checks: List[ValidationCheck] = []
+
+    calm_expected = cal.calm_base_frac * od
+    checks.append(
+        ValidationCheck(
+            "calm price level ($/hr)",
+            trace.mean_price(),
+            calm_expected / level_tolerance,
+            calm_expected * level_tolerance,
+        )
+    )
+    checks.append(
+        ValidationCheck(
+            "minimum price above floor ($/hr)",
+            trace.min_price(),
+            cal.price_floor_frac * od * 0.99,
+            od,  # a trace that never goes below on-demand is suspect
+        )
+    )
+    # Rate lower bounds must respect Poisson sampling noise: when the
+    # window only holds a handful of expected events, observing few (or
+    # none) is unremarkable, so the lower bound opens to zero.
+    def _rate_lo(rate_expected: float) -> float:
+        if rate_expected * hours < 10.0:
+            return 0.0
+        return rate_expected / rate_tolerance
+
+    frac_expected = cal.expected_time_above_od_fraction()
+    # The above-od *fraction* is dominated by a few heavy-tailed excursion
+    # durations, so its lower bound needs an even larger event count than
+    # the rate checks before it means anything.
+    frac_lo = (
+        frac_expected / (2.0 * rate_tolerance)
+        if cal.expected_excursion_rate() * hours >= 20.0
+        else 0.0
+    )
+    checks.append(
+        ValidationCheck(
+            "fraction of time above on-demand",
+            trace.time_above(od) / trace.duration,
+            frac_lo,
+            frac_expected * rate_tolerance if frac_expected > 0 else 1e-3,
+        )
+    )
+    excursion_rate = len(trace.crossings_above(od)) / hours
+    rate_expected = cal.expected_excursion_rate()
+    checks.append(
+        ValidationCheck(
+            "excursions above on-demand (per hour)",
+            excursion_rate,
+            _rate_lo(rate_expected),
+            rate_expected * rate_tolerance if rate_expected > 0 else 1e-3,
+        )
+    )
+    sharp_rate = len(trace.crossings_above(4.0 * od)) / hours
+    sharp_expected = cal.sharp_spikes.rate_per_hour
+    checks.append(
+        ValidationCheck(
+            "sharp spikes past the bid cap (per hour)",
+            sharp_rate,
+            0.0,
+            max(sharp_expected * rate_tolerance * 2.0, 3.0 / hours),
+        )
+    )
+    checks.append(
+        ValidationCheck(
+            "re-pricing rate (changes per hour)",
+            len(trace) / hours,
+            cal.calm_change_rate_per_hour / level_tolerance,
+            # excursions add their own steps on top of calm re-pricing
+            cal.calm_change_rate_per_hour * level_tolerance + 2.0,
+        )
+    )
+    label = f"{trace.region or cal.region}/{trace.market or cal.size}"
+    return ValidationReport(market=label, checks=tuple(checks))

@@ -1,0 +1,107 @@
+"""Unit helpers and conversions used throughout the library.
+
+The simulation clock is in **seconds**; prices are **USD per hour**; memory
+sizes are **GiB**; bandwidths are **megabits per second** unless a function
+name says otherwise. These helpers keep the arithmetic readable and give the
+tests a single place to check conversion constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "HOURS_PER_DAY",
+    "BITS_PER_BYTE",
+    "MEGA",
+    "GIBI",
+    "minutes",
+    "hours",
+    "days",
+    "to_hours",
+    "to_days",
+    "gib_to_megabits",
+    "transfer_seconds",
+    "percent",
+    "basis_points",
+    "fmt_duration",
+    "fmt_usd",
+]
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+HOURS_PER_DAY = 24.0
+BITS_PER_BYTE = 8
+MEGA = 1_000_000
+GIBI = 1024**3
+
+
+def minutes(m: float) -> float:
+    """Convert minutes to seconds."""
+    return m * SECONDS_PER_MINUTE
+
+
+def hours(h: float) -> float:
+    """Convert hours to seconds."""
+    return h * SECONDS_PER_HOUR
+
+
+def days(d: float) -> float:
+    """Convert days to seconds."""
+    return d * SECONDS_PER_DAY
+
+
+def to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def to_days(seconds: float) -> float:
+    """Convert seconds to days."""
+    return seconds / SECONDS_PER_DAY
+
+
+def gib_to_megabits(gib: float) -> float:
+    """Convert a size in GiB to megabits (for bandwidth arithmetic)."""
+    return gib * GIBI * BITS_PER_BYTE / MEGA
+
+
+def transfer_seconds(size_gib: float, bandwidth_mbps: float) -> float:
+    """Time to move ``size_gib`` GiB over a ``bandwidth_mbps`` Mbit/s link."""
+    if bandwidth_mbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+    if size_gib < 0:
+        raise ValueError(f"size must be non-negative, got {size_gib}")
+    return gib_to_megabits(size_gib) / bandwidth_mbps
+
+
+def percent(fraction: float) -> float:
+    """Express a fraction as a percentage."""
+    return fraction * 100.0
+
+
+def basis_points(fraction: float) -> float:
+    """Express a fraction in basis points (1 bp = 0.01 %)."""
+    return fraction * 10_000.0
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < SECONDS_PER_MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < SECONDS_PER_HOUR:
+        return f"{seconds / SECONDS_PER_MINUTE:.1f}m"
+    if seconds < SECONDS_PER_DAY:
+        return f"{seconds / SECONDS_PER_HOUR:.2f}h"
+    return f"{seconds / SECONDS_PER_DAY:.2f}d"
+
+
+def fmt_usd(amount: float) -> str:
+    """Render a dollar amount with sensible precision."""
+    if abs(amount) >= 100:
+        return f"${amount:,.2f}"
+    return f"${amount:.4f}"

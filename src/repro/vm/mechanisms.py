@@ -1,0 +1,276 @@
+"""Migration-mechanism combinations and their downtime arithmetic.
+
+Figure 7 of the paper compares four combinations, which this module models:
+
+=================  =======================================  =====================
+Mechanism          Planned / reverse migrations use          Forced migrations use
+=================  =======================================  =====================
+``CKPT``           pre-staged checkpoint, eager restore      checkpoint + eager restore
+``CKPT_LR``        pre-staged checkpoint, lazy restore       checkpoint + lazy restore
+``CKPT_LIVE``      live migration                            checkpoint + eager restore
+``CKPT_LR_LIVE``   live migration                            checkpoint + lazy restore
+=================  =======================================  =====================
+
+Forced migrations always fall back to bounded checkpointing because live
+migration of a large memory cannot be trusted to finish inside the 120 s
+revocation grace window (Section 3.2). In a *planned* migration the target
+server is already up and the checkpoint image is **pre-staged**: the full
+image is written and read while the source keeps serving, so the blackout
+covers only the final increment plus the un-staged fraction of the restore.
+
+Two parameter sets reproduce the paper's "typical" and "pessimistic"
+columns: pessimistic assumes a 10 s live-migration outage and a 120 s lazy
+restore (Section 4.3), plus no overlap between the grace window and the
+replacement server's startup.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cloud.regions import RegionLink
+from repro.errors import MigrationError
+from repro.vm.checkpoint import BoundedCheckpointer
+from repro.vm.live_migration import LiveMigrationModel
+from repro.vm.memory import MemoryProfile
+from repro.vm.restore import EagerRestore, LazyRestore
+
+__all__ = [
+    "Mechanism",
+    "MechanismParams",
+    "TYPICAL_PARAMS",
+    "PESSIMISTIC_PARAMS",
+    "MigrationTiming",
+    "MigrationModel",
+]
+
+
+class Mechanism(enum.Enum):
+    """The four migration-mechanism combinations of Figure 7."""
+
+    CKPT = "ckpt"
+    CKPT_LR = "ckpt+lr"
+    CKPT_LIVE = "ckpt+live"
+    CKPT_LR_LIVE = "ckpt+lr+live"
+
+    @property
+    def uses_live(self) -> bool:
+        """Planned/reverse migrations go through live migration."""
+        return self in (Mechanism.CKPT_LIVE, Mechanism.CKPT_LR_LIVE)
+
+    @property
+    def uses_lazy_restore(self) -> bool:
+        """Checkpoint restores resume lazily."""
+        return self in (Mechanism.CKPT_LR, Mechanism.CKPT_LR_LIVE)
+
+    @property
+    def label(self) -> str:
+        return {
+            Mechanism.CKPT: "CKPT",
+            Mechanism.CKPT_LR: "CKPT LR",
+            Mechanism.CKPT_LIVE: "CKPT + Live",
+            Mechanism.CKPT_LR_LIVE: "CKPT LR + Live",
+        }[self]
+
+
+@dataclass(frozen=True)
+class MechanismParams:
+    """Calibrated constants shared by all mechanism combinations.
+
+    ``prestage_miss_frac`` is the fraction of the checkpoint image not yet
+    staged on the target when a planned migration suspends (pages dirtied
+    after their last background flush); it multiplies the eager-restore
+    blackout of planned migrations. ``lazy_prestage_frac`` plays the same
+    role for the lazy critical set. ``overlap_startup`` controls whether
+    the replacement server's allocation overlaps the grace window during a
+    forced migration (it does — the warning is the request trigger — except
+    in the pessimistic scenario).
+    """
+
+    live: LiveMigrationModel = field(default_factory=LiveMigrationModel)
+    eager: EagerRestore = field(default_factory=EagerRestore)
+    lazy: LazyRestore = field(default_factory=LazyRestore)
+    ckpt_write_bandwidth_mbps: float = 300.0
+    tau_s: float = 10.0
+    suspend_overhead_s: float = 1.0
+    prestage_miss_frac: float = 0.07
+    lazy_prestage_frac: float = 0.05
+    overlap_startup: bool = True
+
+    def checkpointer(self, memory: MemoryProfile) -> BoundedCheckpointer:
+        """The Yank checkpointer for a VM under these parameters."""
+        return BoundedCheckpointer(
+            memory=memory,
+            write_bandwidth_mbps=self.ckpt_write_bandwidth_mbps,
+            tau_s=self.tau_s,
+            suspend_overhead_s=self.suspend_overhead_s,
+        )
+
+    def with_overrides(self, **kw) -> "MechanismParams":
+        """A copy with some fields replaced (ablation helper)."""
+        return replace(self, **kw)
+
+
+#: The paper's measured/assumed values: ~0.35 s live blackout for a small
+#: nested VM, 20 s lazy restore, 28 s/GB sequential checkpoint writes.
+TYPICAL_PARAMS = MechanismParams()
+
+#: Section 4.3's pessimistic column: 10 s live-migration outage, 120 s lazy
+#: restore, restore bandwidth degraded, no grace/startup overlap, weaker
+#: pre-staging.
+PESSIMISTIC_PARAMS = MechanismParams(
+    live=LiveMigrationModel(activation_s=10.0),
+    eager=EagerRestore(read_bandwidth_mbps=15.0),
+    lazy=LazyRestore(resume_latency_s=120.0, prefetch_bandwidth_mbps=40.0),
+    prestage_miss_frac=0.20,
+    lazy_prestage_frac=0.10,
+    overlap_startup=False,
+)
+
+
+@dataclass(frozen=True)
+class MigrationTiming:
+    """Timing of one migration, relative to its initiation instant.
+
+    ``prep_s`` is work done while the service still runs on the source
+    (pre-copy rounds, checkpoint pre-staging, WAN disk copy). The service
+    then stops for ``downtime_s`` and may run degraded (lazy-restore page
+    faults) for ``degraded_s`` after resuming.
+    """
+
+    prep_s: float
+    downtime_s: float
+    degraded_s: float
+    description: str
+
+    @property
+    def total_s(self) -> float:
+        return self.prep_s + self.downtime_s
+
+    def __post_init__(self) -> None:
+        if self.prep_s < 0 or self.downtime_s < 0 or self.degraded_s < 0:
+            raise MigrationError(f"negative timing component in {self!r}")
+
+
+class MigrationModel:
+    """Computes planned/forced/reverse migration timings for one mechanism."""
+
+    def __init__(self, mechanism: Mechanism, params: MechanismParams = TYPICAL_PARAMS) -> None:
+        self.mechanism = mechanism
+        self.params = params
+
+    # ------------------------------------------------------------- internals
+    def _restore_blackout(self, memory: MemoryProfile, link: RegionLink) -> tuple[float, float]:
+        """(blackout_s, degraded_s) of a full checkpoint restore over ``link``."""
+        p = self.params
+        if self.mechanism.uses_lazy_restore:
+            lazy = p.lazy
+            if not link.intra:
+                lazy = LazyRestore(
+                    resume_latency_s=lazy.resume_latency_s,
+                    critical_set_frac=lazy.critical_set_frac,
+                    prefetch_bandwidth_mbps=min(
+                        lazy.prefetch_bandwidth_mbps, link.memory_bandwidth_mbps
+                    ),
+                )
+            r = lazy.restore(memory)
+        else:
+            eager = p.eager
+            if not link.intra:
+                eager = EagerRestore(
+                    read_bandwidth_mbps=min(eager.read_bandwidth_mbps, link.memory_bandwidth_mbps)
+                )
+            r = eager.restore(memory)
+        return r.downtime_s, r.degraded_s
+
+    def _final_increment_s(
+        self, memory: MemoryProfile, rng: np.random.Generator | None, planned: bool
+    ) -> float:
+        ckpt = self.params.checkpointer(memory)
+        if planned:
+            # Suspend is scheduled right after a background flush, so the
+            # final increment is a fraction of the allowed backlog.
+            cap = min(ckpt.max_backlog_megabits, memory.working_set_megabits)
+            frac = 0.2 if rng is None else float(rng.uniform(0.1, 0.3))
+            return frac * cap / ckpt.write_bandwidth_mbps + ckpt.suspend_overhead_s
+        return ckpt.final_increment(rng).suspend_write_s
+
+    # ----------------------------------------------------------------- public
+    def planned(
+        self,
+        memory: MemoryProfile,
+        link: RegionLink,
+        rng: np.random.Generator | None = None,
+        extra_prep_s: float = 0.0,
+    ) -> MigrationTiming:
+        """A voluntary migration (planned spot->on-demand, spot->spot, or
+        reverse on-demand->spot). ``extra_prep_s`` folds in WAN disk copy."""
+        if self.mechanism.uses_live:
+            lm = self.params.live.migrate(memory, link)
+            return MigrationTiming(
+                prep_s=lm.total_time_s - lm.downtime_s + extra_prep_s,
+                downtime_s=lm.downtime_s,
+                degraded_s=0.0,
+                description=f"live migration, {lm.rounds} pre-copy rounds",
+            )
+        p = self.params
+        ckpt = p.checkpointer(memory)
+        inc = self._final_increment_s(memory, rng, planned=True)
+        blackout, degraded = self._restore_blackout(memory, link)
+        miss = p.lazy_prestage_frac if self.mechanism.uses_lazy_restore else p.prestage_miss_frac
+        return MigrationTiming(
+            prep_s=ckpt.full_image_write_s() + extra_prep_s,
+            downtime_s=inc + miss * blackout,
+            degraded_s=degraded * miss,
+            description="pre-staged checkpoint migration",
+        )
+
+    def forced(
+        self,
+        memory: MemoryProfile,
+        link: RegionLink,
+        grace_s: float,
+        target_ready_after_s: float,
+        rng: np.random.Generator | None = None,
+    ) -> MigrationTiming:
+        """A forced migration triggered by a revocation warning.
+
+        ``target_ready_after_s`` is the replacement server's readiness,
+        measured from the warning instant (its request is issued at the
+        warning). Forced migrations always use checkpoint + restore: the
+        final increment is flushed inside the grace window (Yank's bound
+        guarantees it fits), the source is terminated, and the VM restores
+        on the target as soon as both the state and the server exist.
+        """
+        if grace_s < 0 or target_ready_after_s < 0:
+            raise MigrationError("grace and target readiness must be >= 0")
+        inc = self._final_increment_s(memory, rng, planned=False)
+        inc = min(inc, grace_s)  # Yank sizes the increment to fit the window
+        suspend_at = max(0.0, grace_s - inc)
+        state_ready = suspend_at + inc
+        if self.params.overlap_startup:
+            restore_start = max(state_ready, target_ready_after_s)
+        else:
+            restore_start = state_ready + target_ready_after_s
+        blackout, degraded = self._restore_blackout(memory, link)
+        resume_at = restore_start + blackout
+        return MigrationTiming(
+            prep_s=suspend_at,
+            downtime_s=resume_at - suspend_at,
+            degraded_s=degraded,
+            description="forced checkpoint migration within grace window",
+        )
+
+    def reverse(
+        self,
+        memory: MemoryProfile,
+        link: RegionLink,
+        rng: np.random.Generator | None = None,
+        extra_prep_s: float = 0.0,
+    ) -> MigrationTiming:
+        """A reverse migration (on-demand back to spot): fully voluntary,
+        identical mechanics to a planned migration."""
+        return self.planned(memory, link, rng, extra_prep_s)

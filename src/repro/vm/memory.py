@@ -1,0 +1,75 @@
+"""Memory-state model of a virtual machine.
+
+Both live migration and incremental checkpointing are governed by how fast
+the guest dirties memory relative to how fast state can be shipped. The
+standard model (Clark et al. [7]): the guest dirties pages at
+``dirty_rate_mbps`` but only within a bounded ``writable_working_set``
+fraction of RAM — re-dirtying the same page adds no new data — so iterative
+transfer converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MigrationError
+from repro.units import gib_to_megabits
+
+__all__ = ["MemoryProfile"]
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory behaviour of one (nested) VM.
+
+    Attributes
+    ----------
+    size_gib:
+        Total RAM of the VM.
+    dirty_rate_mbps:
+        Rate at which the workload dirties pages (megabits/second of new
+        dirty data while below the working-set cap). An interactive web
+        stack dirties a few hundred Mbit/s under load.
+    working_set_frac:
+        Fraction of RAM in the writable working set; the dirty backlog can
+        never exceed this.
+    """
+
+    size_gib: float
+    dirty_rate_mbps: float = 100.0
+    working_set_frac: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.size_gib <= 0:
+            raise MigrationError(f"memory size must be positive, got {self.size_gib}")
+        if self.dirty_rate_mbps < 0:
+            raise MigrationError("dirty rate must be >= 0")
+        if not 0 < self.working_set_frac <= 1:
+            raise MigrationError("working-set fraction must be in (0, 1]")
+
+    @property
+    def size_megabits(self) -> float:
+        """Total RAM in megabits."""
+        return gib_to_megabits(self.size_gib)
+
+    @property
+    def working_set_megabits(self) -> float:
+        """Writable working set in megabits (dirty-backlog cap)."""
+        return self.size_megabits * self.working_set_frac
+
+    def dirtied_during(self, seconds: float) -> float:
+        """Megabits of *new* dirty data accumulated over ``seconds``.
+
+        Saturates at the writable working set.
+        """
+        if seconds < 0:
+            raise MigrationError("duration must be >= 0")
+        return min(self.dirty_rate_mbps * seconds, self.working_set_megabits)
+
+    def scaled(self, size_gib: float) -> "MemoryProfile":
+        """Same behaviour on a different RAM size."""
+        return MemoryProfile(
+            size_gib=size_gib,
+            dirty_rate_mbps=self.dirty_rate_mbps,
+            working_set_frac=self.working_set_frac,
+        )

@@ -1,0 +1,100 @@
+"""Remus-style continuous VM replication (Cully et al., NSDI'08 — ref [9]).
+
+Remus runs a **hot standby** of the VM on a second server: execution is
+checkpointed every epoch (tens of milliseconds) and shipped to the standby,
+whose memory stays one epoch behind; outbound network output is buffered
+until the epoch that produced it is replicated. When the primary dies the
+standby resumes from the last epoch — downtime is failure detection plus
+one epoch replay plus promotion, a couple of seconds, *independent of
+memory size* and of any storage restore.
+
+The costs: a second server running at all times, sustained replication
+bandwidth equal to the dirty rate, and an output-commit latency penalty
+while running. The paper's scheduler deliberately avoids this standing
+cost; :mod:`repro.core.replication` explores the trade as an extension —
+keeping the standby on a *different spot market* makes the standing cost
+a second spot price rather than a second on-demand price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.regions import RegionLink
+from repro.errors import MigrationError
+from repro.units import transfer_seconds
+from repro.vm.memory import MemoryProfile
+
+__all__ = ["RemusReplication", "FailoverTiming"]
+
+
+@dataclass(frozen=True)
+class FailoverTiming:
+    """Timing of one failover to the hot standby."""
+
+    downtime_s: float  #: detection + last-epoch replay + promotion
+    degraded_s: float  #: none — the standby is already warm
+
+
+@dataclass(frozen=True)
+class RemusReplication:
+    """Replication-channel model for one protected VM.
+
+    Attributes
+    ----------
+    epoch_ms:
+        Checkpoint epoch length (Remus runs at 25-40 epochs/second).
+    detection_s:
+        Failure-detection timeout before the standby promotes itself.
+    promote_s:
+        Standby promotion: un-buffer output, gratuitous ARP, resume.
+    output_latency_penalty_ms:
+        Added client-visible latency from output commit buffering (one
+        epoch on average) — reported, not charged as downtime.
+    """
+
+    epoch_ms: float = 40.0
+    detection_s: float = 1.0
+    promote_s: float = 0.5
+    output_latency_penalty_ms: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_ms <= 0:
+            raise MigrationError("epoch must be positive")
+        if self.detection_s < 0 or self.promote_s < 0:
+            raise MigrationError("detection/promotion must be >= 0")
+
+    def replication_bandwidth_mbps(self, memory: MemoryProfile) -> float:
+        """Sustained replication bandwidth: every dirtied byte ships."""
+        return memory.dirty_rate_mbps
+
+    def supports(self, memory: MemoryProfile, link: RegionLink) -> bool:
+        """Can the link sustain replication for this VM?
+
+        Remus needs headroom above the dirty rate or epochs back up.
+        """
+        return link.memory_bandwidth_mbps > 1.5 * self.replication_bandwidth_mbps(memory)
+
+    def initial_sync_s(self, memory: MemoryProfile, link: RegionLink) -> float:
+        """Time to bring a *new* standby in sync (full memory copy while
+        the primary keeps running), after which protection is active."""
+        if not self.supports(memory, link):
+            raise MigrationError(
+                "link cannot sustain Remus replication for this dirty rate"
+            )
+        spare = link.memory_bandwidth_mbps - self.replication_bandwidth_mbps(memory)
+        return transfer_seconds(memory.size_gib, spare)
+
+    def failover(self) -> FailoverTiming:
+        """Unplanned failover (primary revoked/terminated)."""
+        return FailoverTiming(
+            downtime_s=self.detection_s + self.epoch_ms / 1000.0 + self.promote_s,
+            degraded_s=0.0,
+        )
+
+    def planned_failover(self) -> FailoverTiming:
+        """Planned promotion (no detection timeout: the scheduler initiates)."""
+        return FailoverTiming(
+            downtime_s=self.epoch_ms / 1000.0 + self.promote_s,
+            degraded_s=0.0,
+        )

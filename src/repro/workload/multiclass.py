@@ -1,0 +1,170 @@
+"""Exact multi-class Mean Value Analysis.
+
+TPC-W's "ordering" mix actually drives two customer classes — 50 % of
+browsers only browse (light CPU, image-heavy I/O) and 50 % execute order
+transactions (heavier CPU and disk for payment/inventory writes). The
+single-class model in :mod:`repro.workload.tpcw` blends them; this module
+solves the classes exactly, so per-class response times (what a latency
+SLO is written against) are available.
+
+The exact multi-class MVA recursion (Reiser & Lavenberg) runs over the
+lattice of population vectors ``(n_1, ..., n_C)``:
+
+    R_{c,k}(N)  = D_{c,k} * (1 + Q_k(N - e_c))      (queueing station)
+    X_c(N)      = n_c / (Z_c + sum_k R_{c,k}(N))
+    Q_k(N)      = sum_c X_c(N) * R_{c,k}(N)
+
+Complexity is O(prod_c (n_c + 1) * C * K) — exact and fine for TPC-W-size
+populations (hundreds per class).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["CustomerClass", "MultiClassNetwork", "MultiClassSolution", "multiclass_mva"]
+
+
+@dataclass(frozen=True)
+class CustomerClass:
+    """One closed customer class.
+
+    ``demands_s`` maps station index -> service demand per interaction.
+    """
+
+    name: str
+    population: int
+    think_time_s: float
+    demands_s: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise WorkloadError(f"negative population for class {self.name}")
+        if self.think_time_s < 0:
+            raise WorkloadError(f"negative think time for class {self.name}")
+        if any(d < 0 for d in self.demands_s):
+            raise WorkloadError(f"negative demand in class {self.name}")
+
+
+@dataclass(frozen=True)
+class MultiClassNetwork:
+    """Stations (by name) plus the customer classes that visit them."""
+
+    station_names: Tuple[str, ...]
+    classes: Tuple[CustomerClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.station_names:
+            raise WorkloadError("need at least one station")
+        if not self.classes:
+            raise WorkloadError("need at least one class")
+        k = len(self.station_names)
+        for c in self.classes:
+            if len(c.demands_s) != k:
+                raise WorkloadError(
+                    f"class {c.name} has {len(c.demands_s)} demands; "
+                    f"network has {k} stations"
+                )
+
+
+@dataclass(frozen=True)
+class MultiClassSolution:
+    """Exact solution at the full population vector."""
+
+    throughput_per_s: Tuple[float, ...]  #: per class
+    response_time_s: Tuple[float, ...]  #: per class, excluding think time
+    station_queues: Tuple[float, ...]  #: total mean queue per station
+
+    def class_response_ms(self, idx: int) -> float:
+        return self.response_time_s[idx] * 1000.0
+
+
+def multiclass_mva(network: MultiClassNetwork) -> MultiClassSolution:
+    """Exact multi-class MVA at the network's full population vector."""
+    classes = network.classes
+    k = len(network.station_names)
+    c_n = len(classes)
+    demands = np.array([c.demands_s for c in classes])  # (C, K)
+    pops = tuple(c.population for c in classes)
+    thinks = np.array([c.think_time_s for c in classes])
+
+    # queue lengths indexed by population vector
+    queues: Dict[Tuple[int, ...], np.ndarray] = {
+        tuple([0] * c_n): np.zeros(k)
+    }
+    x_final = np.zeros(c_n)
+    r_final = np.zeros(c_n)
+
+    # iterate the lattice in non-decreasing total-population order
+    ranges = [range(p + 1) for p in pops]
+    lattice = sorted(itertools.product(*ranges), key=sum)
+    for n_vec in lattice:
+        if sum(n_vec) == 0:
+            continue
+        r = np.zeros((c_n, k))
+        for c in range(c_n):
+            if n_vec[c] == 0:
+                continue
+            prev = list(n_vec)
+            prev[c] -= 1
+            q_prev = queues[tuple(prev)]
+            r[c] = demands[c] * (1.0 + q_prev)
+        x = np.zeros(c_n)
+        for c in range(c_n):
+            if n_vec[c] == 0:
+                continue
+            cycle = thinks[c] + r[c].sum()
+            x[c] = n_vec[c] / cycle if cycle > 0 else 0.0
+        queues[n_vec] = (x[:, None] * r).sum(axis=0)
+        if n_vec == pops:
+            x_final = x
+            r_final = r.sum(axis=1)
+
+    return MultiClassSolution(
+        throughput_per_s=tuple(float(v) for v in x_final),
+        response_time_s=tuple(float(v) for v in r_final),
+        station_queues=tuple(float(v) for v in queues[pops]),
+    )
+
+
+def tpcw_two_class_network(
+    total_ebs: int,
+    browse_fraction: float = 0.5,
+    fetch_images: bool = True,
+    nested_cpu_mult: float = 1.0,
+) -> MultiClassNetwork:
+    """The TPC-W ordering mix as two explicit classes.
+
+    Browsers are network/image heavy; orderers add CPU (business logic)
+    and disk (transactional writes). ``nested_cpu_mult`` inflates CPU
+    demands for a nested deployment.
+    """
+    if not 0 <= browse_fraction <= 1:
+        raise WorkloadError("browse fraction must be in [0, 1]")
+    if total_ebs < 2:
+        raise WorkloadError("need at least two emulated browsers")
+    n_browse = int(round(total_ebs * browse_fraction))
+    n_order = total_ebs - n_browse
+    net_b = 0.085 if fetch_images else 0.012
+    net_o = 0.045 if fetch_images else 0.008
+    browse = CustomerClass(
+        name="browsing",
+        population=n_browse,
+        think_time_s=7.0,
+        demands_s=(0.022 * nested_cpu_mult, 0.008, net_b),
+    )
+    order = CustomerClass(
+        name="ordering",
+        population=n_order,
+        think_time_s=7.0,
+        demands_s=(0.042 * nested_cpu_mult, 0.016, net_o),
+    )
+    return MultiClassNetwork(
+        station_names=("cpu", "disk", "net"), classes=(browse, order)
+    )

@@ -1,0 +1,145 @@
+"""Exact Mean Value Analysis (MVA) for closed product-form networks.
+
+The TPC-W benchmark drives a fixed population of N emulated browsers, each
+cycling: think for Z seconds, submit a request, wait for the response. That
+is the canonical *closed* queueing network, solved exactly by Reiser &
+Lavenberg's MVA recursion for product-form networks:
+
+    R_k(n)   = D_k * (1 + Q_k(n-1))        (queueing station)
+    R_k(n)   = D_k                          (delay/infinite-server station)
+    X(n)     = n / (Z + sum_k R_k(n))
+    Q_k(n)   = X(n) * R_k(n)
+
+where ``D_k`` is the service demand at station ``k``. The recursion is
+O(N * K) and exact — no simulation noise — which suits the smooth response
+curves of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["Station", "ClosedNetwork", "MvaSolution", "mva"]
+
+
+@dataclass(frozen=True)
+class Station:
+    """One service station.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    demand_s:
+        Total service demand per request interaction (seconds).
+    servers:
+        1 for a queueing station; values > 1 approximate a multi-server
+        station by demand scaling (standard MVA approximation); use
+        ``delay=True`` for pure delay (infinite-server) resources.
+    delay:
+        Infinite-server station: no queueing, response = demand.
+    """
+
+    name: str
+    demand_s: float
+    servers: int = 1
+    delay: bool = False
+
+    def __post_init__(self) -> None:
+        if self.demand_s < 0:
+            raise WorkloadError(f"negative service demand at {self.name}")
+        if self.servers < 1:
+            raise WorkloadError(f"station {self.name} needs >= 1 server")
+
+    @property
+    def effective_demand_s(self) -> float:
+        """Demand seen by the MVA recursion (scaled for multi-server)."""
+        return self.demand_s / self.servers
+
+
+@dataclass(frozen=True)
+class MvaSolution:
+    """Exact solution of a closed network at one population."""
+
+    population: int
+    throughput_per_s: float
+    response_time_s: float  #: total response time excluding think time
+    station_queues: tuple  #: mean queue length per station
+    station_residence_s: tuple  #: mean residence time per station
+
+    @property
+    def bottleneck_index(self) -> int:
+        return int(np.argmax(self.station_residence_s))
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """A closed queueing network: stations plus per-customer think time."""
+
+    stations: tuple
+    think_time_s: float
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise WorkloadError("network needs at least one station")
+        if self.think_time_s < 0:
+            raise WorkloadError("think time must be >= 0")
+
+    def bottleneck_demand_s(self) -> float:
+        """Largest queueing-station demand (saturation throughput = 1/this)."""
+        ds = [s.effective_demand_s for s in self.stations if not s.delay]
+        return max(ds) if ds else 0.0
+
+    def saturation_population(self) -> float:
+        """N* beyond which throughput is bottleneck-limited."""
+        d_max = self.bottleneck_demand_s()
+        if d_max == 0:
+            return float("inf")
+        total = sum(s.effective_demand_s for s in self.stations) + self.think_time_s
+        return total / d_max
+
+
+def mva(network: ClosedNetwork, population: int) -> MvaSolution:
+    """Exact MVA for ``population`` customers.
+
+    Runs the full recursion from 1 to N; intermediate populations are
+    discarded (use :func:`mva_sweep` to keep them all).
+    """
+    return mva_sweep(network, [population])[-1]
+
+
+def mva_sweep(network: ClosedNetwork, populations: Sequence[int]) -> List[MvaSolution]:
+    """Exact MVA at several populations in one recursion pass."""
+    wanted = sorted(set(int(n) for n in populations))
+    if not wanted or wanted[0] < 1:
+        raise WorkloadError("populations must be positive integers")
+    n_max = wanted[-1]
+    stations = network.stations
+    k = len(stations)
+    demands = np.array([s.effective_demand_s for s in stations])
+    is_delay = np.array([s.delay for s in stations])
+
+    q = np.zeros(k)
+    out: List[MvaSolution] = []
+    want = set(wanted)
+    for n in range(1, n_max + 1):
+        resid = np.where(is_delay, demands, demands * (1.0 + q))
+        cycle = network.think_time_s + resid.sum()
+        x = n / cycle if cycle > 0 else 0.0
+        q = x * resid
+        if n in want:
+            out.append(
+                MvaSolution(
+                    population=n,
+                    throughput_per_s=float(x),
+                    response_time_s=float(resid.sum()),
+                    station_queues=tuple(float(v) for v in q),
+                    station_residence_s=tuple(float(v) for v in resid),
+                )
+            )
+    return out

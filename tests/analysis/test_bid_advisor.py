@@ -1,0 +1,133 @@
+"""Unit tests for the bid advisor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bid_advisor import BidAnalysis
+from repro.errors import TraceError
+from repro.traces.calibration import calibration_for
+from repro.traces.generator import generate_trace
+from repro.traces.trace import PriceTrace
+from repro.units import days, hours
+
+OD = 0.06
+
+
+def mk(times, prices, horizon=days(1)):
+    return PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+
+
+@pytest.fixture()
+def two_spike_trace():
+    """Calm at 0.02 with two 1-hour spikes to 0.10."""
+    return mk(
+        [0, hours(4), hours(5), hours(12), hours(13)],
+        [0.02, 0.10, 0.02, 0.10, 0.02],
+    )
+
+
+class TestPrimitives:
+    def test_revocation_rate_counts_crossings(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        assert ba.revocations_per_hour(0.06) == pytest.approx(2 / 24)
+        assert ba.revocations_per_hour(0.15) == 0.0
+
+    def test_start_above_bid_not_a_revocation(self):
+        t = mk([0, hours(2)], [0.10, 0.02])
+        ba = BidAnalysis(t, OD)
+        assert ba.revocations_per_hour(0.06) == 0.0
+
+    def test_held_fraction(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        assert ba.held_fraction(0.06) == pytest.approx(22 / 24)
+        assert ba.held_fraction(0.15) == 1.0
+        assert ba.held_fraction(0.01) == 0.0
+
+    def test_mean_price_while_held(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        assert ba.mean_price_while_held(0.06) == pytest.approx(0.02)
+        # raising the bid above the spikes blends them in
+        blended = ba.mean_price_while_held(0.15)
+        assert 0.02 < blended < 0.04
+
+    def test_mean_outage(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        assert ba.mean_outage_s(0.06) == pytest.approx(hours(1))
+        assert ba.mean_outage_s(0.15) == 0.0
+
+    def test_trailing_outage_counted(self):
+        t = mk([0, hours(20)], [0.02, 0.10])
+        ba = BidAnalysis(t, OD)
+        assert ba.mean_outage_s(0.06) == pytest.approx(hours(4))
+
+
+class TestCostModel:
+    def test_cost_monotone_pieces(self, two_spike_trace):
+        """Higher bids trade churn for exposure; with zero penalty the cost
+        at a high bid equals the blended mean price."""
+        ba = BidAnalysis(two_spike_trace, OD, migration_penalty=0.0)
+        high = ba.estimated_cost_per_hour(0.24)
+        assert high == pytest.approx(ba.mean_price_while_held(0.24))
+
+    def test_penalty_charged_per_revocation(self, two_spike_trace):
+        cheap = BidAnalysis(two_spike_trace, OD, migration_penalty=0.0)
+        dear = BidAnalysis(two_spike_trace, OD, migration_penalty=0.6)
+        delta = dear.estimated_cost_per_hour(0.06) - cheap.estimated_cost_per_hour(0.06)
+        assert delta == pytest.approx(0.6 * 2 / 24)
+
+    def test_cost_below_on_demand_in_cheap_market(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        for bid in (0.06, 0.12, 0.24):
+            assert ba.estimated_cost_per_hour(bid) < OD
+
+    def test_bid_point_fields(self, two_spike_trace):
+        p = BidAnalysis(two_spike_trace, OD).point(0.06)
+        assert p.mean_time_between_revocations_h == pytest.approx(12.0)
+        assert p.availability_pure_spot_percent == pytest.approx(100 * 22 / 24)
+
+    def test_never_revoked_point(self, two_spike_trace):
+        p = BidAnalysis(two_spike_trace, OD).point(0.24)
+        assert p.mean_time_between_revocations_h == float("inf")
+
+
+class TestRecommendation:
+    def test_recommends_higher_bid_under_tight_budget(self):
+        cal = calibration_for("us-east-1a", "small")
+        trace = generate_trace(cal, days(30), seed=3)
+        ba = BidAnalysis(trace, OD)
+        tight = ba.recommend(max_revocations_per_month=7.0)
+        loose = ba.recommend(max_revocations_per_month=50.0)
+        assert tight.bid >= loose.bid
+        assert tight.revocations_per_hour <= 7.0 / (30 * 24) + 1e-12
+        # an infeasible budget falls back to bidding the cap
+        impossible = ba.recommend(max_revocations_per_month=0.0)
+        assert impossible.bid == pytest.approx(4 * OD)
+
+    def test_falls_back_to_cap_when_budget_impossible(self, two_spike_trace):
+        ba = BidAnalysis(two_spike_trace, OD)
+        p = ba.recommend(max_revocations_per_month=0.0, bids=[0.03, 0.05])
+        assert p.bid == 0.05  # highest available
+
+    def test_default_grid_spans_half_to_cap(self, two_spike_trace):
+        grid = BidAnalysis(two_spike_trace, OD).default_grid()
+        assert grid[0] == pytest.approx(0.03)
+        assert grid[-1] == pytest.approx(0.24)
+
+    def test_sweep_on_generated_trace_is_consistent(self):
+        """On a realistic trace: rate falls and held-fraction rises with bid."""
+        cal = calibration_for("us-east-1a", "small")
+        trace = generate_trace(cal, days(30), seed=5)
+        ba = BidAnalysis(trace, OD)
+        pts = ba.sweep(ba.default_grid())
+        rates = [p.revocations_per_hour for p in pts]
+        helds = [p.held_fraction for p in pts]
+        assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(helds, helds[1:]))
+
+
+class TestValidation:
+    def test_bad_inputs(self, two_spike_trace):
+        with pytest.raises(TraceError):
+            BidAnalysis(two_spike_trace, on_demand_price=0.0)
+        with pytest.raises(TraceError):
+            BidAnalysis(two_spike_trace, OD).sweep([])

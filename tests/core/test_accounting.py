@@ -1,0 +1,144 @@
+"""Unit tests for cost and availability accounting."""
+
+import pytest
+
+from repro.cloud.billing import BillingRecord
+from repro.core.accounting import AvailabilityTracker, CostLedger
+from repro.errors import SchedulingError
+from repro.units import hours
+
+
+class TestCostLedger:
+    def mk(self):
+        ledger = CostLedger()
+        ledger.add_records(
+            [
+                BillingRecord(0.0, 0.02, 0.02, "spot"),
+                BillingRecord(hours(1), 0.02, 0.0, "spot", note="revoked-free"),
+                BillingRecord(hours(2), 0.06, 0.06, "on_demand"),
+            ],
+            market="us-east-1a/small",
+        )
+        return ledger
+
+    def test_total(self):
+        assert self.mk().total == pytest.approx(0.08)
+
+    def test_total_by_kind(self):
+        l = self.mk()
+        assert l.total_by_kind("spot") == pytest.approx(0.02)
+        assert l.total_by_kind("on_demand") == pytest.approx(0.06)
+
+    def test_normalized_cost(self):
+        l = self.mk()
+        # baseline: 0.06/hr for 4 hours = 0.24; spend 0.08 -> 33.3 %
+        assert l.normalized_cost_percent(0.06, hours(4)) == pytest.approx(100 * 0.08 / 0.24)
+
+    def test_on_demand_only_is_100_percent(self):
+        l = CostLedger()
+        l.add_records([BillingRecord(hours(i), 0.06, 0.06, "on_demand") for i in range(10)],
+                      market="x")
+        assert l.normalized_cost_percent(0.06, hours(10)) == pytest.approx(100.0)
+
+    def test_invalid_normalization(self):
+        with pytest.raises(SchedulingError):
+            CostLedger().normalized_cost_percent(0.0, hours(1))
+        with pytest.raises(SchedulingError):
+            CostLedger().normalized_cost_percent(0.06, 0.0)
+
+    def test_hours_billed(self):
+        assert self.mk().hours_billed() == 3
+
+    def test_empty_ledger(self):
+        assert CostLedger().total == 0.0
+
+
+class TestAvailabilityTracker:
+    def test_basic_unavailability(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_downtime(100.0, 200.0, "forced-migration")
+        t.close_window(hours(10))
+        assert t.total_downtime() == 100.0
+        assert t.unavailability_percent() == pytest.approx(100 * 100.0 / hours(10))
+
+    def test_four_nines_check(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_downtime(0.0, 3.0, "x")
+        t.close_window(hours(10))  # 3s of 36000 = 0.0083 %
+        assert t.meets_availability(4)
+        assert not t.meets_availability(5)
+
+    def test_overlapping_downtime_rejected(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_downtime(100.0, 200.0, "a")
+        with pytest.raises(SchedulingError):
+            t.record_downtime(150.0, 250.0, "b")
+        # adjacent is fine
+        t.record_downtime(200.0, 250.0, "c")
+
+    def test_downtime_clamped_to_window(self):
+        t = AvailabilityTracker()
+        t.open_window(100.0)
+        t.close_window(1000.0)
+        t.record_downtime(0.0, 150.0, "early")
+        assert t.total_downtime() == 50.0
+
+    def test_downtime_before_open_raises(self):
+        t = AvailabilityTracker()
+        with pytest.raises(SchedulingError):
+            t.record_downtime(0.0, 10.0, "x")
+
+    def test_double_open_raises(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        with pytest.raises(SchedulingError):
+            t.open_window(5.0)
+
+    def test_close_before_open_raises(self):
+        t = AvailabilityTracker()
+        with pytest.raises(SchedulingError):
+            t.close_window(10.0)
+        t.open_window(100.0)
+        with pytest.raises(SchedulingError):
+            t.close_window(50.0)
+
+    def test_window_duration_requires_close(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        with pytest.raises(SchedulingError):
+            _ = t.window_duration
+
+    def test_downtime_by_cause(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_downtime(10.0, 20.0, "forced-migration")
+        t.record_downtime(30.0, 35.0, "planned-migration")
+        t.record_downtime(40.0, 60.0, "forced-migration")
+        t.close_window(hours(1))
+        assert t.total_downtime("forced-migration") == 30.0
+        assert t.total_downtime("planned-migration") == 5.0
+
+    def test_degraded_windows_may_overlap(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_degraded(10.0, 100.0, "lazy")
+        t.record_degraded(50.0, 150.0, "lazy")
+        t.close_window(hours(1))
+        assert t.total_degraded() == 190.0
+
+    def test_empty_interval_ignored(self):
+        t = AvailabilityTracker()
+        t.open_window(0.0)
+        t.record_downtime(10.0, 10.0, "zero")
+        t.close_window(100.0)
+        assert t.total_downtime() == 0.0
+        assert t.downtime == []
+
+    def test_zero_duration_window(self):
+        t = AvailabilityTracker()
+        t.open_window(5.0)
+        t.close_window(5.0)
+        assert t.unavailability_percent() == 0.0

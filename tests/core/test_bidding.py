@@ -1,0 +1,70 @@
+"""Unit tests for the bidding policies."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.spot_market import SpotMarket
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.errors import ConfigurationError
+from repro.traces.trace import PriceTrace
+
+
+def market(od=0.06):
+    t = PriceTrace(np.array([0.0]), np.array([0.02]), 1000.0)
+    return SpotMarket(name="m", trace=t, on_demand_price=od)
+
+
+class TestReactive:
+    def test_bids_on_demand_price(self):
+        assert ReactiveBidding().bid_price(market()) == 0.06
+
+    def test_never_wants_planned(self):
+        r = ReactiveBidding()
+        assert not r.wants_planned_migration(0.05, 0.06)
+        assert not r.wants_planned_migration(0.07, 0.06)  # revocation handles it
+
+    def test_reverse_when_at_or_below_od(self):
+        r = ReactiveBidding()
+        assert r.wants_reverse_migration(0.06, 0.06)
+        assert r.wants_reverse_migration(0.01, 0.06)
+        assert not r.wants_reverse_migration(0.07, 0.06)
+
+    def test_not_proactive(self):
+        assert not ReactiveBidding().is_proactive
+
+
+class TestProactive:
+    def test_bids_k_times_od(self):
+        assert ProactiveBidding(k=4.0).bid_price(market()) == pytest.approx(0.24)
+
+    def test_bid_capped_at_provider_limit(self):
+        assert ProactiveBidding(k=10.0).bid_price(market()) == pytest.approx(0.24)
+
+    def test_wants_planned_above_od(self):
+        p = ProactiveBidding()
+        assert p.wants_planned_migration(0.07, 0.06)
+        assert not p.wants_planned_migration(0.06, 0.06)
+        assert not p.wants_planned_migration(0.05, 0.06)
+
+    def test_reverse_hysteresis(self):
+        p = ProactiveBidding(reverse_threshold_frac=0.9)
+        assert p.wants_reverse_migration(0.054, 0.06)
+        assert not p.wants_reverse_migration(0.058, 0.06)  # within hysteresis band
+
+    def test_is_proactive(self):
+        assert ProactiveBidding().is_proactive
+
+    def test_k_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ProactiveBidding(k=1.0)
+        with pytest.raises(ConfigurationError):
+            ProactiveBidding(k=0.5)
+
+    def test_reverse_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            ProactiveBidding(reverse_threshold_frac=0.0)
+        with pytest.raises(ConfigurationError):
+            ProactiveBidding(reverse_threshold_frac=1.2)
+
+    def test_default_k_is_ec2_cap(self):
+        assert ProactiveBidding().k == 4.0

@@ -1,0 +1,86 @@
+"""Tests for the repro-simulate CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.calibration import calibration_for
+from repro.traces.generator import generate_trace
+from repro.traces.loader import save_aws_csv
+from repro.units import days
+
+FAST = ["--days", "7", "--seeds", "1", "2"]
+
+
+def test_default_run(capsys):
+    assert main(FAST) == 0
+    out = capsys.readouterr().out
+    assert "single / proactive" in out
+    assert "four-nines target" in out
+    assert "mean over 2 seeds" in out
+
+
+def test_reactive_run(capsys):
+    assert main(FAST + ["--bidding", "reactive", "--size", "large"]) == 0
+    assert "reactive" in capsys.readouterr().out
+
+
+def test_multi_market(capsys):
+    assert main(FAST + ["--strategy", "multi-market", "--region", "us-east-1b"]) == 0
+    assert "multi-market" in capsys.readouterr().out
+
+
+def test_multi_region(capsys):
+    rc = main(FAST + ["--strategy", "multi-region",
+                      "--region", "us-east-1a", "eu-west-1a"])
+    assert rc == 0
+
+
+def test_stability_strategy(capsys):
+    rc = main(FAST + ["--strategy", "stability",
+                      "--region", "us-east-1b", "eu-west-1a",
+                      "--stability-weight", "4.0"])
+    assert rc == 0
+
+
+def test_pure_spot_and_on_demand(capsys):
+    assert main(FAST + ["--strategy", "pure-spot"]) == 0
+    assert main(FAST + ["--strategy", "on-demand"]) == 0
+
+
+def test_pessimistic_mechanism(capsys):
+    assert main(FAST + ["--mechanism", "ckpt", "--pessimistic"]) == 0
+    assert "(pessimistic)" in capsys.readouterr().out
+
+
+def test_single_seed_no_aggregate_line(capsys):
+    assert main(["--days", "7", "--seeds", "5"]) == 0
+    assert "mean over" not in capsys.readouterr().out
+
+
+def test_csv_replay(tmp_path, capsys):
+    trace = generate_trace(calibration_for("us-east-1a", "small"), days(7), seed=3)
+    path = tmp_path / "hist.csv"
+    save_aws_csv(trace, path, instance_type="m1.small", availability_zone="us-east-1a")
+    assert main(["--csv", str(path)]) == 0
+    assert "single / proactive" in capsys.readouterr().out
+
+
+def test_csv_rejected_for_multi_strategies(tmp_path, capsys):
+    trace = generate_trace(calibration_for("us-east-1a", "small"), days(7), seed=3)
+    path = tmp_path / "hist.csv"
+    save_aws_csv(trace, path)
+    rc = main(["--csv", str(path), "--strategy", "multi-market"])
+    assert rc == 2
+
+
+def test_parser_rejects_unknown_region():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--region", "mars-1a"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.strategy == "single"
+    assert args.k == 4.0
+    assert args.mechanism == "ckpt+lr+live"

@@ -1,0 +1,171 @@
+"""Failure-injection and edge-case tests for the cloud scheduler.
+
+These push the scheduler into corners the statistical runs rarely visit:
+degenerate grace windows, pathologically slow allocations, markets that
+open hostile, horizons shorter than a boot, and back-to-back revocations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.core.scheduler import CloudScheduler
+from repro.core.strategies import PureSpotStrategy, SingleMarketStrategy
+from repro.simulator.engine import Engine
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.trace import PriceTrace
+from repro.units import days, hours
+from repro.vm.mechanisms import Mechanism, MigrationModel, TYPICAL_PARAMS
+
+SMALL = MarketKey("us-east-1a", "small")
+
+
+def build(trace, horizon, *, bidding=None, strategy=None, grace=120.0, cv=0.0,
+          startup_override=None, mechanism=Mechanism.CKPT_LR):
+    cat = TraceCatalog({SMALL: trace}, {SMALL: 0.06}, horizon)
+    provider = CloudProvider(cat, rng=np.random.default_rng(0), grace_s=grace,
+                             startup_cv=cv)
+    if startup_override is not None:
+        # monkeypatch-free injection: force every allocation to take this long
+        provider.startup.sample = lambda mode, zone: startup_override  # type: ignore
+    sch = CloudScheduler(
+        engine=Engine(), provider=provider,
+        bidding=bidding or ReactiveBidding(),
+        strategy=strategy or SingleMarketStrategy(SMALL),
+        migration_model=MigrationModel(mechanism, TYPICAL_PARAMS),
+        rng=np.random.default_rng(1), horizon=horizon,
+    )
+    return sch, provider
+
+
+def steps(segments, horizon):
+    return PriceTrace(
+        np.array([s[0] for s in segments]), np.array([s[1] for s in segments]), horizon
+    )
+
+
+class TestHostileStart:
+    def test_market_opens_above_on_demand(self):
+        """Price starts above od: the scheduler must start on-demand."""
+        trace = steps([(0.0, 0.09), (hours(6), 0.02)], days(1))
+        sch, _ = build(trace, days(1), bidding=ProactiveBidding())
+        sch.run()
+        assert sch.ledger.total_by_kind("on_demand") > 0
+        # and reverses onto spot once the price drops
+        assert sch.migration_count("reverse") == 1
+
+    def test_market_opens_above_bid_pure_spot_waits(self):
+        trace = steps([(0.0, 0.30), (hours(6), 0.02)], days(1))
+        sch, _ = build(trace, days(1), strategy=PureSpotStrategy(SMALL))
+        sch.run()
+        # dark until 6h plus boot; availability window covers the wait
+        assert sch.availability.total_downtime() == 0.0  # window opened at first up
+        assert sch.availability.window_start > hours(6)
+
+    def test_market_never_grantable_pure_spot(self):
+        trace = PriceTrace.constant(0.30, 0.0, days(1))
+        sch, _ = build(trace, days(1), strategy=PureSpotStrategy(SMALL))
+        sch.run()
+        assert sch.availability.unavailability_percent() == pytest.approx(100.0)
+        assert sch.ledger.total == 0.0
+
+
+class TestDegenerateTimings:
+    def test_zero_grace_window(self):
+        """No warning at all: the forced path must still work (downtime
+        grows by the un-overlapped startup wait)."""
+        trace = steps([(0.0, 0.02), (hours(5), 0.10), (hours(7), 0.02)], days(1))
+        sch, _ = build(trace, days(1), grace=0.0)
+        sch.run()
+        assert sch.migration_count("forced") == 1
+        # on-demand startup (~95 s) can no longer hide inside the grace
+        assert sch.availability.total_downtime() > 95.0
+
+    def test_glacial_startup(self):
+        """10-minute allocations: forced downtime includes the excess wait."""
+        trace = steps([(0.0, 0.02), (hours(5), 0.10), (hours(7), 0.02)], days(1))
+        sch, _ = build(trace, days(1), startup_override=600.0)
+        sch.run()
+        assert sch.migration_count("forced") == 1
+        down = sch.availability.total_downtime()
+        assert down > 600.0 - 120.0  # startup minus the grace overlap
+
+    def test_horizon_shorter_than_boot(self):
+        """The run ends before the first server is even ready."""
+        horizon = 150.0
+        trace = PriceTrace.constant(0.02, 0.0, horizon)
+        sch, provider = build(trace, horizon, startup_override=300.0)
+        sch.run()
+        assert sch.availability.window_end == 150.0
+        assert provider.active_leases() == []
+
+    def test_one_hour_horizon(self):
+        trace = PriceTrace.constant(0.02, 0.0, hours(1.5))
+        sch, _ = build(trace, hours(1.5))
+        sch.run()
+        assert sch.availability.window_duration > 0
+
+
+class TestRapidFire:
+    def test_back_to_back_revocations(self):
+        """Three revocations in quick succession: each gets its own forced
+        migration, downtimes never overlap."""
+        segs = [(0.0, 0.02)]
+        for i in range(3):
+            t0 = hours(3 + 3 * i)
+            segs += [(t0, 0.10), (t0 + hours(0.5), 0.02)]
+        trace = steps(segs, days(1))
+        sch, _ = build(trace, days(1))
+        sch.run()
+        assert sch.migration_count("forced") == 3
+        assert sch.migration_count("reverse") == 3
+        # the availability tracker enforces no-overlap internally; reaching
+        # here without SchedulingError is the assertion
+
+    def test_revocation_immediately_after_reverse(self):
+        """The market calms just long enough to lure the scheduler back,
+        then spikes again the moment it lands."""
+        trace = steps(
+            [(0.0, 0.02), (hours(4), 0.10),
+             (30600.0, 0.02),   # calm dip covering the reverse check
+             (33000.0, 0.10),   # hot again shortly after landing
+             (hours(12), 0.02)],
+            days(1),
+        )
+        sch, _ = build(trace, days(1))
+        sch.run()
+        # either the reverse aborted (target-revocation race) or it landed
+        # and was promptly revoked again; both are legal, neither may lose
+        # the service
+        assert sch.availability.window_end == days(1)
+        assert sch.migration_count("forced") >= 1
+
+    def test_spike_spanning_horizon_end(self):
+        trace = steps([(0.0, 0.02), (hours(23.5), 0.10)], days(1))
+        sch, _ = build(trace, days(1))
+        sch.run()
+        for iv in sch.availability.downtime:
+            assert iv.end <= days(1)
+
+
+class TestBillingEdges:
+    def test_only_full_hours_billed_plus_partials(self):
+        trace = PriceTrace.constant(0.02, 0.0, days(1))
+        sch, _ = build(trace, days(1))
+        sch.run()
+        # ~24 hours minus boot time, one lease, all spot
+        assert 22 <= sch.ledger.hours_billed() <= 24
+
+    def test_costs_are_never_negative(self):
+        trace = steps([(0.0, 0.02), (hours(5), 0.10), (hours(7), 0.02)], days(1))
+        sch, _ = build(trace, days(1))
+        sch.run()
+        assert all(e.amount >= 0 for e in sch.ledger.entries)
+
+    def test_free_revoked_hours_recorded_with_rate(self):
+        trace = steps([(0.0, 0.02), (hours(5.5), 0.10), (hours(7), 0.02)], days(1))
+        sch, _ = build(trace, days(1))
+        sch.run()
+        free = [e for e in sch.ledger.entries if e.note == "revoked-free"]
+        assert free and all(e.rate > 0 and e.amount == 0 for e in free)

@@ -1,0 +1,122 @@
+"""Unit tests for the scheduler's timing arithmetic.
+
+The billing-boundary anchoring and planned-migration lead times are the
+heart of the proactive policy's cost advantage; these tests pin their
+behaviour directly, without running full simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.bidding import ProactiveBidding
+from repro.core.scheduler import CloudScheduler, _Placement
+from repro.core.strategies import MultiRegionStrategy, SingleMarketStrategy
+from repro.cloud.provider import LeaseKind
+from repro.simulator.engine import Engine
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR, days
+from repro.vm.mechanisms import Mechanism, MigrationModel, TYPICAL_PARAMS
+
+SMALL = MarketKey("us-east-1a", "small")
+EU_SMALL = MarketKey("eu-west-1a", "small")
+XLARGE = MarketKey("us-east-1a", "xlarge")
+HORIZON = days(2)
+
+
+def make_scheduler(keys=(SMALL,), strategy=None):
+    traces = {k: PriceTrace.constant(0.02, 0.0, HORIZON) for k in keys}
+    od = {SMALL: 0.06, EU_SMALL: 0.0672, XLARGE: 0.48}
+    cat = TraceCatalog(traces, {k: od[k] for k in keys}, HORIZON)
+    provider = CloudProvider(cat, rng=np.random.default_rng(0), startup_cv=0.0)
+    return CloudScheduler(
+        engine=Engine(), provider=provider, bidding=ProactiveBidding(),
+        strategy=strategy or SingleMarketStrategy(keys[0]),
+        migration_model=MigrationModel(Mechanism.CKPT_LR_LIVE, TYPICAL_PARAMS),
+        rng=np.random.default_rng(1), horizon=HORIZON,
+    )
+
+
+class TestBoundaryChecks:
+    def _with_placement(self, sch, ready_at):
+        lease = sch.provider.request_on_demand(SMALL, max(0.0, ready_at - 94.85))
+        placement = _Placement(kind=LeaseKind.ON_DEMAND, key=SMALL, leases=[lease])
+        # pin the deterministic ready time
+        lease.ready_at = ready_at
+        sch.placement = placement
+        return placement
+
+    def test_check_lands_lead_before_each_boundary(self):
+        sch = make_scheduler()
+        self._with_placement(sch, ready_at=281.47)
+        lead = 400.0
+        check = sch._next_boundary_check(now=281.47, lead=lead)
+        assert check == pytest.approx(281.47 + SECONDS_PER_HOUR - lead)
+
+    def test_check_strictly_in_future(self):
+        sch = make_scheduler()
+        self._with_placement(sch, ready_at=0.0)
+        boundary_minus_lead = SECONDS_PER_HOUR - 400.0
+        check = sch._next_boundary_check(now=boundary_minus_lead, lead=400.0)
+        assert check > boundary_minus_lead
+        assert check == pytest.approx(2 * SECONDS_PER_HOUR - 400.0)
+
+    def test_checks_advance_hourly(self):
+        sch = make_scheduler()
+        self._with_placement(sch, ready_at=100.0)
+        c1 = sch._next_boundary_check(now=100.0, lead=300.0)
+        c2 = sch._next_boundary_check(now=c1, lead=300.0)
+        assert c2 - c1 == pytest.approx(SECONDS_PER_HOUR)
+
+    def test_anchored_at_ready_not_wall_clock(self):
+        sch = make_scheduler()
+        self._with_placement(sch, ready_at=1234.5)
+        check = sch._next_boundary_check(now=1300.0, lead=200.0)
+        assert (check + 200.0 - 1234.5) % SECONDS_PER_HOUR == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestPlannedLead:
+    def test_lead_covers_startup_and_prep(self):
+        sch = make_scheduler()
+        lead = sch._planned_lead(SMALL)
+        # spot startup mean (281) + live precopy (~40) + margin (60)
+        assert 330.0 < lead < 900.0
+
+    def test_lead_grows_with_memory(self):
+        sch = make_scheduler(keys=(SMALL, XLARGE), strategy=SingleMarketStrategy(XLARGE))
+        small_lead = make_scheduler()._planned_lead(SMALL)
+        xl_lead = sch._planned_lead(XLARGE)
+        assert xl_lead > small_lead  # 12 GiB pre-copies take longer
+
+    def test_cross_region_lead_includes_disk_copy(self):
+        strat = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        sch = make_scheduler(keys=(SMALL, EU_SMALL), strategy=strat)
+        lead = sch._planned_lead(SMALL)
+        single = make_scheduler()._planned_lead(SMALL)
+        # the 2 GiB WAN disk copy (~280 s to eu-west) must be inside the lead
+        assert lead > single + 200.0
+
+    def test_lead_capped_at_half_hour(self):
+        strat = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        sch = make_scheduler(keys=(SMALL, EU_SMALL), strategy=strat)
+        sch.service_disk_gib = 100.0  # absurd disk: the cap must engage
+        assert sch._planned_lead(SMALL) == 0.5 * SECONDS_PER_HOUR
+
+
+class TestLocalOnDemandSelection:
+    def test_forced_target_stays_in_source_region(self):
+        strat = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        sch = make_scheduler(keys=(SMALL, EU_SMALL), strategy=strat)
+        # eu-west od (0.0672) is pricier than us-east od (0.06); a forced
+        # migration from an eu placement must STILL pick eu on-demand
+        best = sch._best_local_on_demand(EU_SMALL)
+        assert best.key.region == "eu-west-1a"
+
+    def test_falls_back_to_global_when_no_local(self):
+        strat = SingleMarketStrategy(SMALL)
+        sch = make_scheduler(keys=(SMALL,), strategy=strat)
+        best = sch._best_local_on_demand(EU_SMALL)  # not a candidate region
+        assert best.key == SMALL

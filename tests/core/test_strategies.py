@@ -1,0 +1,192 @@
+"""Unit tests for hosting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.core.strategies import (
+    MultiMarketStrategy,
+    MultiRegionStrategy,
+    OnDemandOnlyStrategy,
+    PureSpotStrategy,
+    SingleMarketStrategy,
+    StabilityAwareStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.trace import PriceTrace
+from repro.units import days
+
+KEYS = {
+    ("us-east-1a", "small"): (0.010, 0.06),
+    ("us-east-1a", "medium"): (0.030, 0.12),
+    ("us-east-1a", "large"): (0.200, 0.24),
+    ("us-east-1a", "xlarge"): (0.100, 0.48),
+    ("eu-west-1a", "small"): (0.030, 0.0672),
+}
+
+
+@pytest.fixture()
+def provider():
+    horizon = days(2)
+    traces = {}
+    od = {}
+    for (region, size), (price, odp) in KEYS.items():
+        k = MarketKey(region, size)
+        traces[k] = PriceTrace.constant(price, 0.0, horizon)
+        od[k] = odp
+    cat = TraceCatalog(traces, od, horizon)
+    return CloudProvider(cat, rng=np.random.default_rng(0), startup_cv=0.0)
+
+
+class TestSingleMarket:
+    def test_one_candidate(self, provider):
+        s = SingleMarketStrategy(MarketKey("us-east-1a", "small"))
+        assert s.candidate_markets(provider) == [MarketKey("us-east-1a", "small")]
+
+    def test_one_server(self, provider):
+        s = SingleMarketStrategy(MarketKey("us-east-1a", "large"))
+        assert s.servers_needed(MarketKey("us-east-1a", "large")) == 1
+
+    def test_baseline_is_own_on_demand(self, provider):
+        s = SingleMarketStrategy(MarketKey("us-east-1a", "small"))
+        assert s.baseline_rate(provider) == pytest.approx(0.06)
+
+    def test_migration_memory_scales_with_size(self, provider):
+        small = SingleMarketStrategy(MarketKey("us-east-1a", "small"))
+        xl = SingleMarketStrategy(MarketKey("us-east-1a", "xlarge"))
+        assert (
+            xl.migration_memory(MarketKey("us-east-1a", "xlarge")).size_gib
+            > small.migration_memory(MarketKey("us-east-1a", "small")).size_gib
+        )
+
+
+class TestMultiMarket:
+    def test_candidates_are_region_markets(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        assert len(s.candidate_markets(provider)) == 4
+
+    def test_packing_arithmetic(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        assert s.servers_needed(MarketKey("us-east-1a", "small")) == 8
+        assert s.servers_needed(MarketKey("us-east-1a", "medium")) == 4
+        assert s.servers_needed(MarketKey("us-east-1a", "large")) == 2
+        assert s.servers_needed(MarketKey("us-east-1a", "xlarge")) == 1
+
+    def test_partial_packing_rounds_up(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=5)
+        assert s.servers_needed(MarketKey("us-east-1a", "medium")) == 3
+        assert s.servers_needed(MarketKey("us-east-1a", "xlarge")) == 1
+
+    def test_best_spot_target_minimizes_fleet_rate(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        best = s.best_spot_target(provider, ProactiveBidding(), t=0.0)
+        # fleet rates: small 8*0.01=0.08, medium 4*0.03=0.12,
+        # large 2*0.2=0.4, xlarge 1*0.1=0.1 -> small wins
+        assert best.key.size == "small"
+        assert best.rate == pytest.approx(0.08)
+
+    def test_exclude_skips_current_market(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        best = s.best_spot_target(
+            provider, ProactiveBidding(), 0.0, exclude=MarketKey("us-east-1a", "small")
+        )
+        assert best.key.size == "xlarge"  # next cheapest per fleet
+
+    def test_ungrantable_market_skipped(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        # reactive bids od; large spot (0.20) < od large (0.24): still fine.
+        # Use a bid below the small price to knock small out:
+        class TinyBid:
+            name = "tiny"
+            def bid_price(self, market, t=0.0):
+                return 0.005 if "small" in market.name else market.on_demand_price
+            def wants_planned_migration(self, p, od):
+                return False
+            def wants_reverse_migration(self, p, od):
+                return True
+        best = s.best_spot_target(provider, TinyBid(), 0.0)
+        assert best.key.size != "small"
+
+    def test_best_on_demand_target(self, provider):
+        s = MultiMarketStrategy("us-east-1a", service_units=8)
+        best = s.best_on_demand_target(provider)
+        # on-demand fleet rates all equal (0.48) under the doubling ladder;
+        # ties resolve to the first candidate examined
+        assert best.rate == pytest.approx(0.48)
+
+    def test_requires_positive_units(self):
+        with pytest.raises(ConfigurationError):
+            MultiMarketStrategy("us-east-1a", service_units=0)
+
+
+class TestMultiRegion:
+    def test_candidates_span_regions(self, provider):
+        s = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        keys = s.candidate_markets(provider)
+        assert MarketKey("eu-west-1a", "small") in keys
+        assert MarketKey("us-east-1a", "small") in keys
+
+    def test_baseline_is_lowest_od_in_pair(self, provider):
+        s = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        # us-east small od (0.06) < eu small od (0.0672)
+        assert s.baseline_rate(provider) == pytest.approx(0.06)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiRegionStrategy(())
+
+
+class TestBaselines:
+    def test_pure_spot_never_offers_on_demand(self, provider):
+        s = PureSpotStrategy(MarketKey("us-east-1a", "small"))
+        assert s.best_on_demand_target(provider) is None
+        assert not s.allows_on_demand
+        assert s.baseline_rate(provider) == pytest.approx(0.06)
+
+    def test_on_demand_only_never_offers_spot(self, provider):
+        s = OnDemandOnlyStrategy(MarketKey("us-east-1a", "small"))
+        assert s.best_spot_target(provider, ReactiveBidding(), 0.0) is None
+        assert s.best_on_demand_target(provider) is not None
+
+
+class TestStabilityAware:
+    def test_penalizes_volatile_market(self):
+        horizon = days(5)
+        k_volatile = MarketKey("us-east-1a", "small")
+        k_stable = MarketKey("eu-west-1a", "small")
+        volatile = PriceTrace(
+            np.array([0.0, days(1), days(2), days(3)]),
+            np.array([0.010, 0.300, 0.012, 0.010]),
+            horizon,
+        )
+        stable = PriceTrace.constant(0.014, 0.0, horizon)
+        cat = TraceCatalog(
+            {k_volatile: volatile, k_stable: stable},
+            {k_volatile: 0.06, k_stable: 0.0672},
+            horizon,
+        )
+        prov = CloudProvider(cat, rng=np.random.default_rng(0), startup_cv=0.0)
+        greedy = MultiRegionStrategy(("us-east-1a", "eu-west-1a"), service_units=1)
+        aware = StabilityAwareStrategy(
+            ("us-east-1a", "eu-west-1a"), service_units=1, stability_weight=2.0
+        )
+        t = days(4)  # volatile market momentarily cheap
+        g = greedy.best_spot_target(prov, ProactiveBidding(), t)
+        a = aware.best_spot_target(prov, ProactiveBidding(), t)
+        assert g.key == k_volatile  # greedy chases the cheap price
+        assert a.key == k_stable  # stability-aware declines
+
+    def test_zero_weight_matches_greedy(self, provider):
+        aware = StabilityAwareStrategy(("us-east-1a",), service_units=8, stability_weight=0.0)
+        greedy = MultiRegionStrategy(("us-east-1a",), service_units=8)
+        a = aware.best_spot_target(provider, ProactiveBidding(), days(1))
+        g = greedy.best_spot_target(provider, ProactiveBidding(), days(1))
+        assert a.key == g.key
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StabilityAwareStrategy(("us-east-1a",), stability_weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            StabilityAwareStrategy(("us-east-1a",), lookback_s=0.0)

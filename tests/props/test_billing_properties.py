@@ -1,0 +1,93 @@
+"""Property-based tests for billing semantics."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud.billing import bill_on_demand_lease, bill_spot_lease
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR
+
+
+@st.composite
+def trace_and_lease(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    gaps = draw(st.lists(st.floats(min_value=60.0, max_value=20000.0), min_size=n, max_size=n))
+    times = np.cumsum(np.asarray(gaps)) - gaps[0]
+    prices = draw(
+        st.lists(st.floats(min_value=0.001, max_value=2.0), min_size=n, max_size=n)
+    )
+    horizon = float(times[-1] + 200000.0)
+    trace = PriceTrace(times, np.asarray(prices), horizon)
+    start = draw(st.floats(min_value=0.0, max_value=horizon / 3))
+    dur = draw(st.floats(min_value=0.0, max_value=horizon / 3))
+    return trace, start, start + dur
+
+
+@given(trace_and_lease(), st.booleans())
+def test_spot_bill_bounded_by_price_envelope(args, revoked):
+    trace, start, end = args
+    recs = bill_spot_lease(trace, start, end, revoked)
+    total = sum(r.amount for r in recs)
+    hours_ceil = math.ceil((end - start) / SECONDS_PER_HOUR + 1e-12)
+    assert 0.0 <= total <= hours_ceil * trace.max_price() + 1e-9
+
+
+@given(trace_and_lease())
+def test_revoked_never_costs_more_than_voluntary(args):
+    trace, start, end = args
+    rev = sum(r.amount for r in bill_spot_lease(trace, start, end, revoked=True))
+    vol = sum(r.amount for r in bill_spot_lease(trace, start, end, revoked=False))
+    assert rev <= vol + 1e-12
+
+
+@given(trace_and_lease())
+def test_record_count_matches_hours(args):
+    trace, start, end = args
+    recs = bill_spot_lease(trace, start, end, revoked=False)
+    assert len(recs) == math.ceil((end - start) / SECONDS_PER_HOUR)
+
+
+@given(trace_and_lease())
+def test_hour_starts_are_anchored(args):
+    trace, start, end = args
+    recs = bill_spot_lease(trace, start, end, revoked=False)
+    for i, r in enumerate(recs):
+        assert r.hour_start == start + i * SECONDS_PER_HOUR
+
+
+@given(trace_and_lease())
+def test_rates_are_trace_prices(args):
+    trace, start, end = args
+    for r in bill_spot_lease(trace, start, end, revoked=True):
+        assert r.rate in set(trace.prices)
+
+
+@given(
+    st.floats(min_value=0.001, max_value=3.0),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.0, max_value=100 * SECONDS_PER_HOUR),
+)
+def test_on_demand_bill_is_ceil_hours_times_rate(rate, start, dur):
+    recs = bill_on_demand_lease(rate, start, start + dur)
+    total = sum(r.amount for r in recs)
+    end = start + dur  # float addition may absorb a tiny dur entirely
+    np.testing.assert_allclose(
+        total, math.ceil((end - start) / SECONDS_PER_HOUR) * rate, rtol=1e-9
+    )
+
+
+@given(trace_and_lease())
+def test_splitting_a_lease_never_cheaper_contiguous_hours(args):
+    """Billing is per-lease-hour: splitting a voluntary lease at an hour
+    boundary costs the same; splitting mid-hour costs at least as much."""
+    trace, start, end = args
+    if end - start < 2 * SECONDS_PER_HOUR:
+        return
+    whole = sum(r.amount for r in bill_spot_lease(trace, start, end, revoked=False))
+    mid = start + SECONDS_PER_HOUR * math.floor((end - start) / (2 * SECONDS_PER_HOUR))
+    a = sum(r.amount for r in bill_spot_lease(trace, start, mid, revoked=False))
+    b = sum(r.amount for r in bill_spot_lease(trace, mid, end, revoked=False))
+    assert a + b >= whole - 1e-9

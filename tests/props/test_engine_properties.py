@@ -1,0 +1,73 @@
+"""Property-based tests for the event engine and MVA."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.engine import Engine
+from repro.workload.queueing import ClosedNetwork, Station, mva_sweep
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        min_size=0,
+        max_size=60,
+    )
+)
+def test_events_fire_in_total_order(specs):
+    eng = Engine()
+    fired = []
+    for t, prio in specs:
+        eng.schedule(t, lambda e, ev: fired.append(ev.sort_key()), priority=prio)
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(specs)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+    st.data(),
+)
+def test_cancellation_subset_fires(times, data):
+    eng = Engine()
+    fired = []
+    handles = [
+        eng.schedule(t, lambda e, ev, i=i: fired.append(i)) for i, t in enumerate(times)
+    ]
+    cancelled = set()
+    for i, h in enumerate(handles):
+        if data.draw(st.booleans()):
+            h.cancel()
+            cancelled.add(i)
+    eng.run()
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(
+    st.lists(st.floats(min_value=1e-4, max_value=2.0), min_size=1, max_size=5),
+    st.floats(min_value=0.0, max_value=30.0),
+    st.integers(min_value=2, max_value=120),
+)
+@settings(max_examples=60)
+def test_mva_invariants(demands, think, n_max):
+    net = ClosedNetwork(
+        stations=tuple(Station(f"s{i}", d) for i, d in enumerate(demands)),
+        think_time_s=think,
+    )
+    sols = mva_sweep(net, range(1, n_max + 1))
+    d_max = max(demands)
+    prev_x, prev_r = 0.0, 0.0
+    for sol in sols:
+        # throughput bounded by the bottleneck and by N/(Z + sum D)
+        assert sol.throughput_per_s <= 1.0 / d_max + 1e-9
+        assert sol.throughput_per_s >= prev_x - 1e-9
+        assert sol.response_time_s >= prev_r - 1e-9
+        assert sol.response_time_s >= sum(demands) - 1e-9
+        # Little's law over the whole network (including think time)
+        n_in_system = sol.throughput_per_s * (sol.response_time_s + think)
+        np.testing.assert_allclose(n_in_system, sol.population, rtol=1e-6)
+        prev_x, prev_r = sol.throughput_per_s, sol.response_time_s

@@ -1,0 +1,81 @@
+"""Property-based tests: trace-generator invariants over calibration space.
+
+Whatever (valid) calibration the generator is handed, its output must be a
+well-formed step function whose gross statistics stay inside the physical
+envelope the calibration defines.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.calibration import calibration_for
+from repro.traces.generator import generate_trace
+from repro.units import days
+
+BASE = calibration_for("us-east-1a", "small")
+
+
+@st.composite
+def calibrations(draw):
+    calm = draw(st.floats(min_value=0.06, max_value=0.44))
+    sigma = draw(st.floats(min_value=0.0, max_value=0.5))
+    blip_rate = draw(st.floats(min_value=0.0, max_value=0.05))
+    spike_rate = draw(st.floats(min_value=0.0, max_value=0.05))
+    sharp_rate = draw(st.floats(min_value=0.0, max_value=0.01))
+    change_rate = draw(st.floats(min_value=0.5, max_value=12.0))
+    cal = calibration_for(
+        "us-east-1a", "small",
+        calm_base_frac=calm, calm_sigma=sigma,
+        calm_change_rate_per_hour=change_rate,
+    )
+    return replace(
+        cal,
+        blips=replace(cal.blips, rate_per_hour=blip_rate),
+        spikes=replace(cal.spikes, rate_per_hour=spike_rate),
+        sharp_spikes=replace(cal.sharp_spikes, rate_per_hour=sharp_rate),
+    )
+
+
+@given(calibrations(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_generated_trace_well_formed(cal, seed):
+    trace = generate_trace(cal, days(10), seed=seed)
+    # step-function invariants
+    assert trace.start == 0.0
+    assert np.all(np.diff(trace.times) > 0)
+    assert np.all(trace.prices > 0)
+    # physical envelope
+    floor = cal.price_floor_frac * cal.on_demand
+    ceiling = max(cal.blips.peak_hi_frac, cal.spikes.peak_hi_frac,
+                  cal.sharp_spikes.peak_hi_frac) * cal.on_demand * 1.05
+    assert trace.min_price() >= floor - 1e-12
+    assert trace.max_price() <= ceiling
+    # determinism
+    again = generate_trace(cal, days(10), seed=seed)
+    assert len(again) == len(trace)
+    assert np.allclose(again.prices, trace.prices)
+
+
+@given(calibrations(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_excursion_free_calibration_stays_below_on_demand(cal, seed):
+    quiet = replace(
+        cal,
+        blips=replace(cal.blips, rate_per_hour=0.0),
+        spikes=replace(cal.spikes, rate_per_hour=0.0),
+        sharp_spikes=replace(cal.sharp_spikes, rate_per_hour=0.0),
+    )
+    trace = generate_trace(quiet, days(10), seed=seed)
+    assert trace.max_price() <= 0.92 * cal.on_demand + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_mean_price_tracks_calm_level(seed):
+    """The time-weighted mean stays within a factor of the calm level."""
+    trace = generate_trace(BASE, days(20), seed=seed)
+    calm = BASE.calm_base_frac * BASE.on_demand
+    assert 0.4 * calm < trace.mean_price() < 2.5 * calm

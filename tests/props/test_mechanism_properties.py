@@ -1,0 +1,93 @@
+"""Property-based tests: migration-mechanism monotonicity laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.regions import RegionLink
+from repro.vm.mechanisms import Mechanism, MigrationModel, TYPICAL_PARAMS
+from repro.vm.memory import MemoryProfile
+
+
+@st.composite
+def memories(draw):
+    size = draw(st.floats(min_value=0.5, max_value=16.0))
+    dirty = draw(st.floats(min_value=0.0, max_value=250.0))
+    ws = draw(st.floats(min_value=0.02, max_value=0.5))
+    return MemoryProfile(size_gib=size, dirty_rate_mbps=dirty, working_set_frac=ws)
+
+
+@st.composite
+def links(draw):
+    bw = draw(st.floats(min_value=280.0, max_value=1000.0))
+    return RegionLink(intra=True, memory_bandwidth_mbps=bw,
+                      disk_bandwidth_mbps=bw, rtt_ms=1.0)
+
+
+@given(memories(), links(), st.sampled_from(list(Mechanism)))
+@settings(max_examples=60, deadline=None)
+def test_timings_are_finite_and_nonnegative(mem, link, mech):
+    model = MigrationModel(mech, TYPICAL_PARAMS)
+    p = model.planned(mem, link)
+    f = model.forced(mem, link, grace_s=120.0, target_ready_after_s=95.0)
+    for t in (p, f):
+        assert 0.0 <= t.downtime_s < 1e5
+        assert 0.0 <= t.prep_s < 1e6
+        assert t.total_s >= t.downtime_s
+
+
+@given(memories(), links())
+@settings(max_examples=40, deadline=None)
+def test_lazy_restore_never_worse_than_eager_forced(mem, link):
+    eager = MigrationModel(Mechanism.CKPT).forced(mem, link, 120.0, 95.0)
+    lazy = MigrationModel(Mechanism.CKPT_LR).forced(mem, link, 120.0, 95.0)
+    assert lazy.downtime_s <= eager.downtime_s + 1e-9
+
+
+@given(memories(), links())
+@settings(max_examples=40, deadline=None)
+def test_live_planned_never_worse_than_checkpoint_planned(mem, link):
+    # live only converges when the link outruns the dirty rate
+    if mem.dirty_rate_mbps >= 0.8 * link.memory_bandwidth_mbps:
+        return
+    ckpt = MigrationModel(Mechanism.CKPT_LR).planned(mem, link)
+    live = MigrationModel(Mechanism.CKPT_LR_LIVE).planned(mem, link)
+    assert live.downtime_s <= ckpt.downtime_s + 1e-9
+
+
+@given(memories(), links(), st.floats(min_value=0.0, max_value=600.0))
+@settings(max_examples=40, deadline=None)
+def test_forced_downtime_monotone_in_target_delay(mem, link, delay):
+    m = MigrationModel(Mechanism.CKPT_LR)
+    base = m.forced(mem, link, 120.0, 0.0)
+    delayed = m.forced(mem, link, 120.0, delay)
+    assert delayed.downtime_s >= base.downtime_s - 1e-9
+
+
+@given(memories(), links())
+@settings(max_examples=40, deadline=None)
+def test_larger_grace_never_hurts(mem, link):
+    m = MigrationModel(Mechanism.CKPT_LR)
+    short = m.forced(mem, link, 30.0, 95.0)
+    longer = m.forced(mem, link, 240.0, 95.0)
+    assert longer.downtime_s <= short.downtime_s + 1e-9
+
+
+@given(st.floats(min_value=0.5, max_value=8.0), links())
+@settings(max_examples=40, deadline=None)
+def test_eager_forced_downtime_monotone_in_memory(size, link):
+    m = MigrationModel(Mechanism.CKPT)
+    small = m.forced(MemoryProfile(size_gib=size), link, 120.0, 95.0)
+    big = m.forced(MemoryProfile(size_gib=2 * size), link, 120.0, 95.0)
+    assert big.downtime_s >= small.downtime_s - 1e-9
+
+
+@given(st.floats(min_value=0.5, max_value=16.0), links())
+@settings(max_examples=40, deadline=None)
+def test_lazy_forced_downtime_memory_independent(size, link):
+    """The Fig 7 crux: lazy-restore blackout does not scale with RAM
+    (the increment is tau-bounded and the resume constant)."""
+    m = MigrationModel(Mechanism.CKPT_LR)
+    a = m.forced(MemoryProfile(size_gib=size), link, 120.0, 95.0)
+    b = m.forced(MemoryProfile(size_gib=16.0), link, 120.0, 95.0)
+    assert abs(a.downtime_s - b.downtime_s) < 15.0

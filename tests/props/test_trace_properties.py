@@ -1,0 +1,120 @@
+"""Property-based tests for the PriceTrace step function."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.trace import PriceTrace
+
+
+@st.composite
+def traces(draw, max_points=40):
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.5, max_value=5000.0), min_size=n, max_size=n)
+    )
+    times = np.cumsum(np.asarray(gaps)) - gaps[0]
+    prices = draw(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    tail = draw(st.floats(min_value=0.5, max_value=5000.0))
+    return PriceTrace(times, np.asarray(prices), float(times[-1] + tail))
+
+
+@st.composite
+def trace_and_time(draw):
+    t = draw(traces())
+    at = draw(st.floats(min_value=0.0, max_value=1.0))
+    return t, t.start + at * (t.horizon - t.start) * 0.999
+
+
+@given(traces())
+def test_mean_price_within_min_max(trace):
+    assert trace.min_price() - 1e-12 <= trace.mean_price() <= trace.max_price() + 1e-12
+
+
+@given(traces())
+def test_std_nonnegative_and_bounded(trace):
+    std = trace.price_std()
+    assert std >= 0.0
+    assert std <= (trace.max_price() - trace.min_price()) + 1e-9
+
+
+@given(trace_and_time())
+def test_price_at_matches_some_segment(pair):
+    trace, t = pair
+    p = trace.price_at(t)
+    assert p in set(trace.prices)
+
+
+@given(trace_and_time())
+def test_segments_cover_price_at(pair):
+    trace, t = pair
+    for s, e, price in trace.segments():
+        if s <= t < e:
+            assert price == trace.price_at(t)
+            break
+    else:  # pragma: no cover - segments always cover [start, horizon)
+        raise AssertionError("no segment covered t")
+
+
+@given(traces())
+def test_segment_durations_sum_to_duration(trace):
+    total = sum(e - s for s, e, _ in trace.segments())
+    assert total == np.float64(total)
+    np.testing.assert_allclose(total, trace.duration, rtol=1e-9)
+
+
+@given(traces(), st.floats(min_value=1e-4, max_value=100.0))
+def test_time_above_bounded(trace, threshold):
+    ta = trace.time_above(threshold)
+    assert 0.0 <= ta <= trace.duration + 1e-9
+    if threshold >= trace.max_price():
+        assert ta == 0.0
+    if threshold < trace.min_price():
+        np.testing.assert_allclose(ta, trace.duration, rtol=1e-9)
+
+
+@given(traces(), st.floats(min_value=1e-4, max_value=100.0))
+def test_crossings_alternate(trace, threshold):
+    """Rising and falling crossings must interleave."""
+    ups = list(trace.crossings_above(threshold))
+    downs = list(trace.crossings_below(threshold))
+    merged = sorted([(t, "u") for t in ups] + [(t, "d") for t in downs])
+    for (t1, k1), (t2, k2) in zip(merged, merged[1:]):
+        assert k1 != k2, f"two consecutive {k1}-crossings at {t1}, {t2}"
+
+
+@given(trace_and_time(), st.floats(min_value=1e-4, max_value=100.0))
+def test_first_time_above_is_consistent(pair, threshold):
+    trace, t0 = pair
+    hit = trace.first_time_above(threshold, t0)
+    if hit is not None:
+        assert hit >= min(t0, trace.horizon) - 1e-9
+        assert trace.price_at(hit) > threshold
+    else:
+        # nothing above the threshold in [t0, horizon)
+        assert trace.time_above(threshold, t0, trace.horizon) == 0.0
+
+
+@given(traces(), st.floats(min_value=10.0, max_value=1000.0))
+def test_resample_values_are_trace_prices(trace, step):
+    grid, vals = trace.regular_grid(step)
+    assert set(np.unique(vals)).issubset(set(trace.prices))
+
+
+@given(traces(), st.floats(min_value=0.1, max_value=7.0))
+def test_scale_prices_scales_mean(trace, factor):
+    scaled = trace.scale_prices(factor)
+    np.testing.assert_allclose(scaled.mean_price(), factor * trace.mean_price(), rtol=1e-9)
+
+
+@given(traces(), st.floats(min_value=-1e5, max_value=1e5))
+def test_shift_preserves_shape(trace, dt):
+    shifted = trace.shift(dt)
+    np.testing.assert_allclose(shifted.duration, trace.duration, rtol=1e-9)
+    np.testing.assert_allclose(shifted.mean_price(), trace.mean_price(), rtol=1e-9)

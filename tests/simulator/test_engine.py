@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Engine
+from repro.simulator.events import EventKind
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Engine(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(3.0, lambda e, ev: fired.append(3))
+    eng.schedule(1.0, lambda e, ev: fired.append(1))
+    eng.schedule(2.0, lambda e, ev: fired.append(2))
+    eng.run()
+    assert fired == [1, 2, 3]
+
+
+def test_equal_time_events_fire_fifo():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.schedule(1.0, lambda e, ev, i=i: fired.append(i))
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda e, ev: fired.append("late"), priority=1)
+    eng.schedule(1.0, lambda e, ev: fired.append("early"), priority=-1)
+    eng.run()
+    assert fired == ["early", "late"]
+
+
+def test_clock_advances_to_event_time():
+    eng = Engine()
+    seen = []
+    eng.schedule(7.5, lambda e, ev: seen.append(e.now))
+    eng.run()
+    assert seen == [7.5]
+    assert eng.now == 7.5
+
+
+def test_scheduling_in_past_raises():
+    eng = Engine()
+    eng.schedule(5.0, lambda e, ev: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule(1.0, lambda e, ev: None)
+
+
+def test_schedule_after_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Engine().schedule_after(-1.0, lambda e, ev: None)
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda e, ev: fired.append(1))
+    eng.schedule(10.0, lambda e, ev: fired.append(10))
+    n = eng.run(until=5.0)
+    assert n == 1 and fired == [1]
+    assert eng.now == 5.0  # clock advanced exactly to the bound
+    eng.run(until=20.0)
+    assert fired == [1, 10]
+
+
+def test_run_until_composes():
+    eng = Engine()
+    eng.run(until=10.0)
+    eng.run(until=20.0)
+    assert eng.now == 20.0
+
+
+def test_cancellation_prevents_firing():
+    eng = Engine()
+    fired = []
+    h = eng.schedule(1.0, lambda e, ev: fired.append("x"))
+    h.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.pending_count() == 0
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    h = eng.schedule(1.0, lambda e, ev: None)
+    h.cancel()
+    h.cancel()
+    assert h.cancelled
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    fired = []
+
+    def first(e, ev):
+        fired.append("first")
+        e.schedule_after(1.0, lambda e2, ev2: fired.append("second"))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert fired == ["first", "second"]
+    assert eng.now == 2.0
+
+
+def test_zero_delay_event_fires_at_same_time():
+    eng = Engine()
+    times = []
+
+    def cb(e, ev):
+        times.append(e.now)
+        if len(times) < 3:
+            e.schedule_after(0.0, cb)
+
+    eng.schedule(5.0, cb)
+    eng.run()
+    assert times == [5.0, 5.0, 5.0]
+
+
+def test_max_events_bound():
+    eng = Engine()
+    for i in range(10):
+        eng.schedule(float(i), lambda e, ev: None)
+    assert eng.run(max_events=4) == 4
+    assert eng.pending_count() == 6
+
+
+def test_stop_inside_callback():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda e, ev: (fired.append(1), e.stop()))
+    eng.schedule(2.0, lambda e, ev: fired.append(2))
+    eng.run()
+    assert fired == [1]
+
+
+def test_reentrant_run_raises():
+    eng = Engine()
+
+    def nested(e, ev):
+        with pytest.raises(SimulationError):
+            e.run()
+
+    eng.schedule(1.0, nested)
+    eng.run()
+
+
+def test_trace_log_records_fired_events():
+    eng = Engine(trace=True)
+    eng.schedule(1.0, lambda e, ev: None, kind=EventKind.TIMER, label="t1")
+    eng.schedule(2.0, lambda e, ev: None, label="t2")
+    eng.run()
+    assert [ev.label for ev in eng.fired_log] == ["t1", "t2"]
+    assert eng.fired_log[0].kind is EventKind.TIMER
+
+
+def test_peek_skips_cancelled():
+    eng = Engine()
+    h = eng.schedule(1.0, lambda e, ev: None)
+    eng.schedule(2.0, lambda e, ev: None)
+    h.cancel()
+    assert eng.peek() == 2.0
+
+
+def test_fired_count():
+    eng = Engine()
+    for i in range(5):
+        eng.schedule(float(i + 1), lambda e, ev: None)
+    eng.run()
+    assert eng.fired_count == 5

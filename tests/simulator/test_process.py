@@ -1,0 +1,188 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Engine
+from repro.simulator.process import Interrupt, Process, Timeout, WaitEvent
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    seen = []
+
+    def proc():
+        yield Timeout(5.0)
+        seen.append(eng.now)
+        yield Timeout(2.5)
+        seen.append(eng.now)
+
+    Process(eng, proc())
+    eng.run()
+    assert seen == [5.0, 7.5]
+
+
+def test_process_result_captured():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = Process(eng, proc())
+    eng.run()
+    assert not p.alive
+    assert p.result == 42
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_wait_event_delivers_value():
+    eng = Engine()
+    got = []
+    sig = WaitEvent(eng)
+
+    def waiter():
+        value = yield sig
+        got.append((eng.now, value))
+
+    def firer():
+        yield Timeout(3.0)
+        sig.succeed("payload")
+
+    Process(eng, waiter())
+    Process(eng, firer())
+    eng.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_wait_event_latched_before_wait():
+    eng = Engine()
+    sig = WaitEvent(eng)
+    sig.succeed("early")
+    got = []
+
+    def waiter():
+        v = yield sig
+        got.append(v)
+
+    Process(eng, waiter())
+    eng.run()
+    assert got == ["early"]
+
+
+def test_wait_event_double_trigger_raises():
+    eng = Engine()
+    sig = WaitEvent(eng)
+    sig.succeed()
+    with pytest.raises(SimulationError):
+        sig.succeed()
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine()
+    sig = WaitEvent(eng)
+    woken = []
+
+    def waiter(i):
+        yield sig
+        woken.append(i)
+
+    for i in range(3):
+        Process(eng, waiter(i), label=f"w{i}")
+
+    def firer():
+        yield Timeout(1.0)
+        sig.succeed()
+
+    Process(eng, firer())
+    eng.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_interrupt_raises_inside_generator():
+    eng = Engine()
+    events = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+            events.append("finished")
+        except Interrupt as exc:
+            events.append(("interrupted", exc.cause, eng.now))
+
+    p = Process(eng, proc())
+    eng.schedule(5.0, lambda e, ev: p.interrupt("revocation"))
+    eng.run()
+    assert events == [("interrupted", "revocation", 5.0)]
+    assert eng.now == 5.0  # the 100s timer was cancelled
+
+
+def test_interrupt_dead_process_is_noop():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = Process(eng, proc())
+    eng.run()
+    assert not p.alive
+    p.interrupt()  # must not raise
+    eng.run()
+
+
+def test_unhandled_interrupt_terminates_process():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(100.0)
+
+    p = Process(eng, proc())
+    eng.schedule(1.0, lambda e, ev: p.interrupt())
+    eng.run()
+    assert not p.alive
+
+
+def test_completion_event_triggers():
+    eng = Engine()
+
+    def child():
+        yield Timeout(2.0)
+        return "done"
+
+    child_p = Process(eng, child())
+    got = []
+
+    def parent():
+        v = yield child_p.completion
+        got.append((eng.now, v))
+
+    Process(eng, parent())
+    eng.run()
+    assert got == [(2.0, "done")]
+
+
+def test_yielding_garbage_raises():
+    eng = Engine()
+
+    def proc():
+        yield "not-a-command"
+
+    Process(eng, proc())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_immediate_return_process():
+    eng = Engine()
+
+    def proc():
+        return "instant"
+        yield  # pragma: no cover
+
+    p = Process(eng, proc())
+    eng.run()
+    assert p.result == "instant"

@@ -1,0 +1,66 @@
+"""Unit tests for unit conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_time_helpers(self):
+        assert units.minutes(2) == 120.0
+        assert units.hours(1.5) == 5400.0
+        assert units.days(2) == 172800.0
+        assert units.to_hours(7200.0) == 2.0
+        assert units.to_days(86400.0) == 1.0
+
+    def test_roundtrips(self):
+        assert units.to_hours(units.hours(3.7)) == pytest.approx(3.7)
+        assert units.to_days(units.days(0.25)) == pytest.approx(0.25)
+
+    def test_gib_to_megabits(self):
+        assert units.gib_to_megabits(1.0) == pytest.approx(1024**3 * 8 / 1e6)
+
+    def test_transfer_seconds(self):
+        # 1 GiB over 100 Mbit/s
+        assert units.transfer_seconds(1.0, 100.0) == pytest.approx(85.9, rel=0.01)
+        assert units.transfer_seconds(0.0, 100.0) == 0.0
+
+    def test_transfer_seconds_validation(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.transfer_seconds(-1.0, 100.0)
+
+    def test_percent_and_basis_points(self):
+        assert units.percent(0.5) == 50.0
+        assert units.basis_points(0.0001) == pytest.approx(1.0)
+        # the paper's availability target: 1 basis point of unavailability
+        assert units.basis_points(0.0001) == pytest.approx(
+            units.percent(0.0001) * 100
+        )
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (5.0, "5.0s"),
+            (90.0, "1.5m"),
+            (7200.0, "2.00h"),
+            (172800.0, "2.00d"),
+            (-90.0, "-1.5m"),
+        ],
+    )
+    def test_fmt_duration(self, seconds, expected):
+        assert units.fmt_duration(seconds) == expected
+
+    def test_fmt_usd(self):
+        assert units.fmt_usd(0.0612) == "$0.0612"
+        assert units.fmt_usd(1234.5) == "$1,234.50"
+
+
+class TestConstants:
+    def test_clock_constants(self):
+        assert units.SECONDS_PER_HOUR == 3600.0
+        assert units.SECONDS_PER_DAY == 24 * 3600.0
+        assert units.HOURS_PER_DAY == 24.0

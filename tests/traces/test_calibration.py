@@ -1,0 +1,115 @@
+"""Unit tests for market calibrations."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.traces.calibration import (
+    DEFAULT_CALIBRATIONS,
+    REGIONS,
+    SIZES,
+    MarketCalibration,
+    SpikeModel,
+    calibration_for,
+    on_demand_price,
+)
+
+
+def test_all_markets_calibrated():
+    assert set(DEFAULT_CALIBRATIONS) == {(r, s) for r in REGIONS for s in SIZES}
+
+
+def test_on_demand_prices_follow_size_ladder():
+    assert on_demand_price("us-east-1a", "small") == pytest.approx(0.06)
+    assert on_demand_price("us-east-1a", "medium") == pytest.approx(0.12)
+    assert on_demand_price("us-east-1a", "xlarge") == pytest.approx(0.48)
+
+
+def test_eu_on_demand_premium():
+    assert on_demand_price("eu-west-1a", "small") > on_demand_price("us-east-1a", "small")
+
+
+def test_unknown_market_raises():
+    with pytest.raises(CalibrationError):
+        on_demand_price("mars-1a", "small")
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "tiny")
+
+
+def test_calibration_override():
+    cal = calibration_for("us-east-1a", "small", calm_base_frac=0.3)
+    assert cal.calm_base_frac == 0.3
+    # default untouched
+    assert calibration_for("us-east-1a", "small").calm_base_frac != 0.3
+
+
+def test_calm_level_below_on_demand_everywhere():
+    for cal in DEFAULT_CALIBRATIONS.values():
+        assert cal.calm_base_frac < 1.0
+
+
+def test_us_east_more_excursion_prone_than_eu():
+    for size in SIZES:
+        east = calibration_for("us-east-1a", size)
+        eu = calibration_for("eu-west-1a", size)
+        assert east.expected_excursion_rate() > eu.expected_excursion_rate()
+
+
+def test_expected_time_above_od_in_band():
+    """us-east small should sit above on-demand ~1-4 % of the time (drives
+    the pure-spot unavailability of Fig 11)."""
+    cal = calibration_for("us-east-1a", "small")
+    assert 0.005 < cal.expected_time_above_od_fraction() < 0.06
+
+
+def test_sharp_spikes_exceed_bid_cap():
+    for cal in DEFAULT_CALIBRATIONS.values():
+        assert cal.sharp_spikes.peak_lo_frac > 4.0
+        assert cal.sharp_spikes.sharp
+
+
+def test_blips_stay_modest():
+    for cal in DEFAULT_CALIBRATIONS.values():
+        assert cal.blips.peak_hi_frac < cal.spikes.peak_hi_frac + 1e-9
+
+
+def test_spike_model_validation():
+    with pytest.raises(CalibrationError):
+        SpikeModel(rate_per_hour=-1, duration_mean_s=100, duration_sigma=0.5,
+                   peak_lo_frac=1.1, peak_hi_frac=2.0)
+    with pytest.raises(CalibrationError):
+        SpikeModel(rate_per_hour=0.1, duration_mean_s=0, duration_sigma=0.5,
+                   peak_lo_frac=1.1, peak_hi_frac=2.0)
+    with pytest.raises(CalibrationError):
+        SpikeModel(rate_per_hour=0.1, duration_mean_s=10, duration_sigma=0.5,
+                   peak_lo_frac=2.0, peak_hi_frac=1.0)
+
+
+def test_market_calibration_validation():
+    base = calibration_for("us-east-1a", "small")
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "small", calm_base_frac=1.5)
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "small", calm_change_rate_per_hour=0)
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "small", regional_shock_share=0.9,
+                        global_shock_share=0.2)
+    assert base.turbulent_mult >= 1.0
+
+
+def test_turbulence_arithmetic():
+    cal = calibration_for("us-east-1a", "small")
+    f = cal.turbulent_fraction()
+    assert 0 < f < 1
+    # Stationary mean preserved: f*mt + (1-f)*mq == 1
+    mq = cal.quiet_rate_mult()
+    assert f * cal.turbulent_mult + (1 - f) * mq == pytest.approx(1.0)
+
+
+def test_turbulence_validation():
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "small", turbulent_mult=0.5)
+    with pytest.raises(CalibrationError):
+        calibration_for("us-east-1a", "small", quiet_mean_s=-1)
+    with pytest.raises(CalibrationError):
+        # turbulent_mult too large for the turbulent fraction -> negative quiet rate
+        calibration_for("us-east-1a", "small", turbulent_mult=10.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the trace catalog."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.traces.calibration import REGIONS, SIZES, calibration_for
+from repro.traces.catalog import MarketKey, TraceCatalog, build_catalog
+from repro.traces.trace import PriceTrace
+from repro.units import days
+
+
+def test_build_full_catalog(month_catalog):
+    assert len(month_catalog) == len(REGIONS) * len(SIZES)
+    assert month_catalog.regions() == sorted(REGIONS)
+
+
+def test_markets_sorted(month_catalog):
+    ms = month_catalog.markets()
+    assert ms == sorted(ms)
+
+
+def test_markets_in_region(month_catalog):
+    ms = month_catalog.markets_in_region("us-east-1a")
+    assert len(ms) == len(SIZES)
+    assert all(k.region == "us-east-1a" for k in ms)
+
+
+def test_on_demand_prices_present(month_catalog):
+    for key in month_catalog:
+        assert month_catalog.on_demand_price(key) > 0
+
+
+def test_unknown_market_raises(month_catalog):
+    bogus = MarketKey("nowhere-1a", "small")
+    with pytest.raises(CalibrationError):
+        month_catalog.trace(bogus)
+    with pytest.raises(CalibrationError):
+        month_catalog.on_demand_price(bogus)
+    assert bogus not in month_catalog
+
+
+def test_restricted_subcatalog(month_catalog):
+    keys = month_catalog.markets_in_region("eu-west-1a")
+    sub = month_catalog.restricted(keys)
+    assert len(sub) == len(SIZES)
+    assert sub.regions() == ["eu-west-1a"]
+
+
+def test_subset_build():
+    cat = build_catalog(seed=1, horizon=days(5), regions=("us-west-1a",), sizes=("small", "large"))
+    assert len(cat) == 2
+
+
+def test_catalog_determinism():
+    a = build_catalog(seed=42, horizon=days(5), regions=("us-east-1a",), sizes=("small",))
+    b = build_catalog(seed=42, horizon=days(5), regions=("us-east-1a",), sizes=("small",))
+    ka = a.markets()[0]
+    import numpy as np
+    assert np.allclose(a.trace(ka).prices, b.trace(ka).prices)
+
+
+def test_single_market_matches_catalog_generation():
+    """generate_trace and build_catalog agree for the same seed."""
+    import numpy as np
+    from repro.traces.generator import generate_trace
+    cal = calibration_for("us-east-1a", "small")
+    solo = generate_trace(cal, days(5), seed=42)
+    cat = build_catalog(seed=42, horizon=days(5), regions=("us-east-1a",), sizes=("small",))
+    from_cat = cat.trace(MarketKey("us-east-1a", "small"))
+    assert np.allclose(solo.prices, from_cat.prices)
+
+
+def test_calibration_overrides_respected():
+    cal = calibration_for("us-east-1a", "small", calm_base_frac=0.08)
+    cat = build_catalog(
+        seed=1, horizon=days(10), regions=("us-east-1a",), sizes=("small",),
+        calibrations={("us-east-1a", "small"): cal},
+    )
+    t = cat.trace(MarketKey("us-east-1a", "small"))
+    assert t.mean_price() < 0.25 * 0.06
+
+
+def test_mismatched_horizon_rejected():
+    key = MarketKey("us-east-1a", "small")
+    t = PriceTrace.constant(0.02, 0.0, 100.0)
+    with pytest.raises(CalibrationError):
+        TraceCatalog({key: t}, {key: 0.06}, horizon=200.0)
+
+
+def test_empty_catalog_rejected():
+    with pytest.raises(CalibrationError):
+        TraceCatalog({}, {}, horizon=100.0)
+
+
+def test_missing_on_demand_rejected():
+    key = MarketKey("us-east-1a", "small")
+    t = PriceTrace.constant(0.02, 0.0, 100.0)
+    with pytest.raises(CalibrationError):
+        TraceCatalog({key: t}, {}, horizon=100.0)
+
+
+def test_market_key_ordering_and_str():
+    a = MarketKey("us-east-1a", "small")
+    b = MarketKey("us-west-1a", "small")
+    assert a < b
+    assert str(a) == "us-east-1a/small"

@@ -1,0 +1,153 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.rng import RngStreams
+from repro.traces.calibration import calibration_for
+from repro.traces.generator import TraceGenerator, generate_trace, sample_excursions
+from repro.traces.statistics import time_above_fraction
+from repro.units import days
+
+
+CAL = calibration_for("us-east-1a", "small")
+
+
+def test_deterministic_given_seed():
+    a = generate_trace(CAL, days(10), seed=3)
+    b = generate_trace(CAL, days(10), seed=3)
+    assert np.allclose(a.times, b.times)
+    assert np.allclose(a.prices, b.prices)
+
+
+def test_different_seeds_differ():
+    a = generate_trace(CAL, days(10), seed=3)
+    b = generate_trace(CAL, days(10), seed=4)
+    assert len(a) != len(b) or not np.allclose(a.prices[: min(len(a), len(b))],
+                                               b.prices[: min(len(a), len(b))])
+
+
+def test_trace_invariants():
+    t = generate_trace(CAL, days(30), seed=5)
+    assert t.start == 0.0
+    assert t.horizon == days(30)
+    assert np.all(np.diff(t.times) > 0)
+    assert np.all(t.prices > 0)
+    # consecutive prices differ (compressed)
+    assert np.all(np.diff(t.prices) != 0)
+
+
+def test_price_floor_respected():
+    t = generate_trace(CAL, days(30), seed=5)
+    floor = CAL.price_floor_frac * CAL.on_demand
+    assert t.min_price() >= floor - 1e-12
+
+
+def test_calm_level_well_below_on_demand():
+    t = generate_trace(CAL, days(30), seed=5)
+    assert t.mean_price() < 0.6 * CAL.on_demand
+
+
+def test_some_excursions_cross_on_demand():
+    t = generate_trace(CAL, days(30), seed=5)
+    assert t.max_price() > CAL.on_demand
+    frac = time_above_fraction(t, CAL.on_demand)
+    assert 0.001 < frac < 0.10
+
+
+def test_sharp_spikes_can_cross_bid_cap():
+    """Over several seeds, at least one sharp spike must exceed 4x od."""
+    crossed = 0
+    for seed in range(8):
+        t = generate_trace(CAL, days(30), seed=seed)
+        if t.max_price() > 4.0 * CAL.on_demand:
+            crossed += 1
+    assert crossed >= 3
+
+
+def test_no_excursions_when_rates_zero():
+    from dataclasses import replace
+    quiet = replace(
+        CAL,
+        blips=replace(CAL.blips, rate_per_hour=0.0),
+        spikes=replace(CAL.spikes, rate_per_hour=0.0),
+        sharp_spikes=replace(CAL.sharp_spikes, rate_per_hour=0.0),
+    )
+    t = generate_trace(quiet, days(30), seed=1)
+    # calm leg is clipped below on-demand
+    assert t.max_price() <= 0.92 * CAL.on_demand + 1e-12
+
+
+def test_change_rate_roughly_matches_calm_rate():
+    t = generate_trace(CAL, days(30), seed=2)
+    changes_per_hour = len(t) / (30 * 24)
+    # calm repricing at 4/hr dominates the change count
+    assert 2.0 < changes_per_hour < 8.0
+
+
+def test_sample_excursions_respects_horizon():
+    rng = np.random.default_rng(0)
+    starts = np.array([100.0, 5000.0])
+    exc = sample_excursions(rng, CAL.spikes, starts, CAL.on_demand, horizon=6000.0,
+                            calm_level=0.015)
+    for e in exc:
+        assert e.end <= 6000.0
+        assert e.start < e.end
+
+
+def test_sample_excursions_empty():
+    rng = np.random.default_rng(0)
+    assert sample_excursions(rng, CAL.spikes, np.array([]), CAL.on_demand, 100.0, 0.01) == []
+
+
+def test_sharp_excursion_jumps_to_peak():
+    rng = np.random.default_rng(0)
+    exc = sample_excursions(
+        rng, CAL.sharp_spikes, np.array([100.0]), CAL.on_demand, days(1), 0.015
+    )[0]
+    # first step is already at (or essentially at) the peak
+    assert exc.step_prices[0] >= 4.0 * CAL.on_demand
+
+
+def test_gradual_excursion_ramps():
+    rng = np.random.default_rng(1)
+    exc = sample_excursions(
+        rng, CAL.spikes, np.array([100.0]), CAL.on_demand, days(1), 0.015
+    )[0]
+    assert exc.step_prices[0] < exc.peak
+
+
+def test_envelope_outside_window_is_neg_inf():
+    rng = np.random.default_rng(0)
+    exc = sample_excursions(
+        rng, CAL.spikes, np.array([100.0]), CAL.on_demand, days(1), 0.015
+    )[0]
+    vals = exc.envelope_at(np.array([0.0, exc.start, exc.end + 1.0]))
+    assert vals[0] == -np.inf
+    assert vals[1] > 0
+    assert vals[2] == -np.inf
+
+
+def test_shared_streams_induce_shared_events():
+    """Two markets of a region share regional shock arrivals."""
+    streams = RngStreams(77)
+    gen = TraceGenerator(streams, days(30))
+    a = gen._shared_starts("us-east-1a", "spikes")
+    b = gen._shared_starts("us-east-1a", "spikes")
+    assert a is b  # cached
+    g = gen._shared_starts("global", "spikes")
+    assert g is gen._shared_starts("global", "spikes")
+
+
+def test_turbulence_intervals_within_horizon():
+    streams = RngStreams(5)
+    gen = TraceGenerator(streams, days(30))
+    iv = gen._turbulence_intervals(CAL)
+    for s, e in iv:
+        assert 0 <= s <= e <= days(30)
+
+
+def test_horizon_too_short_rejected():
+    from repro.errors import CalibrationError
+    with pytest.raises(CalibrationError):
+        TraceGenerator(RngStreams(1), horizon=100.0)

@@ -1,0 +1,90 @@
+"""Unit tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.statistics import (
+    correlation_matrix,
+    mean_pairwise_correlation,
+    summarize_trace,
+    time_above_fraction,
+    trace_correlation,
+)
+from repro.traces.trace import PriceTrace
+
+
+def mk(times, prices, horizon):
+    return PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+
+
+def test_identical_traces_correlate_fully():
+    t = mk([0, 1000, 2000, 3000], [1, 2, 1, 3], 10000)
+    assert trace_correlation(t, t) == pytest.approx(1.0)
+
+
+def test_anti_correlated():
+    a = mk([0, 5000], [1.0, 2.0], 10000)
+    b = mk([0, 5000], [2.0, 1.0], 10000)
+    assert trace_correlation(a, b) == pytest.approx(-1.0)
+
+
+def test_constant_trace_correlation_zero():
+    a = mk([0], [1.0], 10000)
+    b = mk([0, 5000], [1.0, 2.0], 10000)
+    assert trace_correlation(a, b) == 0.0
+
+
+def test_non_overlapping_raises():
+    a = mk([0], [1.0], 500)
+    b = mk([0], [1.0], 10000)
+    with pytest.raises(TraceError):
+        trace_correlation(a, b, step=400)
+
+
+def test_correlation_matrix_shape_and_symmetry():
+    traces = [
+        mk([0, 3000], [1.0, 2.0], 10000),
+        mk([0, 5000], [2.0, 1.0], 10000),
+        mk([0, 2000], [1.0, 3.0], 10000),
+    ]
+    m = correlation_matrix(traces)
+    assert m.shape == (3, 3)
+    assert np.allclose(m, m.T)
+    assert np.allclose(np.diag(m), 1.0)
+
+
+def test_correlation_matrix_needs_two():
+    with pytest.raises(TraceError):
+        correlation_matrix([mk([0], [1.0], 1000)])
+
+
+def test_mean_pairwise_correlation_bounds():
+    traces = [
+        mk([0, 3000], [1.0, 2.0], 10000),
+        mk([0, 3000], [1.0, 2.0], 10000),
+        mk([0, 3000], [2.0, 1.0], 10000),
+    ]
+    v = mean_pairwise_correlation(traces)
+    assert -1.0 <= v <= 1.0
+
+
+def test_time_above_fraction():
+    t = mk([0, 2500], [1.0, 5.0], 10000)
+    assert time_above_fraction(t, 2.0) == pytest.approx(0.75)
+    assert time_above_fraction(t, 10.0) == 0.0
+
+
+def test_summarize_trace_fields():
+    t = mk([0, 5000], [0.02, 0.10], 10000)
+    t = PriceTrace(t.times, t.prices, t.horizon, market="small", region="us-east-1a")
+    s = summarize_trace(t, on_demand=0.06)
+    assert s.market == "small"
+    assert s.mean_price == pytest.approx(0.06)
+    assert s.max_price == 0.10
+    assert s.min_price == 0.02
+    assert s.frac_above_od == pytest.approx(0.5)
+    assert s.excursions_above_od == 1
+    assert s.n_changes == 2
+    assert s.duration_hours == pytest.approx(10000 / 3600)
+    assert len(s.row()) == 6

@@ -1,0 +1,207 @@
+"""Unit tests for the PriceTrace step function."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import PriceTrace
+
+
+def make(times, prices, horizon):
+    return PriceTrace(np.array(times, float), np.array(prices, float), horizon)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make([0, 10, 20], [1.0, 2.0, 3.0], 30)
+        assert len(t) == 3
+        assert t.start == 0
+        assert t.duration == 30
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceFormatError):
+            make([], [], 10)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TraceFormatError):
+            make([0, 1], [1.0], 10)
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(TraceFormatError):
+            make([0, 5, 5], [1, 2, 3], 10)
+        with pytest.raises(TraceFormatError):
+            make([0, 5, 4], [1, 2, 3], 10)
+
+    def test_rejects_non_positive_prices(self):
+        with pytest.raises(TraceFormatError):
+            make([0, 1], [1.0, 0.0], 10)
+        with pytest.raises(TraceFormatError):
+            make([0], [-2.0], 10)
+
+    def test_rejects_horizon_before_last_change(self):
+        with pytest.raises(TraceFormatError):
+            make([0, 10], [1, 2], 10)
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceFormatError):
+            make([0, float("nan")], [1, 2], 10)
+        with pytest.raises(TraceFormatError):
+            make([0, 1], [1, float("inf")], 10)
+
+    def test_arrays_readonly(self):
+        t = make([0, 10], [1, 2], 20)
+        with pytest.raises(ValueError):
+            t.times[0] = 5.0
+
+
+class TestLookup:
+    def test_price_at_scalar(self):
+        t = make([0, 10, 20], [1.0, 2.0, 3.0], 30)
+        assert t.price_at(0) == 1.0
+        assert t.price_at(9.999) == 1.0
+        assert t.price_at(10) == 2.0  # right-open: new price holds from change
+        assert t.price_at(25) == 3.0
+
+    def test_price_at_clamps(self):
+        t = make([5, 10], [1.0, 2.0], 20)
+        assert t.price_at(0) == 1.0
+        assert t.price_at(999) == 2.0
+
+    def test_price_at_vector(self):
+        t = make([0, 10], [1.0, 2.0], 20)
+        out = t.price_at(np.array([0.0, 9.0, 10.0, 15.0]))
+        assert np.allclose(out, [1, 1, 2, 2])
+
+    def test_next_change_after(self):
+        t = make([0, 10, 20], [1, 2, 3], 30)
+        assert t.next_change_after(0) == 10
+        assert t.next_change_after(10) == 20
+        assert t.next_change_after(20) is None
+
+
+class TestAggregates:
+    def test_mean_price_time_weighted(self):
+        t = make([0, 10], [1.0, 3.0], 20)
+        assert t.mean_price() == pytest.approx(2.0)
+        assert t.mean_price(0, 10) == pytest.approx(1.0)
+        assert t.mean_price(5, 15) == pytest.approx(2.0)
+
+    def test_price_std(self):
+        t = make([0, 10], [1.0, 3.0], 20)
+        assert t.price_std() == pytest.approx(1.0)
+        assert make([0], [5.0], 10).price_std() == 0.0
+
+    def test_time_above(self):
+        t = make([0, 10, 20], [1.0, 5.0, 1.0], 30)
+        assert t.time_above(2.0) == 10.0
+        assert t.time_above(0.5) == 30.0
+        assert t.time_above(10.0) == 0.0
+
+    def test_time_above_window(self):
+        t = make([0, 10, 20], [1.0, 5.0, 1.0], 30)
+        assert t.time_above(2.0, 15, 30) == 5.0
+
+    def test_min_max(self):
+        t = make([0, 10, 20], [2.0, 5.0, 1.0], 30)
+        assert t.max_price() == 5.0
+        assert t.min_price() == 1.0
+        assert t.max_price(0, 10) == 2.0
+
+    def test_empty_window_raises(self):
+        t = make([0], [1.0], 10)
+        with pytest.raises(TraceFormatError):
+            t.mean_price(5, 5)
+
+
+class TestCrossings:
+    def test_crossings_above(self):
+        t = make([0, 10, 20, 30], [1.0, 5.0, 1.0, 5.0], 40)
+        assert list(t.crossings_above(2.0)) == [10, 30]
+
+    def test_start_above_counts_as_crossing(self):
+        t = make([0, 10], [5.0, 1.0], 20)
+        assert list(t.crossings_above(2.0)) == [0]
+
+    def test_crossings_below(self):
+        t = make([0, 10, 20, 30], [1.0, 5.0, 1.0, 5.0], 40)
+        assert list(t.crossings_below(2.0)) == [20]
+
+    def test_first_time_above_when_already_above(self):
+        t = make([0, 10], [5.0, 1.0], 20)
+        assert t.first_time_above(2.0, 3.0) == 3.0
+
+    def test_first_time_above_future(self):
+        t = make([0, 10], [1.0, 5.0], 20)
+        assert t.first_time_above(2.0, 0.0) == 10.0
+        assert t.first_time_above(2.0, 10.5) == 10.5
+
+    def test_first_time_above_none(self):
+        t = make([0], [1.0], 20)
+        assert t.first_time_above(2.0, 0.0) is None
+        assert t.first_time_above(2.0, 30.0) is None  # past horizon
+
+    def test_first_time_at_or_below(self):
+        t = make([0, 10], [5.0, 1.0], 20)
+        assert t.first_time_at_or_below(2.0, 0.0) == 10.0
+        assert t.first_time_at_or_below(2.0, 12.0) == 12.0
+        assert make([0], [5.0], 10).first_time_at_or_below(2.0, 0.0) is None
+
+
+class TestSegments:
+    def test_segments_cover_window(self):
+        t = make([0, 10, 20], [1, 2, 3], 30)
+        segs = list(t.segments())
+        assert segs == [(0, 10, 1.0), (10, 20, 2.0), (20, 30, 3.0)]
+
+    def test_segments_clipped(self):
+        t = make([0, 10, 20], [1, 2, 3], 30)
+        segs = list(t.segments(5, 15))
+        assert segs == [(5, 10, 1.0), (10, 15, 2.0)]
+
+    def test_segment_durations_sum_to_window(self):
+        t = make([0, 7, 13, 21], [1, 2, 3, 4], 30)
+        total = sum(e - s for s, e, _ in t.segments(3, 25))
+        assert total == pytest.approx(22)
+
+
+class TestTransforms:
+    def test_resample_matches_price_at(self):
+        t = make([0, 10, 20], [1, 2, 3], 30)
+        grid = np.linspace(0, 29, 50)
+        assert np.allclose(t.resample(grid), t.price_at(grid))
+
+    def test_regular_grid(self):
+        t = make([0, 10], [1, 2], 20)
+        grid, prices = t.regular_grid(5.0)
+        assert np.allclose(grid, [0, 5, 10, 15])
+        assert np.allclose(prices, [1, 1, 2, 2])
+
+    def test_slice_preserves_prices(self):
+        t = make([0, 10, 20], [1, 2, 3], 30)
+        s = t.slice(5, 25)
+        assert s.price_at(6) == 1.0
+        assert s.price_at(12) == 2.0
+        assert s.price_at(24) == 3.0
+        assert s.horizon == 25
+
+    def test_slice_out_of_range_raises(self):
+        t = make([0], [1.0], 10)
+        with pytest.raises(TraceFormatError):
+            t.slice(-1, 5)
+
+    def test_shift(self):
+        t = make([0, 10], [1, 2], 20)
+        s = t.shift(100)
+        assert s.price_at(105) == 1.0
+        assert s.horizon == 120
+
+    def test_scale_prices(self):
+        t = make([0], [2.0], 10)
+        assert t.scale_prices(3.0).price_at(5) == 6.0
+        with pytest.raises(TraceFormatError):
+            t.scale_prices(0.0)
+
+    def test_constant(self):
+        t = PriceTrace.constant(0.5, 0.0, 100.0)
+        assert t.mean_price() == 0.5
+        assert len(t) == 1

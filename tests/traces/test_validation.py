@@ -1,0 +1,66 @@
+"""Tests for trace validation against calibrations."""
+
+import numpy as np
+import pytest
+
+from repro.traces.calibration import DEFAULT_CALIBRATIONS, calibration_for
+from repro.traces.generator import generate_trace
+from repro.traces.trace import PriceTrace
+from repro.traces.validation import validate_trace
+from repro.units import days
+
+CAL = calibration_for("us-east-1a", "small")
+
+
+def test_generated_traces_validate_against_their_calibration():
+    """The generator must satisfy its own calibration's promises."""
+    for seed in range(4):
+        trace = generate_trace(CAL, days(30), seed=seed)
+        report = validate_trace(trace, CAL)
+        assert report.ok, report.describe()
+
+
+def test_every_market_self_validates():
+    for (region, size), cal in DEFAULT_CALIBRATIONS.items():
+        trace = generate_trace(cal, days(30), seed=11)
+        report = validate_trace(trace, cal)
+        assert report.ok, report.describe()
+
+
+def test_wrong_units_detected():
+    """A trace in cents instead of dollars fails the level checks."""
+    trace = generate_trace(CAL, days(30), seed=1).scale_prices(100.0)
+    report = validate_trace(trace, CAL)
+    assert not report.ok
+    assert any("calm price" in c.name for c in report.failures())
+
+
+def test_mislabeled_market_detected():
+    """An xlarge trace validated against the small calibration fails."""
+    xl = calibration_for("us-east-1a", "xlarge")
+    trace = generate_trace(xl, days(30), seed=1)
+    report = validate_trace(trace, CAL)
+    assert not report.ok
+
+
+def test_constant_trace_fails_excursion_checks():
+    trace = PriceTrace.constant(CAL.calm_base_frac * CAL.on_demand, 0.0, days(30))
+    report = validate_trace(trace, CAL)
+    assert not report.ok
+    failing = {c.name for c in report.failures()}
+    assert any("excursions" in n or "above on-demand" in n for n in failing)
+
+
+def test_describe_output():
+    trace = generate_trace(CAL, days(30), seed=2)
+    text = validate_trace(trace, CAL).describe()
+    assert "validation of us-east-1a/small" in text
+    assert "[ok " in text
+
+
+def test_tolerances_widen_bands():
+    trace = generate_trace(CAL, days(30), seed=3).scale_prices(1.8)
+    strict = validate_trace(trace, CAL, level_tolerance=1.2)
+    loose = validate_trace(trace, CAL, level_tolerance=3.0)
+    assert not strict.ok
+    assert len(loose.failures()) <= len(strict.failures())

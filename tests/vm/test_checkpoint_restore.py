@@ -1,0 +1,113 @@
+"""Unit tests for bounded checkpointing and restore models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointBoundError, MigrationError
+from repro.units import transfer_seconds
+from repro.vm.checkpoint import BoundedCheckpointer
+from repro.vm.memory import MemoryProfile
+from repro.vm.restore import EagerRestore, LazyRestore
+
+MEM = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0, working_set_frac=0.10)
+
+
+class TestBoundedCheckpointer:
+    def test_final_increment_within_bound(self):
+        """Yank's contract: the worst-case final flush fits tau (plus the
+        constant suspend overhead)."""
+        ck = BoundedCheckpointer(MEM, tau_s=10.0)
+        worst = ck.final_increment(None)
+        assert worst.within_bound
+        assert worst.suspend_write_s <= 10.0 + ck.suspend_overhead_s + 1e-9
+
+    def test_final_increment_sampled_below_worst(self):
+        ck = BoundedCheckpointer(MEM, tau_s=10.0)
+        rng = np.random.default_rng(0)
+        worst = ck.final_increment(None).suspend_write_s
+        for _ in range(20):
+            s = ck.final_increment(rng).suspend_write_s
+            assert s <= worst + 1e-9
+
+    def test_steady_state_period(self):
+        ck = BoundedCheckpointer(MEM, tau_s=5.0)
+        period = ck.steady_state_period_s()
+        # backlog cap = tau * B; period = cap / dirty_rate
+        assert period == pytest.approx(5.0 * 300.0 / 100.0)
+
+    def test_small_working_set_gives_infinite_period(self):
+        quiet = MemoryProfile(size_gib=2.0, dirty_rate_mbps=10.0, working_set_frac=0.01)
+        ck = BoundedCheckpointer(quiet, tau_s=60.0)
+        assert ck.steady_state_period_s() == float("inf")
+
+    def test_background_bandwidth_fraction(self):
+        ck = BoundedCheckpointer(MEM)
+        assert ck.background_bandwidth_fraction() == pytest.approx(100.0 / 300.0)
+
+    def test_full_image_write_matches_table2(self):
+        ck = BoundedCheckpointer(MEM)
+        per_gib = ck.full_image_write_s() / MEM.size_gib
+        assert per_gib == pytest.approx(28.6, rel=0.05)  # paper: ~28 s/GB
+
+    def test_dirty_faster_than_write_rejected(self):
+        hot = MemoryProfile(size_gib=2.0, dirty_rate_mbps=400.0)
+        with pytest.raises(CheckpointBoundError):
+            BoundedCheckpointer(hot, write_bandwidth_mbps=300.0)
+
+    def test_fits_grace_window(self):
+        ck = BoundedCheckpointer(MEM, tau_s=10.0)
+        assert ck.fits_grace_window(120.0)
+        assert not ck.fits_grace_window(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(MigrationError):
+            BoundedCheckpointer(MEM, write_bandwidth_mbps=0.0)
+        with pytest.raises(MigrationError):
+            BoundedCheckpointer(MEM, tau_s=0.0)
+
+
+class TestRestore:
+    def test_eager_time_scales_with_memory(self):
+        e = EagerRestore(read_bandwidth_mbps=150.0)
+        small = e.restore(MemoryProfile(size_gib=1.0))
+        big = e.restore(MemoryProfile(size_gib=12.0))
+        assert big.downtime_s == pytest.approx(12 * small.downtime_s)
+        assert small.degraded_s == 0.0
+
+    def test_eager_matches_bandwidth(self):
+        e = EagerRestore(read_bandwidth_mbps=150.0)
+        r = e.restore(MemoryProfile(size_gib=2.0))
+        assert r.downtime_s == pytest.approx(transfer_seconds(2.0, 150.0))
+
+    def test_lazy_downtime_independent_of_memory(self):
+        l = LazyRestore(resume_latency_s=20.0)
+        a = l.restore(MemoryProfile(size_gib=1.0))
+        b = l.restore(MemoryProfile(size_gib=15.0))
+        assert a.downtime_s == b.downtime_s == 20.0
+
+    def test_lazy_degraded_window_scales(self):
+        l = LazyRestore()
+        a = l.restore(MemoryProfile(size_gib=1.0))
+        b = l.restore(MemoryProfile(size_gib=15.0))
+        assert b.degraded_s > a.degraded_s > 0
+
+    def test_lazy_reads_only_critical_set(self):
+        l = LazyRestore(critical_set_frac=0.05)
+        r = l.restore(MemoryProfile(size_gib=10.0))
+        assert r.data_read_gib == pytest.approx(0.5)
+
+    def test_lazy_beats_eager_for_large_vms(self):
+        """The Fig 7 rationale: restore blackout of CKPT grows with memory,
+        CKPT+LR does not."""
+        mem = MemoryProfile(size_gib=12.0)
+        assert LazyRestore().restore(mem).downtime_s < EagerRestore().restore(mem).downtime_s
+
+    def test_invalid_params(self):
+        with pytest.raises(MigrationError):
+            EagerRestore(read_bandwidth_mbps=0.0).restore(MEM)
+        with pytest.raises(MigrationError):
+            LazyRestore(resume_latency_s=-1.0).restore(MEM)
+        with pytest.raises(MigrationError):
+            LazyRestore(critical_set_frac=1.5).restore(MEM)
+        with pytest.raises(MigrationError):
+            LazyRestore(prefetch_bandwidth_mbps=0.0).restore(MEM)

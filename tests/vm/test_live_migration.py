@@ -1,0 +1,91 @@
+"""Unit tests for the pre-copy live-migration model."""
+
+import pytest
+
+from repro.cloud.regions import RegionLink, link_between
+from repro.errors import MigrationError
+from repro.units import transfer_seconds
+from repro.vm.live_migration import LiveMigrationModel
+from repro.vm.memory import MemoryProfile
+
+LAN = link_between("us-east-1a", "us-east-1b")
+
+
+def test_idle_vm_single_round():
+    """No dirtying: one bulk round then an (empty) stop-and-copy."""
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=0.0)
+    r = LiveMigrationModel().migrate(mem, LAN)
+    assert r.rounds == 1
+    assert r.converged
+    assert r.total_time_s == pytest.approx(
+        transfer_seconds(2.0, LAN.memory_bandwidth_mbps), rel=0.05
+    )
+
+
+def test_total_time_close_to_table2_intra():
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=40.0)
+    r = LiveMigrationModel().migrate(mem, LAN)
+    # Paper Table 2: 57-59 s intra-region for a 2 GB VM.
+    assert 55.0 < r.total_time_s < 75.0
+
+
+def test_downtime_sub_second_on_lan():
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0)
+    r = LiveMigrationModel().migrate(mem, LAN)
+    assert r.downtime_s < 1.5
+    assert r.converged
+
+
+def test_rounds_shrink_geometrically():
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0)
+    r = LiveMigrationModel().migrate(mem, LAN)
+    assert 2 <= r.rounds <= 12
+    assert r.data_sent_megabits > mem.size_megabits  # extra dirty rounds
+
+
+def test_non_convergent_workload_hits_round_cap():
+    """Dirty rate ~ bandwidth: pre-copy cannot drain; forced stop-and-copy."""
+    slow = RegionLink(intra=True, memory_bandwidth_mbps=100.0,
+                      disk_bandwidth_mbps=100.0, rtt_ms=1.0)
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=99.0, working_set_frac=0.5)
+    r = LiveMigrationModel(max_rounds=10).migrate(mem, slow)
+    assert not r.converged
+    assert r.rounds == 10
+    assert r.downtime_s > 10.0  # big final working-set copy
+
+
+def test_faster_link_less_downtime():
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0)
+    fast = RegionLink(True, 1000.0, 1000.0, 0.5)
+    slow = RegionLink(True, 200.0, 200.0, 0.5)
+    assert (
+        LiveMigrationModel().migrate(mem, fast).downtime_s
+        < LiveMigrationModel().migrate(mem, slow).downtime_s
+    )
+
+
+def test_wan_migration_slower():
+    mem = MemoryProfile(size_gib=2.0, dirty_rate_mbps=40.0)
+    lan = LiveMigrationModel().migrate(mem, LAN)
+    wan = LiveMigrationModel().migrate(mem, link_between("us-east-1a", "eu-west-1a"))
+    assert wan.total_time_s > lan.total_time_s
+
+
+def test_zero_bandwidth_raises():
+    bad = RegionLink(True, 0.0, 100.0, 1.0)
+    with pytest.raises(MigrationError):
+        LiveMigrationModel().migrate(MemoryProfile(1.0), bad)
+
+
+def test_activation_floor_on_downtime():
+    mem = MemoryProfile(size_gib=0.1, dirty_rate_mbps=0.0)
+    model = LiveMigrationModel(activation_s=0.35)
+    r = model.migrate(mem, LAN)
+    assert r.downtime_s >= 0.35
+
+
+def test_larger_memory_longer_migration():
+    small = MemoryProfile(size_gib=1.0, dirty_rate_mbps=50.0)
+    big = MemoryProfile(size_gib=12.0, dirty_rate_mbps=50.0)
+    m = LiveMigrationModel()
+    assert m.migrate(big, LAN).total_time_s > m.migrate(small, LAN).total_time_s

@@ -1,0 +1,180 @@
+"""Unit tests for the migration-mechanism combinations (Fig 7 building blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.regions import link_between
+from repro.errors import MigrationError
+from repro.vm.disk_copy import disk_copy_seconds, disk_copy_seconds_between
+from repro.vm.mechanisms import (
+    Mechanism,
+    MechanismParams,
+    MigrationModel,
+    MigrationTiming,
+    PESSIMISTIC_PARAMS,
+    TYPICAL_PARAMS,
+)
+from repro.vm.memory import MemoryProfile
+
+MEM = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0, working_set_frac=0.10)
+LAN = link_between("us-east-1a", "us-east-1a")
+WAN = link_between("us-east-1a", "eu-west-1a")
+
+
+class TestMechanismEnum:
+    def test_live_flags(self):
+        assert Mechanism.CKPT_LIVE.uses_live
+        assert Mechanism.CKPT_LR_LIVE.uses_live
+        assert not Mechanism.CKPT.uses_live
+        assert not Mechanism.CKPT_LR.uses_live
+
+    def test_lazy_flags(self):
+        assert Mechanism.CKPT_LR.uses_lazy_restore
+        assert Mechanism.CKPT_LR_LIVE.uses_lazy_restore
+        assert not Mechanism.CKPT.uses_lazy_restore
+
+    def test_labels(self):
+        assert Mechanism.CKPT_LR_LIVE.label == "CKPT LR + Live"
+
+
+class TestPlanned:
+    def test_live_mechanisms_have_tiny_planned_downtime(self):
+        for mech in (Mechanism.CKPT_LIVE, Mechanism.CKPT_LR_LIVE):
+            t = MigrationModel(mech).planned(MEM, LAN)
+            assert t.downtime_s < 2.0
+            assert t.prep_s > 30.0  # pre-copy takes real time
+
+    def test_ckpt_planned_downtime_moderate(self):
+        t = MigrationModel(Mechanism.CKPT).planned(MEM, LAN)
+        # pre-staged: final increment + unstaged fraction of eager restore
+        assert 2.0 < t.downtime_s < 30.0
+
+    def test_ckpt_lr_planned_cheaper_than_ckpt(self):
+        a = MigrationModel(Mechanism.CKPT).planned(MEM, LAN)
+        b = MigrationModel(Mechanism.CKPT_LR).planned(MEM, LAN)
+        assert b.downtime_s < a.downtime_s
+
+    def test_extra_prep_folds_in(self):
+        base = MigrationModel(Mechanism.CKPT_LR).planned(MEM, LAN)
+        more = MigrationModel(Mechanism.CKPT_LR).planned(MEM, LAN, extra_prep_s=100.0)
+        assert more.prep_s == pytest.approx(base.prep_s + 100.0)
+        assert more.downtime_s == base.downtime_s
+
+    def test_reverse_equals_planned(self):
+        m = MigrationModel(Mechanism.CKPT_LR)
+        assert m.reverse(MEM, LAN).downtime_s == m.planned(MEM, LAN).downtime_s
+
+    def test_rng_jitters_but_bounded(self):
+        m = MigrationModel(Mechanism.CKPT)
+        rng = np.random.default_rng(0)
+        worst = m.planned(MEM, LAN).downtime_s
+        vals = {round(m.planned(MEM, LAN, rng).downtime_s, 6) for _ in range(10)}
+        assert len(vals) > 1
+        assert all(v <= worst * 1.6 for v in vals)
+
+
+class TestForced:
+    def test_forced_uses_checkpoint_even_with_live(self):
+        """Live can't be trusted inside the grace window, so forced downtimes
+        match the checkpoint path of the same restore flavour."""
+        a = MigrationModel(Mechanism.CKPT).forced(MEM, LAN, 120.0, 95.0)
+        b = MigrationModel(Mechanism.CKPT_LIVE).forced(MEM, LAN, 120.0, 95.0)
+        assert a.downtime_s == pytest.approx(b.downtime_s)
+
+    def test_lazy_forced_much_cheaper_than_eager(self):
+        eager = MigrationModel(Mechanism.CKPT).forced(MEM, LAN, 120.0, 95.0)
+        lazy = MigrationModel(Mechanism.CKPT_LR).forced(MEM, LAN, 120.0, 95.0)
+        assert lazy.downtime_s < 0.5 * eager.downtime_s
+        assert lazy.degraded_s > 0  # page-fault window after lazy resume
+
+    def test_startup_overlap_hides_server_wait(self):
+        """On-demand startup (~95 s) fits inside the 120 s grace window, so
+        it adds nothing to the blackout."""
+        m = MigrationModel(Mechanism.CKPT_LR)
+        fast = m.forced(MEM, LAN, 120.0, 10.0)
+        typical = m.forced(MEM, LAN, 120.0, 95.0)
+        assert typical.downtime_s == pytest.approx(fast.downtime_s)
+
+    def test_slow_startup_extends_blackout(self):
+        m = MigrationModel(Mechanism.CKPT_LR)
+        typical = m.forced(MEM, LAN, 120.0, 95.0)
+        slow = m.forced(MEM, LAN, 120.0, 300.0)
+        assert slow.downtime_s > typical.downtime_s + 100.0
+
+    def test_pessimistic_no_overlap(self):
+        m = MigrationModel(Mechanism.CKPT_LR, PESSIMISTIC_PARAMS)
+        a = m.forced(MEM, LAN, 120.0, 0.0)
+        b = m.forced(MEM, LAN, 120.0, 95.0)
+        assert b.downtime_s == pytest.approx(a.downtime_s + 95.0)
+
+    def test_suspend_as_late_as_possible(self):
+        t = MigrationModel(Mechanism.CKPT_LR).forced(MEM, LAN, 120.0, 95.0)
+        # prep_s is the run-until-suspend window; most of the grace is usable
+        assert 100.0 < t.prep_s < 120.0
+
+    def test_invalid_args(self):
+        m = MigrationModel(Mechanism.CKPT)
+        with pytest.raises(MigrationError):
+            m.forced(MEM, LAN, -1.0, 95.0)
+        with pytest.raises(MigrationError):
+            m.forced(MEM, LAN, 120.0, -5.0)
+
+
+class TestParamSets:
+    def test_pessimistic_worse_everywhere(self):
+        for mech in Mechanism:
+            t = MigrationModel(mech, TYPICAL_PARAMS)
+            p = MigrationModel(mech, PESSIMISTIC_PARAMS)
+            assert p.planned(MEM, LAN).downtime_s >= t.planned(MEM, LAN).downtime_s
+            assert (
+                p.forced(MEM, LAN, 120.0, 95.0).downtime_s
+                > t.forced(MEM, LAN, 120.0, 95.0).downtime_s
+            )
+
+    def test_fig7_downtime_orderings(self):
+        """The single-event downtimes that generate Fig 7's ordering."""
+        d = {
+            mech: MigrationModel(mech).forced(MEM, LAN, 120.0, 95.0).downtime_s
+            for mech in Mechanism
+        }
+        p = {mech: MigrationModel(mech).planned(MEM, LAN).downtime_s for mech in Mechanism}
+        # eager forced > 2x lazy forced (needed for CKPT+Live > CKPT LR)
+        assert d[Mechanism.CKPT] > 2 * d[Mechanism.CKPT_LR]
+        # live planned below every checkpoint planned
+        assert p[Mechanism.CKPT_LR_LIVE] < p[Mechanism.CKPT_LR] < p[Mechanism.CKPT]
+
+    def test_with_overrides(self):
+        p = TYPICAL_PARAMS.with_overrides(tau_s=5.0)
+        assert p.tau_s == 5.0
+        assert TYPICAL_PARAMS.tau_s != 5.0
+
+    def test_checkpointer_factory(self):
+        ck = TYPICAL_PARAMS.checkpointer(MEM)
+        assert ck.tau_s == TYPICAL_PARAMS.tau_s
+
+    def test_timing_invariants(self):
+        with pytest.raises(MigrationError):
+            MigrationTiming(prep_s=-1.0, downtime_s=0.0, degraded_s=0.0, description="x")
+        t = MigrationTiming(prep_s=10.0, downtime_s=2.0, degraded_s=0.0, description="x")
+        assert t.total_s == 12.0
+
+    def test_wan_restore_bandwidth_capped(self):
+        """Cross-region restore cannot exceed the WAN link."""
+        lan = MigrationModel(Mechanism.CKPT).forced(MEM, LAN, 120.0, 95.0)
+        wan = MigrationModel(Mechanism.CKPT).forced(MEM, WAN, 120.0, 95.0)
+        assert wan.downtime_s >= lan.downtime_s
+
+
+class TestDiskCopy:
+    def test_intra_region_free(self):
+        assert disk_copy_seconds_between(10.0, "us-east-1a", "us-east-1b") == 0.0
+
+    def test_cross_region_scales_with_size(self):
+        one = disk_copy_seconds_between(1.0, "us-east-1a", "us-west-1a")
+        two = disk_copy_seconds_between(2.0, "us-east-1a", "us-west-1a")
+        assert two == pytest.approx(2 * one)
+        assert one == pytest.approx(122.4, rel=0.02)  # Table 2
+
+    def test_negative_size_raises(self):
+        with pytest.raises(MigrationError):
+            disk_copy_seconds(-1.0, WAN)

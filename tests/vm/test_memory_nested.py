@@ -1,0 +1,85 @@
+"""Unit tests for memory profiles and the nested-overhead model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MigrationError
+from repro.units import gib_to_megabits
+from repro.vm.memory import MemoryProfile
+from repro.vm.nested import NestedOverheadModel, NestedVm
+
+
+class TestMemoryProfile:
+    def test_size_megabits(self):
+        m = MemoryProfile(size_gib=2.0)
+        assert m.size_megabits == pytest.approx(gib_to_megabits(2.0))
+
+    def test_working_set_cap(self):
+        m = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0, working_set_frac=0.1)
+        assert m.working_set_megabits == pytest.approx(0.1 * m.size_megabits)
+        # dirtying saturates at the working set
+        assert m.dirtied_during(1e9) == m.working_set_megabits
+
+    def test_dirtied_linear_below_cap(self):
+        m = MemoryProfile(size_gib=8.0, dirty_rate_mbps=100.0)
+        assert m.dirtied_during(3.0) == pytest.approx(300.0)
+
+    def test_dirtied_zero_rate(self):
+        m = MemoryProfile(size_gib=2.0, dirty_rate_mbps=0.0)
+        assert m.dirtied_during(100.0) == 0.0
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(MigrationError):
+            MemoryProfile(size_gib=2.0).dirtied_during(-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(MigrationError):
+            MemoryProfile(size_gib=0.0)
+        with pytest.raises(MigrationError):
+            MemoryProfile(size_gib=1.0, dirty_rate_mbps=-5)
+        with pytest.raises(MigrationError):
+            MemoryProfile(size_gib=1.0, working_set_frac=0.0)
+
+    def test_scaled_keeps_behaviour(self):
+        m = MemoryProfile(size_gib=2.0, dirty_rate_mbps=42.0, working_set_frac=0.2)
+        s = m.scaled(8.0)
+        assert s.size_gib == 8.0
+        assert s.dirty_rate_mbps == 42.0
+        assert s.working_set_frac == 0.2
+
+
+class TestNestedOverheads:
+    def test_cpu_overhead_interpolates(self):
+        m = NestedOverheadModel(cpu_overhead_idle=1.1, cpu_overhead_peak=1.5)
+        assert m.cpu_overhead(0.0) == pytest.approx(1.1)
+        assert m.cpu_overhead(1.0) == pytest.approx(1.5)
+        assert m.cpu_overhead(0.5) == pytest.approx(1.3)
+
+    def test_cpu_overhead_clamps_utilisation(self):
+        m = NestedOverheadModel()
+        assert m.cpu_overhead(-1.0) == m.cpu_overhead(0.0)
+        assert m.cpu_overhead(2.0) == m.cpu_overhead(1.0)
+
+    def test_io_factors_near_native(self):
+        m = NestedOverheadModel()
+        assert m.network_factor == pytest.approx(1.0)
+        assert 0.95 <= m.disk_factor < 1.0
+
+    def test_invalid_overheads(self):
+        with pytest.raises(ConfigurationError):
+            NestedOverheadModel(network_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            NestedOverheadModel(disk_factor=1.2)
+        with pytest.raises(ConfigurationError):
+            NestedOverheadModel(cpu_overhead_idle=0.9)
+        with pytest.raises(ConfigurationError):
+            NestedOverheadModel(cpu_overhead_idle=1.4, cpu_overhead_peak=1.2)
+
+
+class TestNestedVm:
+    def test_for_instance_memory(self):
+        vm = NestedVm.for_instance_memory("svc", 3.0)
+        assert vm.memory.size_gib == 3.0
+
+    def test_invalid_disk(self):
+        with pytest.raises(ConfigurationError):
+            NestedVm("x", MemoryProfile(1.0), disk_gib=0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the Remus replication model."""
+
+import pytest
+
+from repro.cloud.regions import RegionLink, link_between
+from repro.errors import MigrationError
+from repro.vm.memory import MemoryProfile
+from repro.vm.replication import RemusReplication
+
+LAN = link_between("us-east-1a", "us-east-1b")
+MEM = MemoryProfile(size_gib=1.36, dirty_rate_mbps=100.0)
+
+
+def test_failover_downtime_is_seconds_not_restore():
+    r = RemusReplication()
+    fo = r.failover()
+    assert 1.0 < fo.downtime_s < 5.0
+    assert fo.degraded_s == 0.0
+
+
+def test_failover_independent_of_memory_size():
+    """The standby is warm: downtime does not scale with RAM."""
+    r = RemusReplication()
+    assert r.failover().downtime_s == r.failover().downtime_s  # constant model
+
+
+def test_planned_failover_skips_detection():
+    r = RemusReplication(detection_s=1.0)
+    assert r.planned_failover().downtime_s == pytest.approx(
+        r.failover().downtime_s - 1.0
+    )
+
+
+def test_replication_bandwidth_is_dirty_rate():
+    r = RemusReplication()
+    assert r.replication_bandwidth_mbps(MEM) == 100.0
+
+
+def test_initial_sync_uses_spare_bandwidth():
+    r = RemusReplication()
+    sync = r.initial_sync_s(MEM, LAN)
+    # 1.36 GiB over (300 - 100) Mbit/s spare
+    assert sync == pytest.approx(1.36 * 8 * 1024**3 / 1e6 / 200.0, rel=0.01)
+
+
+def test_link_must_have_headroom():
+    r = RemusReplication()
+    tight = RegionLink(intra=True, memory_bandwidth_mbps=120.0,
+                       disk_bandwidth_mbps=120.0, rtt_ms=0.5)
+    assert not r.supports(MEM, tight)
+    with pytest.raises(MigrationError):
+        r.initial_sync_s(MEM, tight)
+
+
+def test_wan_replication_of_hot_vm_unsupported():
+    """A busy VM cannot be Remus-protected across the slow west-eu link."""
+    hot = MemoryProfile(size_gib=2.0, dirty_rate_mbps=100.0)
+    wan = link_between("us-west-1a", "eu-west-1a")  # 127 Mbit/s
+    assert not RemusReplication().supports(hot, wan)
+
+
+def test_validation():
+    with pytest.raises(MigrationError):
+        RemusReplication(epoch_ms=0.0)
+    with pytest.raises(MigrationError):
+        RemusReplication(detection_s=-1.0)

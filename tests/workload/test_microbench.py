@@ -1,0 +1,98 @@
+"""Unit tests for the iperf/dd simulators and the capacity model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.vm.nested import NestedOverheadModel
+from repro.workload.capacity import CapacityModel, savings_with_overhead
+from repro.workload.diskbench import DiskBenchSimulator
+from repro.workload.iperf import IperfSimulator
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestIperf:
+    def test_means_near_table4(self, rng):
+        sim = IperfSimulator(rng)
+        nat = sim.mean_of(nested=False, runs=50)
+        nst = sim.mean_of(nested=True, runs=50)
+        assert nat.tx_mbps == pytest.approx(304.0, rel=0.03)
+        assert nat.rx_mbps == pytest.approx(316.0, rel=0.03)
+        assert nst.rx_mbps == pytest.approx(314.0, rel=0.03)
+
+    def test_nested_within_two_percent(self, rng):
+        sim = IperfSimulator(rng, noise_cv=0.0)
+        nat = sim.run(nested=False)
+        nst = sim.run(nested=True)
+        assert nst.tx_mbps >= 0.98 * nat.tx_mbps
+        assert nst.rx_mbps >= 0.98 * nat.rx_mbps
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            IperfSimulator(rng, noise_cv=-0.1)
+        with pytest.raises(WorkloadError):
+            IperfSimulator(rng).run(nested=False, duration_s=0.0)
+        with pytest.raises(WorkloadError):
+            IperfSimulator(rng).mean_of(nested=False, runs=0)
+
+
+class TestDiskBench:
+    def test_means_near_table4(self, rng):
+        sim = DiskBenchSimulator(rng)
+        nat = sim.mean_of(nested=False, runs=50)
+        nst = sim.mean_of(nested=True, runs=50)
+        assert nat.read_mbps == pytest.approx(304.6, rel=0.03)
+        assert nst.read_mbps == pytest.approx(297.6, rel=0.03)
+        assert nst.write_mbps == pytest.approx(274.2, rel=0.03)
+
+    def test_nested_two_percent_slower(self, rng):
+        sim = DiskBenchSimulator(rng, noise_cv=0.0)
+        nat = sim.run(nested=False)
+        nst = sim.run(nested=True)
+        assert nst.read_mbps == pytest.approx(0.98 * nat.read_mbps)
+
+    def test_transfer_time_helpers(self, rng):
+        r = DiskBenchSimulator(rng, noise_cv=0.0).run(nested=False, data_gib=2.0)
+        assert r.read_seconds == pytest.approx(2 * 8 * 1024**3 / 1e6 / r.read_mbps)
+        assert r.write_seconds > r.read_seconds  # writes slower
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            DiskBenchSimulator(rng).run(nested=False, data_gib=0.0)
+
+
+class TestCapacity:
+    def test_io_bound_keeps_savings(self):
+        assert CapacityModel(cpu_fraction=0.0).capacity_factor() == pytest.approx(
+            1.0 / 0.98, rel=0.01
+        )
+
+    def test_cpu_bound_inflates(self):
+        m = CapacityModel(
+            overheads=NestedOverheadModel(cpu_overhead_idle=1.05, cpu_overhead_peak=1.5),
+            cpu_fraction=1.0,
+            utilization=1.0,
+        )
+        assert m.capacity_factor() == pytest.approx(1.5)
+
+    def test_mixed_fraction_interpolates(self):
+        full = CapacityModel(cpu_fraction=1.0).capacity_factor()
+        none = CapacityModel(cpu_fraction=0.0).capacity_factor()
+        half = CapacityModel(cpu_fraction=0.5).capacity_factor()
+        assert min(full, none) < half < max(full, none)
+
+    def test_savings_arithmetic(self):
+        assert savings_with_overhead(25.0, 2.0) == pytest.approx(50.0)
+        assert savings_with_overhead(17.0, 1.0) == pytest.approx(83.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CapacityModel(cpu_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            savings_with_overhead(-1.0, 2.0)
+        with pytest.raises(WorkloadError):
+            savings_with_overhead(25.0, 0.5)

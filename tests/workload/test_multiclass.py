@@ -1,0 +1,163 @@
+"""Unit tests for exact multi-class MVA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.multiclass import (
+    CustomerClass,
+    MultiClassNetwork,
+    multiclass_mva,
+    tpcw_two_class_network,
+)
+from repro.workload.queueing import ClosedNetwork, Station, mva
+
+
+def single(name, n, z, demands):
+    return MultiClassNetwork(
+        station_names=tuple(f"s{i}" for i in range(len(demands))),
+        classes=(CustomerClass(name, n, z, tuple(demands)),),
+    )
+
+
+class TestReducesToSingleClass:
+    @pytest.mark.parametrize("n", [1, 5, 30])
+    def test_matches_single_class_mva(self, n):
+        demands = [0.05, 0.02, 0.01]
+        mc = multiclass_mva(single("only", n, 7.0, demands))
+        sc = mva(
+            ClosedNetwork(
+                stations=tuple(Station(f"s{i}", d) for i, d in enumerate(demands)),
+                think_time_s=7.0,
+            ),
+            n,
+        )
+        assert mc.throughput_per_s[0] == pytest.approx(sc.throughput_per_s, rel=1e-9)
+        assert mc.response_time_s[0] == pytest.approx(sc.response_time_s, rel=1e-9)
+
+    def test_machine_repairman(self):
+        mc = multiclass_mva(single("c", 2, 0.0, [1.0]))
+        assert mc.response_time_s[0] == pytest.approx(2.0)
+        assert mc.throughput_per_s[0] == pytest.approx(1.0)
+
+
+class TestTwoClasses:
+    def test_identical_classes_split_evenly(self):
+        net = MultiClassNetwork(
+            station_names=("cpu",),
+            classes=(
+                CustomerClass("a", 10, 5.0, (0.1,)),
+                CustomerClass("b", 10, 5.0, (0.1,)),
+            ),
+        )
+        sol = multiclass_mva(net)
+        assert sol.throughput_per_s[0] == pytest.approx(sol.throughput_per_s[1])
+        assert sol.response_time_s[0] == pytest.approx(sol.response_time_s[1])
+
+    def test_identical_classes_match_merged_single_class(self):
+        two = multiclass_mva(
+            MultiClassNetwork(
+                station_names=("cpu",),
+                classes=(
+                    CustomerClass("a", 8, 5.0, (0.1,)),
+                    CustomerClass("b", 8, 5.0, (0.1,)),
+                ),
+            )
+        )
+        one = multiclass_mva(single("ab", 16, 5.0, [0.1]))
+        assert two.response_time_s[0] == pytest.approx(one.response_time_s[0], rel=1e-9)
+        total_x = two.throughput_per_s[0] + two.throughput_per_s[1]
+        assert total_x == pytest.approx(one.throughput_per_s[0], rel=1e-9)
+
+    def test_heavier_class_waits_longer(self):
+        net = MultiClassNetwork(
+            station_names=("cpu",),
+            classes=(
+                CustomerClass("light", 10, 5.0, (0.02,)),
+                CustomerClass("heavy", 10, 5.0, (0.10,)),
+            ),
+        )
+        sol = multiclass_mva(net)
+        assert sol.response_time_s[1] > sol.response_time_s[0]
+
+    def test_littles_law_per_class(self):
+        net = MultiClassNetwork(
+            station_names=("cpu", "disk"),
+            classes=(
+                CustomerClass("a", 12, 4.0, (0.05, 0.01)),
+                CustomerClass("b", 6, 8.0, (0.02, 0.06)),
+            ),
+        )
+        sol = multiclass_mva(net)
+        for c, cls in enumerate(net.classes):
+            n_c = sol.throughput_per_s[c] * (sol.response_time_s[c] + cls.think_time_s)
+            assert n_c == pytest.approx(cls.population, rel=1e-9)
+
+    def test_total_queue_consistency(self):
+        net = MultiClassNetwork(
+            station_names=("cpu",),
+            classes=(
+                CustomerClass("a", 5, 2.0, (0.1,)),
+                CustomerClass("b", 5, 2.0, (0.3,)),
+            ),
+        )
+        sol = multiclass_mva(net)
+        q = sum(
+            sol.throughput_per_s[c] * sol.response_time_s[c] for c in range(2)
+        )
+        assert sol.station_queues[0] == pytest.approx(q, rel=1e-9)
+
+    def test_zero_population_class_ignored(self):
+        net = MultiClassNetwork(
+            station_names=("cpu",),
+            classes=(
+                CustomerClass("a", 10, 5.0, (0.1,)),
+                CustomerClass("ghost", 0, 5.0, (9.9,)),
+            ),
+        )
+        sol = multiclass_mva(net)
+        one = multiclass_mva(single("a", 10, 5.0, [0.1]))
+        assert sol.throughput_per_s[0] == pytest.approx(one.throughput_per_s[0])
+        assert sol.throughput_per_s[1] == 0.0
+
+
+class TestTpcwTwoClass:
+    def test_ordering_class_slower(self):
+        sol = multiclass_mva(tpcw_two_class_network(120, fetch_images=False))
+        browse_ms = sol.class_response_ms(0)
+        order_ms = sol.class_response_ms(1)
+        assert order_ms > browse_ms
+
+    def test_nested_multiplier_slows_cpu_bound_classes(self):
+        base = multiclass_mva(tpcw_two_class_network(120, fetch_images=False))
+        nested = multiclass_mva(
+            tpcw_two_class_network(120, fetch_images=False, nested_cpu_mult=1.25)
+        )
+        assert nested.class_response_ms(1) > base.class_response_ms(1)
+
+    def test_browse_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            tpcw_two_class_network(100, browse_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            tpcw_two_class_network(1)
+
+
+class TestValidation:
+    def test_demand_arity_checked(self):
+        with pytest.raises(WorkloadError):
+            MultiClassNetwork(
+                station_names=("cpu", "disk"),
+                classes=(CustomerClass("a", 1, 0.0, (0.1,)),),
+            )
+
+    def test_negative_inputs(self):
+        with pytest.raises(WorkloadError):
+            CustomerClass("a", -1, 0.0, (0.1,))
+        with pytest.raises(WorkloadError):
+            CustomerClass("a", 1, -1.0, (0.1,))
+        with pytest.raises(WorkloadError):
+            CustomerClass("a", 1, 0.0, (-0.1,))
+
+    def test_empty_network(self):
+        with pytest.raises(WorkloadError):
+            MultiClassNetwork(station_names=(), classes=())

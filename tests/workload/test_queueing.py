@@ -1,0 +1,110 @@
+"""Unit tests for exact MVA."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.queueing import ClosedNetwork, Station, mva, mva_sweep
+
+
+def net(demands, think=7.0, delays=None):
+    stations = tuple(
+        Station(f"s{i}", d, delay=bool(delays and delays[i]))
+        for i, d in enumerate(demands)
+    )
+    return ClosedNetwork(stations=stations, think_time_s=think)
+
+
+class TestMvaExactness:
+    def test_single_customer_no_queueing(self):
+        n = net([0.1, 0.2])
+        sol = mva(n, 1)
+        assert sol.response_time_s == pytest.approx(0.3)
+        assert sol.throughput_per_s == pytest.approx(1.0 / 7.3)
+
+    def test_machine_repairman_two_customers(self):
+        """Hand-computed MVA for N=2, one station D=1, Z=0."""
+        n = net([1.0], think=0.0)
+        s1 = mva(n, 1)
+        assert s1.throughput_per_s == pytest.approx(1.0)
+        s2 = mva(n, 2)
+        # R(2) = D*(1+Q(1)) = 1*(1+1) = 2; X = 2/2 = 1
+        assert s2.response_time_s == pytest.approx(2.0)
+        assert s2.throughput_per_s == pytest.approx(1.0)
+
+    def test_throughput_saturates_at_bottleneck(self):
+        n = net([0.05, 0.02])
+        sol = mva(n, 2000)
+        assert sol.throughput_per_s == pytest.approx(1.0 / 0.05, rel=0.01)
+
+    def test_asymptotic_response_time(self):
+        """R(N) -> N*D_max - Z for large N."""
+        n = net([0.05, 0.02], think=7.0)
+        sol = mva(n, 1000)
+        assert sol.response_time_s == pytest.approx(1000 * 0.05 - 7.0, rel=0.02)
+
+    def test_delay_station_never_queues(self):
+        n = ClosedNetwork(
+            stations=(Station("cpu", 0.05), Station("dns", 0.5, delay=True)),
+            think_time_s=0.0,
+        )
+        sol = mva(n, 100)
+        # the delay station contributes exactly its demand
+        assert sol.station_residence_s[1] == pytest.approx(0.5)
+
+    def test_multiserver_scaling(self):
+        fast = ClosedNetwork(stations=(Station("cpu", 0.1, servers=2),), think_time_s=1.0)
+        slow = ClosedNetwork(stations=(Station("cpu", 0.1, servers=1),), think_time_s=1.0)
+        assert mva(fast, 50).throughput_per_s > mva(slow, 50).throughput_per_s
+
+
+class TestMvaProperties:
+    def test_throughput_monotone_in_population(self):
+        n = net([0.05, 0.02])
+        xs = [s.throughput_per_s for s in mva_sweep(n, range(1, 100))]
+        assert all(b >= a - 1e-12 for a, b in zip(xs, xs[1:]))
+
+    def test_response_monotone_in_population(self):
+        n = net([0.05, 0.02])
+        rs = [s.response_time_s for s in mva_sweep(n, range(1, 100))]
+        assert all(b >= a - 1e-12 for a, b in zip(rs, rs[1:]))
+
+    def test_littles_law(self):
+        n = net([0.05, 0.02], think=7.0)
+        for sol in mva_sweep(n, [1, 10, 50, 200]):
+            q_total = sum(sol.station_queues)
+            assert q_total == pytest.approx(
+                sol.throughput_per_s * sol.response_time_s, rel=1e-9
+            )
+
+    def test_sweep_matches_individual(self):
+        n = net([0.05, 0.02])
+        sweep = mva_sweep(n, [5, 17])
+        assert sweep[0].throughput_per_s == pytest.approx(mva(n, 5).throughput_per_s)
+        assert sweep[1].throughput_per_s == pytest.approx(mva(n, 17).throughput_per_s)
+
+    def test_bottleneck_identification(self):
+        n = net([0.05, 0.20])
+        assert mva(n, 200).bottleneck_index == 1
+        assert n.bottleneck_demand_s() == 0.20
+
+    def test_saturation_population(self):
+        n = net([0.05], think=7.0)
+        assert n.saturation_population() == pytest.approx((0.05 + 7.0) / 0.05)
+
+
+class TestValidation:
+    def test_empty_network_rejected(self):
+        with pytest.raises(WorkloadError):
+            ClosedNetwork(stations=(), think_time_s=1.0)
+
+    def test_negative_think_rejected(self):
+        with pytest.raises(WorkloadError):
+            net([0.1], think=-1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(WorkloadError):
+            Station("x", -0.1)
+
+    def test_zero_population_rejected(self):
+        with pytest.raises(WorkloadError):
+            mva(net([0.1]), 0)

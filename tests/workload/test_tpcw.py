@@ -1,0 +1,90 @@
+"""Unit tests for the TPC-W model (Figure 12)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.tpcw import TpcwConfig, TpcwModel
+
+
+class TestConfig:
+    def test_net_demand_switches_with_images(self):
+        c = TpcwConfig(fetch_images=True)
+        assert c.net_demand_s == c.net_demand_images_s
+        c2 = TpcwConfig(fetch_images=False)
+        assert c2.net_demand_s == c2.net_demand_no_images_s
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TpcwConfig(cpu_demand_s=-0.1)
+        with pytest.raises(WorkloadError):
+            TpcwConfig(think_s=-1.0)
+
+
+class TestImagesConfig:
+    """Fig 12(a): I/O-bound, nested == native."""
+
+    def test_network_is_bottleneck(self):
+        m = TpcwModel(TpcwConfig(fetch_images=True))
+        assert m.solve(400, nested=False).bottleneck == "net"
+
+    def test_nested_matches_native_under_load(self):
+        m = TpcwModel(TpcwConfig(fetch_images=True))
+        assert m.degradation_percent(400) < 5.0
+
+    def test_native_response_near_paper_at_400(self):
+        m = TpcwModel(TpcwConfig(fetch_images=True))
+        r = m.solve(400, nested=False).response_time_ms
+        assert 14000 < r < 26000  # paper ~20 s
+
+
+class TestNoImagesConfig:
+    """Fig 12(b): CPU-bound, nested up to ~50 % worse."""
+
+    def test_cpu_is_bottleneck(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        assert m.solve(400, nested=False).bottleneck == "cpu"
+
+    def test_nested_degrades_under_load(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        assert 20.0 < m.degradation_percent(400) < 120.0
+
+    def test_native_response_near_paper_at_400(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        r = m.solve(400, nested=False).response_time_ms
+        assert 4000 < r < 9000  # paper ~6 s
+
+    def test_degradation_grows_with_load(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        assert m.degradation_percent(400) > m.degradation_percent(100)
+
+    def test_nested_never_faster(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        for n in (100, 200, 400):
+            nat = m.solve(n, nested=False).response_time_ms
+            nst = m.solve(n, nested=True).response_time_ms
+            assert nst >= nat
+
+
+class TestCurves:
+    def test_curve_monotone_in_ebs(self):
+        m = TpcwModel(TpcwConfig(fetch_images=True))
+        pts = m.response_curve([100, 200, 300, 400], nested=False)
+        times = [p.response_time_ms for p in pts]
+        assert times == sorted(times)
+
+    def test_curve_population_labels(self):
+        m = TpcwModel(TpcwConfig())
+        pts = m.response_curve([150, 250], nested=True)
+        assert [p.emulated_browsers for p in pts] == [150, 250]
+
+    def test_cpu_utilization_bounded(self):
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        for p in m.response_curve([100, 400], nested=True):
+            assert 0.0 <= p.cpu_utilization <= 1.0
+
+    def test_fixed_point_converges(self):
+        """Repeated solves agree (the overhead fixed point is stable)."""
+        m = TpcwModel(TpcwConfig(fetch_images=False))
+        a = m.solve(300, nested=True).response_time_ms
+        b = m.solve(300, nested=True).response_time_ms
+        assert a == pytest.approx(b)
