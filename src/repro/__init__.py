@@ -33,6 +33,8 @@ Package map:
 * :mod:`repro.vm` — migration mechanism models;
 * :mod:`repro.workload` — TPC-W queueing model and I/O micro-benchmarks;
 * :mod:`repro.simulator` — the discrete-event kernel;
+* :mod:`repro.runtime` — declarative batch execution (specs, catalog
+  cache, parallel seed×variant fan-out, run telemetry);
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -61,6 +63,17 @@ from repro.core import (
 )
 from repro.cloud import CloudProvider, Lease, LeaseKind, SpotMarket
 from repro.errors import ReproError
+from repro.runtime import (
+    BatchResult,
+    BatchSpec,
+    BatchTelemetry,
+    RunSpec,
+    RunTelemetry,
+    StrategySpec,
+    TraceCatalogCache,
+    collect_telemetry,
+    run_batch,
+)
 from repro.traces import (
     MarketKey,
     PriceTrace,
@@ -102,6 +115,15 @@ __all__ = [
     "aggregate",
     "run_many",
     "run_simulation",
+    "BatchResult",
+    "BatchSpec",
+    "BatchTelemetry",
+    "RunSpec",
+    "RunTelemetry",
+    "StrategySpec",
+    "TraceCatalogCache",
+    "collect_telemetry",
+    "run_batch",
     "CloudProvider",
     "Lease",
     "LeaseKind",

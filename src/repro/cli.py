@@ -21,14 +21,7 @@ from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.results import aggregate
 from repro.core.simulation import SimulationConfig, run_many, run_simulation
-from repro.core.strategies import (
-    MultiMarketStrategy,
-    MultiRegionStrategy,
-    OnDemandOnlyStrategy,
-    PureSpotStrategy,
-    SingleMarketStrategy,
-    StabilityAwareStrategy,
-)
+from repro.runtime import StrategySpec
 from repro.traces.calibration import REGIONS, SIZES, on_demand_price
 from repro.traces.catalog import MarketKey, TraceCatalog
 from repro.traces.loader import load_aws_csv
@@ -59,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet size in small-equivalents (multi strategies)")
     p.add_argument("--seeds", type=int, nargs="+", default=[11, 23, 37])
     p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the per-seed fan-out "
+                   "(default 1 = serial; results are identical)")
     p.add_argument("--csv", type=str, default=None,
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
@@ -67,29 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_strategy(args) -> tuple:
-    """Returns (strategy factory, regions tuple)."""
+    """Returns (strategy spec, regions tuple)."""
     key = MarketKey(args.region[0], args.size)
     if args.strategy == "single":
-        return (lambda: SingleMarketStrategy(key)), (args.region[0],)
+        return StrategySpec.single(key), (args.region[0],)
     if args.strategy == "pure-spot":
-        return (lambda: PureSpotStrategy(key)), (args.region[0],)
+        return StrategySpec.pure_spot(key), (args.region[0],)
     if args.strategy == "on-demand":
-        return (lambda: OnDemandOnlyStrategy(key)), (args.region[0],)
+        return StrategySpec.on_demand(key), (args.region[0],)
     if args.strategy == "multi-market":
         return (
-            lambda: MultiMarketStrategy(args.region[0], service_units=args.units)
-        ), (args.region[0],)
+            StrategySpec.multi_market(args.region[0], service_units=args.units),
+            (args.region[0],),
+        )
     if args.strategy == "multi-region":
         return (
-            lambda: MultiRegionStrategy(tuple(args.region), service_units=args.units)
-        ), tuple(args.region)
+            StrategySpec.multi_region(tuple(args.region), service_units=args.units),
+            tuple(args.region),
+        )
     if args.strategy == "stability":
         return (
-            lambda: StabilityAwareStrategy(
+            StrategySpec.stability(
                 tuple(args.region), service_units=args.units,
                 stability_weight=args.stability_weight,
-            )
-        ), tuple(args.region)
+            ),
+            tuple(args.region),
+        )
     raise AssertionError(args.strategy)  # pragma: no cover
 
 
@@ -102,6 +101,9 @@ def _csv_catalog(args) -> TraceCatalog:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     bidding = (
         ProactiveBidding(k=args.k) if args.bidding == "proactive" else ReactiveBidding()
     )
@@ -136,7 +138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if catalog is not None:
         results = [run_simulation(cfg)]
     else:
-        results = run_many(cfg, args.seeds)
+        results = run_many(cfg, args.seeds, jobs=args.jobs)
     for r in results:
         t.add_row(
             r.seed, r.normalized_cost_percent, r.unavailability_percent,

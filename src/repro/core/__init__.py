@@ -26,7 +26,12 @@ from repro.core.scheduler import CloudScheduler, MigrationRecord, PlacementRecor
 from repro.core.replication import ReplicatedScheduler
 from repro.core.elastic import DemandCurve, ElasticResult, ElasticSpotFleet
 from repro.core.results import SimulationResult, AggregateResult, aggregate
-from repro.core.simulation import SimulationConfig, run_simulation, run_many
+from repro.core.simulation import (
+    SimulationConfig,
+    run_simulation,
+    run_simulation_instrumented,
+    run_many,
+)
 
 __all__ = [
     "AvailabilityTracker",
@@ -57,4 +62,5 @@ __all__ = [
     "SimulationConfig",
     "run_simulation",
     "run_many",
+    "run_simulation_instrumented",
 ]

@@ -30,7 +30,12 @@ from repro.vm.mechanisms import (
     TYPICAL_PARAMS,
 )
 
-__all__ = ["SimulationConfig", "run_simulation", "run_many"]
+__all__ = [
+    "SimulationConfig",
+    "run_simulation",
+    "run_simulation_instrumented",
+    "run_many",
+]
 
 #: Strategy factory: builds a fresh strategy per run (strategies are cheap
 #: and some hold per-run state in the future).
@@ -77,6 +82,15 @@ def _result_label(config: SimulationConfig, strategy: HostingStrategy) -> str:
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Run one seeded scheduler simulation and summarise it."""
+    result, _events = run_simulation_instrumented(config)
+    return result
+
+
+def run_simulation_instrumented(
+    config: SimulationConfig,
+) -> tuple[SimulationResult, int]:
+    """Like :func:`run_simulation`, also returning the engine's fired-event
+    count (the runtime layer's events-processed telemetry)."""
     catalog = config.catalog
     if catalog is None:
         catalog = build_catalog(
@@ -119,7 +133,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     by_cause: dict[str, float] = {}
     for iv in avail.downtime:
         by_cause[iv.cause] = by_cause.get(iv.cause, 0.0) + iv.duration
-    return SimulationResult(
+    result = SimulationResult(
         label=_result_label(config, strategy),
         seed=config.seed,
         duration_hours=duration_h,
@@ -138,10 +152,24 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         spot_time_fraction=scheduler.spot_time_fraction(),
         downtime_by_cause=by_cause,
     )
+    return result, engine.fired_count
 
 
-def run_many(config: SimulationConfig, seeds: List[int]) -> List[SimulationResult]:
-    """Run the same configuration over several trace samples."""
+def run_many(
+    config: SimulationConfig, seeds: List[int], jobs: int = 1
+) -> List[SimulationResult]:
+    """Run the same configuration over several trace samples.
+
+    A thin wrapper over :func:`repro.runtime.run_batch`: each seed becomes
+    a :class:`~repro.runtime.RunSpec` (any attached catalog is dropped —
+    every seed gets its own sample, served through the runtime's catalog
+    cache). ``jobs > 1`` fans the seeds across worker processes with
+    results in seed order, identical to the serial run.
+    """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    return [run_simulation(config.with_(seed=s, catalog=None)) for s in seeds]
+    # Imported lazily: repro.runtime builds on this module.
+    from repro.runtime import RunSpec, run_batch
+
+    specs = [RunSpec.from_config(config, seed=s) for s in seeds]
+    return list(run_batch(specs, jobs=jobs).results)

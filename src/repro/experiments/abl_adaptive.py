@@ -19,8 +19,8 @@ from repro.analysis.tables import Table
 from repro.cloud.spot_market import SpotMarket
 from repro.core.adaptive import AdaptiveBidding
 from repro.core.bidding import ProactiveBidding
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.calibration import on_demand_price
 from repro.traces.catalog import MarketKey, build_catalog
 
@@ -40,7 +40,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
             (AdaptiveBidding(max_revocations_per_month=2.0), "adaptive"),
         ):
             rows[(tag, name)] = simulate(
-                cfg, lambda key=key: SingleMarketStrategy(key),
+                cfg, StrategySpec.single(key),
                 bidding=bidding, regions=(key.region,), sizes=("small",),
                 label=f"{tag}/{name}",
             )

@@ -14,8 +14,8 @@ from __future__ import annotations
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.catalog import MarketKey
 
 EXPERIMENT_ID = "abl-bid"
@@ -29,12 +29,12 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     rows = {}
     rows["reactive"] = simulate(
-        cfg, lambda: SingleMarketStrategy(KEY), bidding=ReactiveBidding(),
+        cfg, StrategySpec.single(KEY), bidding=ReactiveBidding(),
         regions=("us-east-1a",), sizes=("small",), label="reactive",
     )
     for k in K_VALUES:
         rows[f"k={k}"] = simulate(
-            cfg, lambda: SingleMarketStrategy(KEY), bidding=ProactiveBidding(k=k),
+            cfg, StrategySpec.single(KEY), bidding=ProactiveBidding(k=k),
             regions=("us-east-1a",), sizes=("small",), label=f"k={k}",
         )
 

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import MultiRegionStrategy, StabilityAwareStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 
 EXPERIMENT_ID = "abl-stability"
 TITLE = "Ablation: stability-aware multi-region bidding"
@@ -27,12 +27,12 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     rows = {}
     rows["greedy"] = simulate(
-        cfg, lambda: MultiRegionStrategy(PAIR), regions=PAIR, label="greedy",
+        cfg, StrategySpec.multi_region(PAIR), regions=PAIR, label="greedy",
     )
     for w in WEIGHTS:
         rows[f"w={w}"] = simulate(
             cfg,
-            lambda w=w: StabilityAwareStrategy(PAIR, stability_weight=w),
+            StrategySpec.stability(PAIR, stability_weight=w),
             regions=PAIR,
             label=f"w={w}",
         )

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.catalog import MarketKey
 from repro.vm.checkpoint import BoundedCheckpointer
 from repro.vm.mechanisms import Mechanism, TYPICAL_PARAMS
@@ -33,7 +33,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     for tau in TAUS:
         params = TYPICAL_PARAMS.with_overrides(tau_s=tau)
         agg = simulate(
-            cfg, lambda: SingleMarketStrategy(KEY),
+            cfg, StrategySpec.single(KEY),
             mechanism=Mechanism.CKPT_LR, params=params,
             regions=("us-east-1a",), sizes=("small",), label=f"tau={tau}",
         )

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 from repro.core.bidding import BiddingPolicy, ProactiveBidding
 from repro.core.results import AggregateResult, aggregate
-from repro.core.simulation import SimulationConfig, run_many
 from repro.core.strategies import HostingStrategy
+from repro.errors import ConfigurationError
+from repro.runtime import RunSpec, StrategySpec, run_batch
 from repro.traces.calibration import REGIONS, SIZES
 from repro.units import days
 from repro.vm.mechanisms import Mechanism, MechanismParams, TYPICAL_PARAMS
@@ -24,12 +25,19 @@ class ExperimentConfig:
     """Knobs shared by all experiment drivers.
 
     ``fast`` shrinks seeds/horizon for quick smoke runs (used by the unit
-    tests); benchmarks run the full configuration.
+    tests); benchmarks run the full configuration. ``jobs`` fans each
+    driver's seed×variant batches across worker processes — results are
+    identical to the serial default, only faster.
     """
 
     seeds: Sequence[int] = DEFAULT_SEEDS
     horizon_s: float = days(30)
     fast: bool = False
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
 
     def effective_seeds(self) -> List[int]:
         return list(self.seeds[:2] if self.fast else self.seeds)
@@ -43,7 +51,7 @@ class ExperimentConfig:
 
 def simulate(
     cfg: ExperimentConfig,
-    strategy: Callable[[], HostingStrategy],
+    strategy: Union[StrategySpec, Callable[[], HostingStrategy]],
     *,
     bidding: BiddingPolicy | None = None,
     mechanism: Mechanism = Mechanism.CKPT_LR_LIVE,
@@ -52,8 +60,17 @@ def simulate(
     sizes: Sequence[str] = SIZES,
     label: str = "",
 ) -> AggregateResult:
-    """Run one policy over the experiment's seeds and aggregate."""
-    sim = SimulationConfig(
+    """Run one policy over the experiment's seeds and aggregate.
+
+    Submits the seeds as one :func:`repro.runtime.run_batch` batch: trace
+    catalogs are served from the runtime cache (so several policies
+    evaluated on one seed compare on the *same* price sample), and
+    ``cfg.jobs`` workers run seeds concurrently. Pass a
+    :class:`~repro.runtime.StrategySpec` so runs can cross process
+    boundaries; a plain factory callable still works but executes
+    in-process.
+    """
+    base = RunSpec(
         strategy=strategy,
         bidding=bidding or ProactiveBidding(),
         mechanism=mechanism,
@@ -63,5 +80,6 @@ def simulate(
         sizes=tuple(sizes),
         label=label,
     )
-    results = run_many(sim, cfg.effective_seeds())
-    return aggregate(results, label=label or None)
+    specs = [base.with_(seed=s) for s in cfg.effective_seeds()]
+    batch = run_batch(specs, jobs=cfg.jobs)
+    return aggregate(list(batch.results), label=label or None)

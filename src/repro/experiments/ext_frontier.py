@@ -19,12 +19,8 @@ from repro.analysis.tables import Table
 from repro.cloud.provider import CloudProvider
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.replication import ReplicatedScheduler
-from repro.core.strategies import (
-    OnDemandOnlyStrategy,
-    PureSpotStrategy,
-    SingleMarketStrategy,
-)
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.simulator.engine import Engine
 from repro.simulator.rng import RngStreams
 from repro.traces.catalog import MarketKey, build_catalog
@@ -65,20 +61,20 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     report = ExperimentReport(EXPERIMENT_ID, TITLE)
     points: dict[str, tuple[float, float]] = {}
 
-    od = simulate(cfg, lambda: OnDemandOnlyStrategy(KEY),
+    od = simulate(cfg, StrategySpec.on_demand(KEY),
                   regions=("us-east-1a",), sizes=("small",), label="on-demand")
     points["on-demand only"] = (od.normalized_cost_percent, od.unavailability_percent)
 
-    pure = simulate(cfg, lambda: PureSpotStrategy(KEY), bidding=ReactiveBidding(),
+    pure = simulate(cfg, StrategySpec.pure_spot(KEY), bidding=ReactiveBidding(),
                     regions=("us-east-1a",), sizes=("small",), label="pure-spot")
     points["pure spot"] = (pure.normalized_cost_percent, pure.unavailability_percent)
 
-    rea = simulate(cfg, lambda: SingleMarketStrategy(KEY), bidding=ReactiveBidding(),
+    rea = simulate(cfg, StrategySpec.single(KEY), bidding=ReactiveBidding(),
                    mechanism=Mechanism.CKPT_LR,
                    regions=("us-east-1a",), sizes=("small",), label="reactive")
     points["reactive + CKPT LR"] = (rea.normalized_cost_percent, rea.unavailability_percent)
 
-    pro = simulate(cfg, lambda: SingleMarketStrategy(KEY),
+    pro = simulate(cfg, StrategySpec.single(KEY),
                    mechanism=Mechanism.CKPT_LR_LIVE,
                    regions=("us-east-1a",), sizes=("small",), label="proactive")
     points["proactive + CKPT LR + Live"] = (

@@ -21,8 +21,8 @@ from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.results import aggregate
 from repro.core.simulation import SimulationConfig, run_many
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig
+from repro.runtime import StrategySpec
 from repro.traces.calibration import calibration_for
 from repro.traces.catalog import MarketKey
 from repro.vm.mechanisms import Mechanism
@@ -62,7 +62,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     for name, cal in VARIANTS:
         for bidding in (ReactiveBidding(), ProactiveBidding()):
             sim = SimulationConfig(
-                strategy=lambda: SingleMarketStrategy(KEY),
+                strategy=StrategySpec.single(KEY),
                 bidding=bidding,
                 mechanism=Mechanism.CKPT_LR,
                 horizon_s=cfg.effective_horizon(),
@@ -72,7 +72,8 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
                 label=f"{name}/{bidding.name}",
             )
             rows[(name, bidding.name)] = aggregate(
-                run_many(sim, cfg.effective_seeds()), label=f"{name}/{bidding.name}"
+                run_many(sim, cfg.effective_seeds(), jobs=cfg.jobs),
+                label=f"{name}/{bidding.name}",
             )
 
     t = Table(

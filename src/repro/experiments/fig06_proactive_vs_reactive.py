@@ -20,7 +20,7 @@ from repro.analysis.figures import bar_chart
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
-from repro.core.strategies import SingleMarketStrategy
+from repro.runtime import StrategySpec
 from repro.experiments.common import ExperimentConfig, simulate
 from repro.traces.calibration import SIZES
 from repro.traces.catalog import MarketKey
@@ -40,7 +40,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         for bidding in (ReactiveBidding(), ProactiveBidding()):
             agg = simulate(
                 cfg,
-                lambda key=key: SingleMarketStrategy(key),
+                StrategySpec.single(key),
                 bidding=bidding,
                 mechanism=Mechanism.CKPT_LR,
                 regions=(REGION,),

@@ -23,8 +23,8 @@ from __future__ import annotations
 from repro.analysis.figures import bar_chart
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.catalog import MarketKey
 from repro.vm.mechanisms import Mechanism, PESSIMISTIC_PARAMS, TYPICAL_PARAMS
 
@@ -54,7 +54,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         for mech in Mechanism:
             agg = simulate(
                 cfg,
-                lambda: SingleMarketStrategy(key),
+                StrategySpec.single(key),
                 mechanism=mech,
                 params=params,
                 regions=("us-east-1a",),

@@ -16,8 +16,8 @@ import numpy as np
 from repro.analysis.figures import bar_chart
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import MultiMarketStrategy, SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.calibration import REGIONS, SIZES
 from repro.traces.catalog import MarketKey, build_catalog
 from repro.traces.statistics import mean_pairwise_correlation
@@ -33,7 +33,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         singles = [
             simulate(
                 cfg,
-                lambda key=MarketKey(region, size): SingleMarketStrategy(key),
+                StrategySpec.single(MarketKey(region, size)),
                 regions=(region,),
                 label=f"single/{region}/{size}",
             )
@@ -41,7 +41,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         ]
         multi = simulate(
             cfg,
-            lambda region=region: MultiMarketStrategy(region),
+            StrategySpec.multi_market(region),
             regions=(region,),
             label=f"multi/{region}",
         )

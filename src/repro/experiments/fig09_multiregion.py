@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import MultiMarketStrategy, MultiRegionStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.calibration import REGIONS, SIZES
 from repro.traces.catalog import MarketKey, build_catalog
 from repro.traces.statistics import trace_correlation
@@ -37,7 +37,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     for region in REGIONS:
         single[region] = simulate(
             cfg,
-            lambda region=region: MultiMarketStrategy(region),
+            StrategySpec.multi_market(region),
             regions=(region,),
             label=f"single-region/{region}",
         )
@@ -46,7 +46,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     for ra, rb in PAIRS:
         multi = simulate(
             cfg,
-            lambda ra=ra, rb=rb: MultiRegionStrategy((ra, rb)),
+            StrategySpec.multi_region((ra, rb)),
             regions=(ra, rb),
             label=f"multi-region/{ra}+{rb}",
         )

@@ -14,7 +14,7 @@ from repro.analysis.figures import bar_chart
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
-from repro.core.strategies import PureSpotStrategy, SingleMarketStrategy
+from repro.runtime import StrategySpec
 from repro.experiments.common import ExperimentConfig, simulate
 from repro.traces.calibration import SIZES
 from repro.traces.catalog import MarketKey
@@ -32,7 +32,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         key = MarketKey(REGION, size)
         rows[("proactive", size)] = simulate(
             cfg,
-            lambda key=key: SingleMarketStrategy(key),
+            StrategySpec.single(key),
             bidding=ProactiveBidding(),
             regions=(REGION,),
             sizes=(size,),
@@ -40,7 +40,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         )
         rows[("pure-spot", size)] = simulate(
             cfg,
-            lambda key=key: PureSpotStrategy(key),
+            StrategySpec.pure_spot(key),
             bidding=ReactiveBidding(),
             regions=(REGION,),
             sizes=(size,),

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from repro.experiments.common import DEFAULT_SEEDS, ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.runtime import collect_telemetry
 from repro.units import days
 
 __all__ = ["main", "build_parser"]
@@ -40,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--days", type=float, default=30.0, help="trace horizon in days (default 30)"
     )
     p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the seed×variant fan-out (default 1 = "
+        "serial; results are identical at any worker count)",
+    )
+    p.add_argument(
         "--markdown", metavar="DIR", default=None,
         help="also write each report as Markdown into DIR",
     )
@@ -58,7 +64,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    cfg = ExperimentConfig(seeds=tuple(args.seeds), horizon_s=days(args.days), fast=args.fast)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cfg = ExperimentConfig(
+        seeds=tuple(args.seeds), horizon_s=days(args.days), fast=args.fast,
+        jobs=args.jobs,
+    )
     md_dir = None
     if args.markdown is not None:
         from pathlib import Path
@@ -67,11 +79,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         md_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
     for eid in ids:
-        start = time.time()
-        report = run_experiment(eid, cfg)
-        elapsed = time.time() - start
+        start = time.perf_counter()
+        with collect_telemetry() as tel:
+            report = run_experiment(eid, cfg)
+        elapsed = time.perf_counter() - start
+        if tel.batches:
+            report.runtime_telemetry = tel.summary()
+        # Telemetry stays out of the rendered report so report artifacts
+        # are byte-identical at any --jobs; the footer carries it instead.
         print(report.render())
-        print(f"[{eid} completed in {elapsed:.1f}s]")
+        print(f"[{eid} completed in {elapsed:.1f}s | {tel.summary()}]")
         print()
         if md_dir is not None:
             from repro.analysis.export import report_to_markdown

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.core.strategies import SingleMarketStrategy
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.calibration import SIZES
 from repro.traces.catalog import MarketKey
 from repro.vm.nested import NestedOverheadModel
@@ -32,7 +32,7 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     for size in SIZES:
         key = MarketKey("us-east-1a", size)
         agg = simulate(
-            cfg, lambda key=key: SingleMarketStrategy(key),
+            cfg, StrategySpec.single(key),
             regions=("us-east-1a",), sizes=(size,), label=f"proactive/{size}",
         )
         norms[size] = agg.normalized_cost_percent

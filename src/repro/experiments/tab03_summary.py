@@ -17,12 +17,8 @@ from __future__ import annotations
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
-from repro.core.strategies import (
-    OnDemandOnlyStrategy,
-    PureSpotStrategy,
-    SingleMarketStrategy,
-)
 from repro.experiments.common import ExperimentConfig, simulate
+from repro.runtime import StrategySpec
 from repro.traces.catalog import MarketKey
 
 EXPERIMENT_ID = "tab3"
@@ -37,15 +33,15 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
     key = MarketKey("us-east-1a", "small")
 
     od = simulate(
-        cfg, lambda: OnDemandOnlyStrategy(key),
+        cfg, StrategySpec.on_demand(key),
         regions=("us-east-1a",), sizes=("small",), label="only-on-demand",
     )
     spot = simulate(
-        cfg, lambda: PureSpotStrategy(key), bidding=ReactiveBidding(),
+        cfg, StrategySpec.pure_spot(key), bidding=ReactiveBidding(),
         regions=("us-east-1a",), sizes=("small",), label="only-spot",
     )
     ours = simulate(
-        cfg, lambda: SingleMarketStrategy(key), bidding=ProactiveBidding(),
+        cfg, StrategySpec.single(key), bidding=ProactiveBidding(),
         regions=("us-east-1a",), sizes=("small",), label="with-migration",
     )
 

@@ -1,0 +1,45 @@
+"""Declarative batch execution: specs in, results out, as fast as the box allows.
+
+Every paper table/figure is a fan-out of the same scheduler over many
+(seed × policy × mechanism × market) variants. This package turns one such
+variant into a pickleable :class:`RunSpec`, a set of them into a
+:class:`BatchSpec`, and executes batches through :func:`run_batch` — serially
+by default (byte-for-byte reproducible ordering), or across worker processes
+with ``jobs > 1``. A per-process :class:`TraceCatalogCache` guarantees that
+N policies evaluated on one seed pay for a single trace-catalog build, and
+:class:`RunTelemetry` / :class:`BatchTelemetry` records surface wall-clock,
+events-processed, and cache-hit counters in experiment reports.
+"""
+
+from repro.runtime.cache import CatalogKey, TraceCatalogCache, shared_catalog_cache
+from repro.runtime.executor import BatchResult, run_batch
+from repro.runtime.spec import (
+    BatchSpec,
+    RunSpec,
+    StrategySpec,
+    register_strategy_kind,
+    strategy_kinds,
+)
+from repro.runtime.telemetry import (
+    BatchTelemetry,
+    RunTelemetry,
+    TelemetryCollector,
+    collect_telemetry,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchSpec",
+    "BatchTelemetry",
+    "CatalogKey",
+    "RunSpec",
+    "RunTelemetry",
+    "StrategySpec",
+    "TelemetryCollector",
+    "TraceCatalogCache",
+    "collect_telemetry",
+    "register_strategy_kind",
+    "run_batch",
+    "shared_catalog_cache",
+    "strategy_kinds",
+]

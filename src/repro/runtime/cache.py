@@ -1,0 +1,125 @@
+"""Per-process trace-catalog cache: build each price sample at most once.
+
+The paper's methodology compares policies on *the same* price sample, and a
+batch of N policies over S seeds needs only S catalog builds, not N×S. The
+cache is a small LRU keyed by everything that determines a catalog's
+contents (:class:`CatalogKey`); both the serial executor and every pool
+worker hold one per process (:func:`shared_catalog_cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.traces.catalog import TraceCatalog, build_catalog
+
+__all__ = ["CatalogKey", "TraceCatalogCache", "shared_catalog_cache"]
+
+#: Default number of catalogs kept per process. A full 16-market, 30-day
+#: catalog is a few MB; 32 comfortably covers one experiment's seed×market
+#: working set.
+DEFAULT_MAXSIZE = 32
+
+
+@dataclass(frozen=True)
+class CatalogKey:
+    """Everything that determines a generated catalog's contents."""
+
+    seed: int
+    horizon_s: float
+    regions: Tuple[str, ...]
+    sizes: Tuple[str, ...]
+    calibration_token: Optional[tuple] = None  #: sorted calibration overrides
+
+    def build(self) -> TraceCatalog:
+        """Generate the catalog this key describes."""
+        calibrations = (
+            dict(self.calibration_token) if self.calibration_token is not None else None
+        )
+        return build_catalog(
+            seed=self.seed,
+            horizon=self.horizon_s,
+            regions=self.regions,
+            sizes=self.sizes,
+            calibrations=calibrations,
+        )
+
+
+class TraceCatalogCache:
+    """An LRU of built catalogs with hit/miss/build counters."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize <= 0:
+            raise ConfigurationError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CatalogKey, TraceCatalog]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.build_wall_s = 0.0
+
+    def get_or_build(self, key: CatalogKey) -> Tuple[TraceCatalog, bool, float]:
+        """The catalog for ``key``: ``(catalog, was_cached, build_seconds)``."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached, True, 0.0
+        self.misses += 1
+        t0 = time.perf_counter()
+        catalog = key.build()
+        wall = time.perf_counter() - t0
+        self.builds += 1
+        self.build_wall_s += wall
+        self._entries[key] = catalog
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return catalog, False, wall
+
+    def peek(self, key: CatalogKey) -> Optional[TraceCatalog]:
+        """The cached catalog without building or touching LRU order."""
+        return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop entries and reset counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.build_wall_s = 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "build_wall_s": self.build_wall_s,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CatalogKey) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TraceCatalogCache size={len(self)}/{self.maxsize} "
+            f"hits={self.hits} builds={self.builds}>"
+        )
+
+
+_SHARED: Optional[TraceCatalogCache] = None
+
+
+def shared_catalog_cache() -> TraceCatalogCache:
+    """This process's catalog cache (one per process, including workers)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = TraceCatalogCache()
+    return _SHARED

@@ -1,0 +1,179 @@
+"""The batch executor: seed×variant fan-out with deterministic ordering.
+
+``run_batch`` executes a sequence of :class:`~repro.runtime.spec.RunSpec`s
+and returns results **in submission order**, whatever the worker count —
+``jobs=4`` is field-for-field identical to ``jobs=1`` because every run is
+fully determined by its spec (seed-derived RNG, deterministic catalog
+generation). Parallel execution groups runs by catalog key so each worker
+builds a given seed's catalog at most once, and non-portable runs (legacy
+closure factories) transparently fall back to in-process execution.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
+from repro.runtime.spec import BatchSpec, RunSpec
+from repro.runtime.telemetry import BatchTelemetry, RunTelemetry, notify_batch
+
+__all__ = ["BatchResult", "run_batch"]
+
+#: Progress hook: called once per completed run (completion order).
+ProgressCallback = Callable[[RunTelemetry], None]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results plus instrumentation of one executed batch."""
+
+    results: Tuple[SimulationResult, ...]  #: submission order
+    run_telemetry: Tuple[RunTelemetry, ...]  #: submission order
+    telemetry: BatchTelemetry
+
+
+def _execute_one(
+    spec: RunSpec, cache: Optional[TraceCatalogCache]
+) -> Tuple[SimulationResult, RunTelemetry]:
+    """Run one spec, resolving its catalog through ``cache`` when possible."""
+    from repro.core.simulation import run_simulation_instrumented
+
+    start = time.perf_counter()
+    catalog = None
+    cache_hit = False
+    catalog_wall = 0.0
+    key = spec.catalog_key() if cache is not None else None
+    if key is not None:
+        catalog, cache_hit, catalog_wall = cache.get_or_build(key)
+    result, events = run_simulation_instrumented(spec.to_config(catalog=catalog))
+    wall = time.perf_counter() - start
+    telemetry = RunTelemetry(
+        label=result.label,
+        seed=spec.seed,
+        wall_s=wall,
+        events_processed=events,
+        catalog_wall_s=catalog_wall,
+        catalog_cache_hit=cache_hit,
+        worker_pid=os.getpid(),
+    )
+    return result, telemetry
+
+
+def _execute_group(
+    specs: Tuple[RunSpec, ...]
+) -> List[Tuple[SimulationResult, RunTelemetry]]:
+    """Pool-worker entry point: run a catalog-sharing group serially."""
+    cache = shared_catalog_cache()
+    return [_execute_one(spec, cache) for spec in specs]
+
+
+# One persistent pool per worker count: reusing workers across batches keeps
+# their catalog caches warm over the many small batches an experiment emits.
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+def run_batch(
+    runs: Union[BatchSpec, Sequence[RunSpec]],
+    *,
+    jobs: int = 1,
+    cache: Optional[TraceCatalogCache] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> BatchResult:
+    """Execute a batch of runs and return results in submission order.
+
+    Parameters
+    ----------
+    runs:
+        A :class:`BatchSpec` or sequence of :class:`RunSpec`.
+    jobs:
+        Worker processes. ``1`` (the default) runs serially in-process;
+        ``N > 1`` fans catalog-sharing groups of runs across ``N`` workers.
+        Results are identical either way.
+    cache:
+        Trace-catalog cache for the serial path (defaults to this
+        process's shared cache). Workers always use their process cache.
+    progress:
+        Called with each run's :class:`RunTelemetry` as it completes
+        (completion order, which under ``jobs > 1`` may differ from
+        submission order).
+    """
+    specs: Tuple[RunSpec, ...] = tuple(runs.runs if isinstance(runs, BatchSpec) else runs)
+    if not specs:
+        raise ConfigurationError("batch needs at least one run")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    if cache is None:
+        cache = shared_catalog_cache()
+
+    batch_start = time.perf_counter()
+    slots: List[Optional[Tuple[SimulationResult, RunTelemetry]]] = [None] * len(specs)
+    parallel_runs = 0
+
+    if jobs == 1 or len(specs) == 1:
+        for i, spec in enumerate(specs):
+            slots[i] = _execute_one(spec, cache)
+            if progress is not None:
+                progress(slots[i][1])
+    else:
+        # Group portable runs by catalog key so one worker builds each
+        # catalog once; keep groups in first-appearance order.
+        groups: Dict[object, List[int]] = {}
+        local: List[int] = []
+        for i, spec in enumerate(specs):
+            key = spec.catalog_key()
+            if key is None or not spec.is_portable():
+                local.append(i)
+            else:
+                groups.setdefault(key, []).append(i)
+        pool = _get_pool(jobs)
+        futures = [
+            (indices, pool.submit(_execute_group, tuple(specs[i] for i in indices)))
+            for indices in groups.values()
+        ]
+        # Non-portable runs execute in-process while the pool churns.
+        for i in local:
+            slots[i] = _execute_one(specs[i], cache)
+            if progress is not None:
+                progress(slots[i][1])
+        for indices, future in futures:
+            for i, pair in zip(indices, future.result()):
+                slots[i] = pair
+                parallel_runs += 1
+                if progress is not None:
+                    progress(pair[1])
+
+    results = tuple(pair[0] for pair in slots)  # type: ignore[union-attr]
+    run_telemetry = tuple(pair[1] for pair in slots)  # type: ignore[union-attr]
+    telemetry = BatchTelemetry(
+        runs=len(specs),
+        wall_s=time.perf_counter() - batch_start,
+        catalog_builds=sum(1 for t in run_telemetry if not t.catalog_cache_hit),
+        catalog_cache_hits=sum(1 for t in run_telemetry if t.catalog_cache_hit),
+        events_processed=sum(t.events_processed for t in run_telemetry),
+        jobs=jobs,
+        parallel_runs=parallel_runs,
+    )
+    notify_batch(telemetry)
+    return BatchResult(results=results, run_telemetry=run_telemetry, telemetry=telemetry)

@@ -1,0 +1,281 @@
+"""Pickleable run descriptions: what to simulate, without any live objects.
+
+A :class:`StrategySpec` names a registered strategy kind plus its
+constructor arguments, so a strategy can be rebuilt on the far side of a
+process boundary (closures cannot cross one). A :class:`RunSpec` bundles a
+strategy spec with the bidding policy, mechanism, market subset, and seed —
+everything :func:`repro.core.simulation.run_simulation` needs — and a
+:class:`BatchSpec` is an ordered set of runs executed together so they can
+share trace catalogs.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.bidding import BiddingPolicy, ProactiveBidding
+from repro.core.strategies import (
+    HostingStrategy,
+    MultiMarketStrategy,
+    MultiRegionStrategy,
+    OnDemandOnlyStrategy,
+    PureSpotStrategy,
+    SingleMarketStrategy,
+    StabilityAwareStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.traces.calibration import REGIONS, SIZES
+from repro.traces.catalog import MarketKey
+from repro.units import days
+from repro.vm.mechanisms import Mechanism, MechanismParams, TYPICAL_PARAMS
+
+__all__ = [
+    "BatchSpec",
+    "RunSpec",
+    "StrategySpec",
+    "register_strategy_kind",
+    "strategy_kinds",
+]
+
+#: Strategy kind -> constructor. Extensions register theirs via
+#: :func:`register_strategy_kind`; the names mirror ``repro-simulate
+#: --strategy`` choices.
+_STRATEGY_BUILDERS: dict[str, Callable[..., HostingStrategy]] = {
+    "single": SingleMarketStrategy,
+    "pure-spot": PureSpotStrategy,
+    "on-demand": OnDemandOnlyStrategy,
+    "multi-market": MultiMarketStrategy,
+    "multi-region": MultiRegionStrategy,
+    "stability": StabilityAwareStrategy,
+}
+
+
+def register_strategy_kind(kind: str, builder: Callable[..., HostingStrategy]) -> None:
+    """Register a strategy constructor under ``kind`` for spec building."""
+    if not kind:
+        raise ConfigurationError("strategy kind must be non-empty")
+    _STRATEGY_BUILDERS[kind] = builder
+
+
+def strategy_kinds() -> list[str]:
+    """All registered strategy kinds, sorted."""
+    return sorted(_STRATEGY_BUILDERS)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A strategy by name plus constructor arguments — hashable, pickleable.
+
+    Calling the spec builds a fresh strategy, so a ``StrategySpec`` is a
+    drop-in :data:`~repro.core.simulation.StrategyFactory` that also
+    survives pickling (unlike the lambdas it replaces).
+    """
+
+    kind: str
+    args: Tuple[Any, ...] = ()
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _STRATEGY_BUILDERS:
+            raise ConfigurationError(
+                f"unknown strategy kind {self.kind!r}; registered: {strategy_kinds()}"
+            )
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def of(cls, kind: str, *args: Any, **kwargs: Any) -> "StrategySpec":
+        """Spec for any registered kind with arbitrary constructor args."""
+        return cls(kind=kind, args=tuple(args), options=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def single(cls, key: MarketKey) -> "StrategySpec":
+        return cls.of("single", key)
+
+    @classmethod
+    def pure_spot(cls, key: MarketKey) -> "StrategySpec":
+        return cls.of("pure-spot", key)
+
+    @classmethod
+    def on_demand(cls, key: MarketKey) -> "StrategySpec":
+        return cls.of("on-demand", key)
+
+    @classmethod
+    def multi_market(cls, region: str, service_units: int = 8) -> "StrategySpec":
+        return cls.of("multi-market", region, service_units=service_units)
+
+    @classmethod
+    def multi_region(
+        cls, regions: Sequence[str], service_units: int = 8
+    ) -> "StrategySpec":
+        return cls.of("multi-region", tuple(regions), service_units=service_units)
+
+    @classmethod
+    def stability(
+        cls,
+        regions: Sequence[str],
+        service_units: int = 8,
+        stability_weight: float = 1.0,
+        **kwargs: Any,
+    ) -> "StrategySpec":
+        return cls.of(
+            "stability",
+            tuple(regions),
+            service_units=service_units,
+            stability_weight=stability_weight,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------- execution
+    def build(self) -> HostingStrategy:
+        """Construct a fresh strategy instance."""
+        return _STRATEGY_BUILDERS[self.kind](*self.args, **dict(self.options))
+
+    def __call__(self) -> HostingStrategy:
+        return self.build()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        opts = ", ".join(f"{k}={v!r}" for k, v in self.options)
+        parts = ", ".join(filter(None, [", ".join(map(repr, self.args)), opts]))
+        return f"StrategySpec({self.kind}: {parts})"
+
+
+#: Anything that builds a strategy: a declarative spec or a legacy factory
+#: callable (the latter cannot cross process boundaries).
+StrategyLike = Union[StrategySpec, Callable[[], HostingStrategy]]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One scheduler run, declaratively: the pickleable sibling of
+    :class:`~repro.core.simulation.SimulationConfig`.
+
+    Unlike ``SimulationConfig`` it never holds a live catalog — the
+    executor resolves one through the trace-catalog cache — and its
+    ``strategy`` should be a :class:`StrategySpec` so the run can be
+    shipped to a worker process (a plain factory callable is accepted but
+    forces in-process execution).
+    """
+
+    strategy: StrategyLike
+    bidding: BiddingPolicy = field(default_factory=ProactiveBidding)
+    mechanism: Mechanism = Mechanism.CKPT_LR_LIVE
+    params: MechanismParams = TYPICAL_PARAMS
+    seed: int = 0
+    horizon_s: float = days(30)
+    regions: tuple = REGIONS
+    sizes: tuple = SIZES
+    calibrations: Optional[Mapping[tuple, Any]] = None
+    startup_cv: float = 0.25
+    service_disk_gib: float = 2.0
+    label: str = ""
+
+    def with_(self, **kw) -> "RunSpec":
+        """A copy with fields replaced."""
+        return replace(self, **kw)
+
+    @classmethod
+    def from_config(cls, config, seed: Optional[int] = None) -> "RunSpec":
+        """Lift a :class:`SimulationConfig` into a spec (drops any attached
+        catalog — the runtime re-resolves catalogs through its cache)."""
+        return cls(
+            strategy=config.strategy,
+            bidding=config.bidding,
+            mechanism=config.mechanism,
+            params=config.params,
+            seed=config.seed if seed is None else seed,
+            horizon_s=config.horizon_s,
+            regions=tuple(config.regions),
+            sizes=tuple(config.sizes),
+            calibrations=config.calibrations,
+            startup_cv=config.startup_cv,
+            service_disk_gib=config.service_disk_gib,
+            label=config.label,
+        )
+
+    def to_config(self, catalog=None):
+        """Materialise the :class:`SimulationConfig` for this run.
+
+        The bidding policy is deep-copied so stateful policies (e.g.
+        :class:`~repro.core.adaptive.AdaptiveBidding`'s per-market bid
+        cache) never leak state between runs — each run sees exactly what
+        it would have seen in its own process.
+        """
+        from repro.core.simulation import SimulationConfig
+
+        return SimulationConfig(
+            strategy=self.strategy,
+            bidding=copy.deepcopy(self.bidding),
+            mechanism=self.mechanism,
+            params=self.params,
+            seed=self.seed,
+            horizon_s=self.horizon_s,
+            regions=tuple(self.regions),
+            sizes=tuple(self.sizes),
+            catalog=catalog,
+            calibrations=self.calibrations,
+            startup_cv=self.startup_cv,
+            service_disk_gib=self.service_disk_gib,
+            label=self.label,
+        )
+
+    def catalog_key(self):
+        """The trace-catalog cache key for this run, or ``None`` when the
+        run is uncacheable (unhashable calibration overrides)."""
+        from repro.runtime.cache import CatalogKey
+
+        token: Optional[tuple] = None
+        if self.calibrations is not None:
+            try:
+                token = tuple(sorted(self.calibrations.items()))
+                hash(token)
+            except TypeError:
+                return None
+        key = CatalogKey(
+            seed=self.seed,
+            horizon_s=float(self.horizon_s),
+            regions=tuple(self.regions),
+            sizes=tuple(self.sizes),
+            calibration_token=token,
+        )
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def is_portable(self) -> bool:
+        """Can this spec cross a process boundary?"""
+        if not isinstance(self.strategy, StrategySpec):
+            return False
+        try:
+            pickle.dumps(self)
+        except Exception:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """An ordered set of runs executed together (shared catalog cache)."""
+
+    runs: Tuple[RunSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ConfigurationError("batch needs at least one run")
+
+    @classmethod
+    def product(cls, base: RunSpec, seeds: Sequence[int]) -> "BatchSpec":
+        """One run per seed, mirroring ``run_many``'s fan-out."""
+        if not len(seeds):
+            raise ConfigurationError("need at least one seed")
+        return cls(runs=tuple(base.with_(seed=s) for s in seeds))
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)

@@ -1,0 +1,117 @@
+"""Run instrumentation: what each run cost, where the time went.
+
+Every executed run yields a :class:`RunTelemetry`; every batch a
+:class:`BatchTelemetry`. Callers who want cross-batch totals (the
+experiment runner's footer line) open a :func:`collect_telemetry` scope —
+each ``run_batch`` reports into every active collector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "RunTelemetry",
+    "BatchTelemetry",
+    "TelemetryCollector",
+    "collect_telemetry",
+]
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Instrumentation of one scheduler run."""
+
+    label: str
+    seed: int
+    wall_s: float  #: run wall-clock, including any catalog build
+    events_processed: int  #: discrete events fired by the engine
+    catalog_wall_s: float = 0.0  #: catalog build time (0 on a cache hit)
+    catalog_cache_hit: bool = False
+    worker_pid: int = 0  #: executing process (parent pid when serial)
+
+
+@dataclass(frozen=True)
+class BatchTelemetry:
+    """Instrumentation of one executed batch."""
+
+    runs: int
+    wall_s: float
+    catalog_builds: int
+    catalog_cache_hits: int
+    events_processed: int
+    jobs: int = 1  #: worker processes requested
+    parallel_runs: int = 0  #: runs executed in pool workers
+
+    def summary(self) -> str:
+        """One-line human summary (the runner's footer ingredient)."""
+        return (
+            f"{self.runs} runs, {self.catalog_builds} catalog builds, "
+            f"{self.catalog_cache_hits} cache hits, jobs={self.jobs}"
+        )
+
+
+class TelemetryCollector:
+    """Accumulates batch telemetry across several ``run_batch`` calls."""
+
+    def __init__(self) -> None:
+        self.batches: List[BatchTelemetry] = []
+
+    def add(self, batch: BatchTelemetry) -> None:
+        self.batches.append(batch)
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def runs(self) -> int:
+        return sum(b.runs for b in self.batches)
+
+    @property
+    def catalog_builds(self) -> int:
+        return sum(b.catalog_builds for b in self.batches)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(b.catalog_cache_hits for b in self.batches)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(b.events_processed for b in self.batches)
+
+    @property
+    def jobs(self) -> int:
+        return max((b.jobs for b in self.batches), default=1)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(b.wall_s for b in self.batches)
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} runs, {self.catalog_builds} catalog builds, "
+            f"{self.cache_hits} cache hits, jobs={self.jobs}"
+        )
+
+
+_ACTIVE: contextvars.ContextVar[Tuple[TelemetryCollector, ...]] = contextvars.ContextVar(
+    "repro_runtime_telemetry_collectors", default=()
+)
+
+
+@contextlib.contextmanager
+def collect_telemetry() -> Iterator[TelemetryCollector]:
+    """Collect telemetry from every batch executed inside the scope."""
+    collector = TelemetryCollector()
+    token = _ACTIVE.set(_ACTIVE.get() + (collector,))
+    try:
+        yield collector
+    finally:
+        _ACTIVE.reset(token)
+
+
+def notify_batch(batch: BatchTelemetry) -> None:
+    """Report one finished batch to every active collector (executor hook)."""
+    for collector in _ACTIVE.get():
+        collector.add(batch)

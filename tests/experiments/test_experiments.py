@@ -65,6 +65,20 @@ class TestCli:
         args = build_parser().parse_args([])
         assert args.days == 30.0
         assert not args.fast
+        assert args.jobs == 1
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(["tab2", "--fast", "--jobs", "0"]) == 2
+
+    def test_run_parallel_jobs(self, capsys):
+        """The --jobs path produces the same report plus a telemetry footer."""
+        assert main(["fig11", "--fast", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["fig11", "--fast"]) == 0
+        serial = capsys.readouterr().out
+        strip = lambda text: [l for l in text.splitlines() if "completed in" not in l]
+        assert strip(parallel) == strip(serial)
+        assert "cache hits" in parallel and "jobs=2" in parallel
 
 
 class TestConfig:

@@ -1,0 +1,132 @@
+"""Trace-catalog cache: build-once semantics and same-sample guarantees."""
+
+import pytest
+
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.errors import ConfigurationError
+from repro.runtime import RunSpec, StrategySpec, TraceCatalogCache, run_batch
+from repro.runtime.cache import CatalogKey
+from repro.traces.catalog import MarketKey
+from repro.traces.calibration import calibration_for
+from repro.units import days
+
+KEY = MarketKey("us-east-1a", "small")
+
+
+def spec(**kw) -> RunSpec:
+    base = dict(
+        strategy=StrategySpec.single(KEY),
+        horizon_s=days(2),
+        regions=("us-east-1a",),
+        sizes=("small",),
+    )
+    base.update(kw)
+    return RunSpec(**base)
+
+
+def catalog_key(seed: int) -> CatalogKey:
+    return spec(seed=seed).catalog_key()
+
+
+class TestCatalogKey:
+    def test_same_spec_same_key(self):
+        assert catalog_key(1) == catalog_key(1)
+        assert hash(catalog_key(1)) == hash(catalog_key(1))
+
+    def test_key_distinguishes_seed_horizon_markets(self):
+        assert catalog_key(1) != catalog_key(2)
+        assert spec(seed=1).catalog_key() != spec(seed=1, horizon_s=days(3)).catalog_key()
+        assert (
+            spec(seed=1).catalog_key()
+            != spec(seed=1, sizes=("small", "medium")).catalog_key()
+        )
+
+    def test_policy_variants_share_a_key(self):
+        """The cache key ignores everything that does not shape the trace."""
+        a = spec(seed=1, bidding=ProactiveBidding()).catalog_key()
+        b = spec(seed=1, bidding=ReactiveBidding()).catalog_key()
+        assert a == b
+
+    def test_calibration_overrides_key(self):
+        cal = calibration_for("us-east-1a", "small")
+        with_cal = spec(seed=1, calibrations={("us-east-1a", "small"): cal})
+        assert with_cal.catalog_key() is not None
+        assert with_cal.catalog_key() != catalog_key(1)
+
+    def test_build_matches_key(self):
+        catalog = catalog_key(4).build()
+        assert KEY in catalog
+        assert catalog.horizon == days(2)
+
+
+class TestTraceCatalogCache:
+    def test_build_once_then_hit(self):
+        cache = TraceCatalogCache()
+        key = catalog_key(1)
+        first, hit1, wall1 = cache.get_or_build(key)
+        second, hit2, wall2 = cache.get_or_build(key)
+        assert second is first  # identical price sample, not an equal copy
+        assert (hit1, hit2) == (False, True)
+        assert wall1 > 0 and wall2 == 0
+        assert cache.stats()["builds"] == 1 and cache.stats()["hits"] == 1
+
+    def test_lru_eviction(self):
+        cache = TraceCatalogCache(maxsize=2)
+        k1, k2, k3 = catalog_key(1), catalog_key(2), catalog_key(3)
+        cache.get_or_build(k1)
+        cache.get_or_build(k2)
+        cache.get_or_build(k1)  # refresh k1: k2 becomes LRU
+        cache.get_or_build(k3)
+        assert k1 in cache and k3 in cache and k2 not in cache
+
+    def test_clear_resets(self):
+        cache = TraceCatalogCache()
+        cache.get_or_build(catalog_key(1))
+        cache.clear()
+        assert len(cache) == 0 and cache.builds == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ConfigurationError):
+            TraceCatalogCache(maxsize=0)
+
+
+class TestBatchCaching:
+    def test_catalog_built_at_most_once_per_seed_within_batch(self):
+        """Acceptance: N policies on S seeds pay exactly S catalog builds."""
+        cache = TraceCatalogCache()
+        seeds = (11, 23)
+        policies = (ProactiveBidding(), ReactiveBidding(), ProactiveBidding(k=2.0))
+        runs = [spec(seed=s, bidding=b) for b in policies for s in seeds]
+        batch = run_batch(runs, cache=cache)
+        assert batch.telemetry.runs == 6
+        assert cache.builds == len(seeds)
+        assert cache.hits == len(runs) - len(seeds)
+        assert batch.telemetry.catalog_builds == len(seeds)
+        assert batch.telemetry.catalog_cache_hits == len(runs) - len(seeds)
+
+    def test_same_sample_policy_comparison_catalog_identity(self):
+        """Satellite regression: two policies compared on one seed must see
+        the *identical* catalog object — the paper's same-sample
+        methodology — even across separate batches."""
+        cache = TraceCatalogCache()
+        proactive = run_batch([spec(seed=11, bidding=ProactiveBidding())], cache=cache)
+        reactive = run_batch([spec(seed=11, bidding=ReactiveBidding())], cache=cache)
+        assert proactive.run_telemetry[0].catalog_cache_hit is False
+        assert reactive.run_telemetry[0].catalog_cache_hit is True
+        assert cache.builds == 1
+        # The cached object is the one both batches consumed.
+        assert cache.peek(catalog_key(11)) is not None
+
+    def test_unhashable_calibrations_are_uncacheable(self):
+        """Unhashable calibration overrides yield no cache key (the
+        executor then builds the catalog inside the run instead)."""
+
+        class Unhashable(dict):
+            __hash__ = None
+
+        cal = calibration_for("us-east-1a", "small")
+        odd = spec(
+            seed=1,
+            calibrations={("us-east-1a", "small"): Unhashable({"x": cal})},
+        )
+        assert odd.catalog_key() is None

@@ -1,0 +1,157 @@
+"""Spec layer: every registered variant must pickle and rebuild."""
+
+import pickle
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBidding
+from repro.core.bidding import ProactiveBidding, ReactiveBidding
+from repro.core.simulation import SimulationConfig, run_simulation
+from repro.core.strategies import (
+    HostingStrategy,
+    MultiMarketStrategy,
+    MultiRegionStrategy,
+    OnDemandOnlyStrategy,
+    PureSpotStrategy,
+    SingleMarketStrategy,
+    StabilityAwareStrategy,
+)
+from repro.errors import ConfigurationError
+from repro.runtime import BatchSpec, RunSpec, StrategySpec, register_strategy_kind
+from repro.runtime.spec import strategy_kinds
+from repro.traces.catalog import MarketKey
+from repro.units import days
+from repro.vm.mechanisms import Mechanism, PESSIMISTIC_PARAMS, TYPICAL_PARAMS
+
+KEY = MarketKey("us-east-1a", "small")
+REGION_PAIR = ("us-east-1a", "eu-west-1a")
+
+#: One representative spec per registered strategy kind, and the class it
+#: must build. Keep in sync with the registry — the completeness test below
+#: fails if a kind is added without a row here.
+SPEC_CASES = {
+    "single": (StrategySpec.single(KEY), SingleMarketStrategy),
+    "pure-spot": (StrategySpec.pure_spot(KEY), PureSpotStrategy),
+    "on-demand": (StrategySpec.on_demand(KEY), OnDemandOnlyStrategy),
+    "multi-market": (StrategySpec.multi_market("us-east-1a"), MultiMarketStrategy),
+    "multi-region": (StrategySpec.multi_region(REGION_PAIR), MultiRegionStrategy),
+    "stability": (
+        StrategySpec.stability(REGION_PAIR, stability_weight=2.0),
+        StabilityAwareStrategy,
+    ),
+}
+
+BIDDINGS = (ReactiveBidding(), ProactiveBidding(), AdaptiveBidding())
+
+
+def test_every_registered_kind_has_a_case():
+    assert set(SPEC_CASES) == set(strategy_kinds())
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_CASES))
+def test_strategy_spec_builds_and_is_callable(kind):
+    spec, cls = SPEC_CASES[kind]
+    assert isinstance(spec.build(), cls)
+    # A spec is a drop-in strategy factory.
+    assert isinstance(spec(), cls)
+    # Each call builds a fresh instance.
+    assert spec() is not spec()
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_CASES))
+def test_strategy_spec_pickle_round_trip(kind):
+    spec, cls = SPEC_CASES[kind]
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert isinstance(clone.build(), cls)
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_CASES))
+@pytest.mark.parametrize("bidding", BIDDINGS, ids=lambda b: b.name)
+@pytest.mark.parametrize("mechanism", list(Mechanism), ids=lambda m: m.value)
+def test_run_spec_pickles_for_every_combination(kind, bidding, mechanism):
+    """Satellite: every strategy × bidding × mechanism combination must
+    round-trip through pickle and yield a runnable spec."""
+    spec, cls = SPEC_CASES[kind]
+    run = RunSpec(
+        strategy=spec,
+        bidding=bidding,
+        mechanism=mechanism,
+        params=PESSIMISTIC_PARAMS if mechanism is Mechanism.CKPT else TYPICAL_PARAMS,
+        seed=3,
+        horizon_s=days(2),
+        regions=REGION_PAIR,
+        sizes=("small",),
+    )
+    assert run.is_portable()
+    clone = pickle.loads(pickle.dumps(run))
+    assert clone == run
+    config = clone.to_config()
+    assert isinstance(config, SimulationConfig)
+    built = config.strategy()
+    assert isinstance(built, cls)
+    assert config.bidding.name == bidding.name
+
+
+def test_run_spec_executes_after_pickling():
+    run = RunSpec(
+        strategy=StrategySpec.single(KEY),
+        seed=5,
+        horizon_s=days(2),
+        regions=("us-east-1a",),
+        sizes=("small",),
+    )
+    clone = pickle.loads(pickle.dumps(run))
+    result = run_simulation(clone.to_config())
+    assert result.seed == 5
+    assert result.duration_hours > 0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        StrategySpec.of("warp-drive", KEY)
+
+
+def test_register_strategy_kind_extends_registry():
+    class NullStrategy(SingleMarketStrategy):
+        pass
+
+    register_strategy_kind("null-test", NullStrategy)
+    try:
+        spec = StrategySpec.of("null-test", KEY)
+        assert isinstance(spec.build(), NullStrategy)
+    finally:
+        from repro.runtime.spec import _STRATEGY_BUILDERS
+
+        del _STRATEGY_BUILDERS["null-test"]
+
+
+def test_run_spec_from_config_drops_catalog(month_catalog):
+    config = SimulationConfig(
+        strategy=StrategySpec.single(KEY),
+        seed=1,
+        catalog=month_catalog,
+    )
+    spec = RunSpec.from_config(config, seed=9)
+    assert spec.seed == 9
+    assert spec.to_config().catalog is None
+
+
+def test_to_config_deep_copies_bidding():
+    bidding = AdaptiveBidding()
+    spec = RunSpec(strategy=StrategySpec.single(KEY), bidding=bidding)
+    assert spec.to_config().bidding is not bidding
+
+
+def test_legacy_callable_strategy_is_not_portable():
+    run = RunSpec(strategy=lambda: SingleMarketStrategy(KEY))
+    assert not run.is_portable()
+
+
+def test_batch_spec_product():
+    base = RunSpec(strategy=StrategySpec.single(KEY))
+    batch = BatchSpec.product(base, [1, 2, 3])
+    assert [r.seed for r in batch] == [1, 2, 3]
+    assert len(batch) == 3
+    with pytest.raises(ConfigurationError):
+        BatchSpec.product(base, [])
