@@ -35,6 +35,8 @@ Package map:
 * :mod:`repro.simulator` — the discrete-event kernel;
 * :mod:`repro.runtime` — declarative batch execution (specs, catalog
   cache, parallel seed×variant fan-out, run telemetry);
+* :mod:`repro.obs` — structured decision tracing and run metrics
+  (typed trace events, sinks, ``observe`` scopes, ``repro-trace`` CLI);
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -63,6 +65,17 @@ from repro.core import (
 )
 from repro.cloud import CloudProvider, Lease, LeaseKind, SpotMarket
 from repro.errors import ReproError
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    RingBufferSink,
+    TraceEvent,
+    TraceSink,
+    observe,
+    read_jsonl,
+)
 from repro.runtime import (
     BatchResult,
     BatchSpec,
@@ -144,4 +157,13 @@ __all__ = [
     "TpcwConfig",
     "TpcwModel",
     "ReproError",
+    "TraceEvent",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "RingBufferSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "observe",
+    "read_jsonl",
 ]

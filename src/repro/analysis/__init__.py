@@ -1,8 +1,17 @@
-"""Result rendering: tables, ASCII charts, experiment reports."""
+"""Result rendering: tables, ASCII charts, experiment reports, and
+decision-trace analysis (see :mod:`repro.analysis.decisions`)."""
 
 from repro.analysis.tables import Table, format_value
 from repro.analysis.figures import bar_chart, line_chart, sparkline
 from repro.analysis.report import ExperimentReport, ComparisonRow
+from repro.analysis.decisions import (
+    decision_timeline,
+    event_counts,
+    group_runs,
+    migration_narrative,
+    revocations_avoided,
+    total_downtime_s,
+)
 
 __all__ = [
     "Table",
@@ -12,4 +21,10 @@ __all__ = [
     "sparkline",
     "ExperimentReport",
     "ComparisonRow",
+    "group_runs",
+    "event_counts",
+    "decision_timeline",
+    "migration_narrative",
+    "revocations_avoided",
+    "total_downtime_s",
 ]

@@ -1,0 +1,190 @@
+"""Decision-trace analysis: turn a ``repro.obs`` event stream into the
+paper's narrative.
+
+All helpers operate on plain event records (dicts with a ``type`` key, as
+produced by :meth:`repro.obs.TraceEvent.to_dict` or read back from a JSONL
+trace with :func:`repro.obs.read_jsonl`), so they work equally on live
+:class:`~repro.obs.sinks.MemorySink` contents and on files written weeks
+ago. Records from multi-run files carry ``run``/``seed`` (and optionally
+``experiment``) tags; :func:`group_runs` splits on them.
+
+The headline helper is :func:`migration_narrative`, which renders the
+Fig-6 argument from decisions rather than totals: *N voluntary migrations,
+M of them ahead of an imminent bid crossing (revocations avoided), versus
+K forced migrations*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "group_runs",
+    "event_counts",
+    "decision_timeline",
+    "migration_narrative",
+    "revocations_avoided",
+    "total_downtime_s",
+]
+
+EventRecord = Dict[str, Any]
+
+#: A voluntary migration "avoided a revocation" when the source market's
+#: price crossed the abandoned bid within this window after the decision
+#: (two billing hours — the excursion the move side-stepped).
+AVOIDANCE_WINDOW_S = 2 * SECONDS_PER_HOUR
+
+
+def group_runs(
+    records: Iterable[EventRecord],
+) -> List[Tuple[Tuple[str, str, int], List[EventRecord]]]:
+    """Split a tagged multi-run stream into per-run event lists.
+
+    Returns ``((experiment, run, seed), events)`` pairs in first-appearance
+    order; untagged streams collapse to a single group.
+    """
+    order: List[Tuple[str, str, int]] = []
+    groups: Dict[Tuple[str, str, int], List[EventRecord]] = {}
+    for rec in records:
+        key = (str(rec.get("experiment", "")), str(rec.get("run", "")), int(rec.get("seed", 0)))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(rec)
+    return [(key, groups[key]) for key in order]
+
+
+def event_counts(events: Iterable[EventRecord]) -> Dict[str, int]:
+    """Events per type, sorted by type name."""
+    tally = _TallyCounter(e.get("type", "?") for e in events)
+    return dict(sorted(tally.items()))
+
+
+def total_downtime_s(events: Iterable[EventRecord]) -> float:
+    """Summed blackout duration recorded in the stream."""
+    return sum(
+        max(0.0, e.get("end", 0.0) - e.get("start", 0.0))
+        for e in events
+        if e.get("type") == "service-blackout"
+    )
+
+
+def revocations_avoided(
+    events: Iterable[EventRecord], window_s: float = AVOIDANCE_WINDOW_S
+) -> List[EventRecord]:
+    """Voluntary migrations that pre-empted an imminent bid crossing.
+
+    A ``voluntary-migration`` event carries ``next_bid_crossing`` — the
+    instant the abandoned market's price would next have crossed the bid.
+    When that lands within ``window_s`` of the decision, staying would have
+    meant a revocation; the move avoided it.
+    """
+    out = []
+    for e in events:
+        if e.get("type") != "voluntary-migration":
+            continue
+        crossing = e.get("next_bid_crossing")
+        if crossing is not None and crossing - e.get("started_at", e["t"]) <= window_s:
+            out.append(e)
+    return out
+
+
+def migration_narrative(events: Sequence[EventRecord]) -> str:
+    """One paragraph explaining the run's migrations from its decisions."""
+    voluntary = [e for e in events if e.get("type") == "voluntary-migration"]
+    forced = [e for e in events if e.get("type") == "forced-migration"]
+    warnings = [e for e in events if e.get("type") == "revocation-warning"]
+    aborted = [e for e in events if e.get("type") == "migration-aborted"]
+    avoided = revocations_avoided(events)
+    downtime = total_downtime_s(events)
+
+    parts = [
+        f"{len(voluntary)} voluntary migration(s)"
+        + (
+            f", {len(avoided)} of them ahead of a bid crossing within "
+            f"{AVOIDANCE_WINDOW_S / SECONDS_PER_HOUR:.0f} h (revocations avoided)"
+            if voluntary
+            else ""
+        ),
+        f"{len(forced)} forced migration(s) from {len(warnings)} revocation warning(s)",
+    ]
+    if aborted:
+        parts.append(f"{len(aborted)} aborted attempt(s)")
+    parts.append(f"{downtime:.1f} s total blackout")
+    return "; ".join(parts) + "."
+
+
+def _hours(t: float) -> str:
+    return f"{t / SECONDS_PER_HOUR:9.3f}h"
+
+
+def _describe(e: EventRecord) -> str:
+    kind = e.get("type", "?")
+    if kind == "bid-placed":
+        return (
+            f"bid ${e['bid']:.4f} on {e['market']} (price ${e['price']:.4f}, "
+            f"{e.get('policy', '?')}{', ' + e['rationale'] if e.get('rationale') else ''})"
+        )
+    if kind == "lease-acquired":
+        return f"{e['kind']} lease {e['lease_id']} on {e['market']}, ready at {_hours(e['ready_at']).strip()}"
+    if kind == "lease-terminated":
+        return f"{e['kind']} lease {e['lease_id']} ended ({e['reason']}), billed ${e['billed']:.2f}"
+    if kind == "price-crossing":
+        return f"{e['market']} price ${e['price']:.4f} crossed {e['direction']} ${e['threshold']:.4f}"
+    if kind == "billing-tick":
+        return (
+            f"boundary check on {e['market']}: price ${e['price']:.4f} vs "
+            f"on-demand ${e['on_demand_price']:.4f} (boundary {_hours(e['boundary']).strip()})"
+        )
+    if kind == "revocation-warning":
+        return f"{e['market']} warned: price ${e['price']:.4f} > bid ${e['bid']:.4f}, {e['grace_s']:.0f} s grace"
+    if kind == "revocation":
+        return f"{e['market']} fleet terminated (warned at {_hours(e['warned_at']).strip()})"
+    if kind == "voluntary-migration":
+        note = ""
+        if e.get("next_bid_crossing") is not None:
+            note = f", bid crossing was due at {_hours(e['next_bid_crossing']).strip()}"
+        return (
+            f"{e['kind']} move {e['source']} -> {e['target']}, "
+            f"{e['downtime_s']:.1f} s down{note}"
+        )
+    if kind == "forced-migration":
+        return f"forced move {e['source']} -> {e['target']}, {e['downtime_s']:.1f} s down"
+    if kind == "migration-aborted":
+        return f"{e['kind']} move {e['source']} -> {e['target']} aborted ({e['reason']})"
+    if kind == "checkpoint-write":
+        return f"checkpoint ({e['size_gib']:.1f} GiB) flushed on {e['market']}"
+    if kind == "checkpoint-restore":
+        return f"restored on {e['market']} after {e['downtime_s']:.1f} s"
+    if kind == "service-blackout":
+        return (
+            f"service dark {e['start'] / SECONDS_PER_HOUR:.3f}h-"
+            f"{e['end'] / SECONDS_PER_HOUR:.3f}h ({e['cause']})"
+        )
+    if kind == "engine-run-completed":
+        return f"engine fired {e['fired_events']} events"
+    return ", ".join(f"{k}={v}" for k, v in e.items() if k not in ("type", "t"))
+
+
+def decision_timeline(
+    events: Sequence[EventRecord],
+    limit: Optional[int] = None,
+    types: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a chronological, human-readable decision timeline.
+
+    ``types`` filters to the given event types; ``limit`` keeps only the
+    first N lines (with an ellipsis note when truncated).
+    """
+    wanted = [e for e in events if types is None or e.get("type") in types]
+    wanted.sort(key=lambda e: (e.get("t", 0.0), e.get("type", "")))
+    lines = [
+        f"{_hours(e.get('t', 0.0))}  {e.get('type', '?'):20s}  {_describe(e)}"
+        for e in (wanted if limit is None else wanted[:limit])
+    ]
+    if limit is not None and len(wanted) > limit:
+        lines.append(f"           ... {len(wanted) - limit} more event(s)")
+    return "\n".join(lines)

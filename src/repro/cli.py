@@ -9,6 +9,7 @@ Examples::
     repro-simulate --mechanism ckpt+lr --pessimistic --seeds 1 2 3
     repro-simulate --strategy pure-spot --days 60
     repro-simulate --csv history.csv --size small --region us-east-1a
+    repro-simulate --fast --trace /tmp/t.jsonl --metrics
 """
 
 from __future__ import annotations
@@ -20,7 +21,8 @@ from typing import List, Optional
 from repro.analysis.tables import Table
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.results import aggregate
-from repro.core.simulation import SimulationConfig, run_many, run_simulation
+from repro.core.simulation import SimulationConfig, run_many, run_simulation_observed
+from repro.obs import NULL_SINK, MemorySink, observe
 from repro.runtime import StrategySpec
 from repro.traces.calibration import REGIONS, SIZES, on_demand_price
 from repro.traces.catalog import MarketKey, TraceCatalog
@@ -59,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
     p.add_argument("--stability-weight", type=float, default=2.0)
+    p.add_argument("--fast", action="store_true",
+                   help="smoke run: horizon capped at 10 days, first two seeds")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a JSONL decision trace of every run to PATH "
+                   "(inspect with 'repro-trace summarize PATH')")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the merged run-metrics summary after the table")
     return p
 
 
@@ -104,6 +113,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.fast:
+        args.days = min(args.days, 10.0)
+        args.seeds = args.seeds[:2]
     bidding = (
         ProactiveBidding(k=args.k) if args.bidding == "proactive" else ReactiveBidding()
     )
@@ -135,10 +147,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         title=f"{args.strategy} / {args.bidding} / {args.mechanism}"
         f"{' (pessimistic)' if args.pessimistic else ''} over {args.days:g} days",
     )
-    if catalog is not None:
-        results = [run_simulation(cfg)]
-    else:
-        results = run_many(cfg, args.seeds, jobs=args.jobs)
+    want_trace = args.trace is not None
+    with observe(trace=want_trace, metrics=args.metrics) as scope:
+        if catalog is not None:
+            # The CSV replay is a single in-process run that bypasses
+            # run_batch, so capture its observability directly.
+            sink = MemorySink() if want_trace else NULL_SINK
+            observed = run_simulation_observed(cfg, sink=sink)
+            results = [observed.result]
+            scope.add_run(
+                observed.result.label,
+                cfg.seed,
+                events=tuple(e.to_dict() for e in sink.events) if want_trace else None,
+                metrics=observed.metrics.to_dict(),
+            )
+        else:
+            results = run_many(cfg, args.seeds, jobs=args.jobs)
     for r in results:
         t.add_row(
             r.seed, r.normalized_cost_percent, r.unavailability_percent,
@@ -156,6 +180,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         meets = agg.unavailability_percent <= 0.01
         print(f"four-nines target: {'met' if meets else 'MISSED'}")
+    if want_trace:
+        n = scope.write_jsonl(args.trace)
+        print(f"\ntrace: {n} event(s) written to {args.trace}")
+    if args.metrics:
+        print("\nrun metrics (merged over all runs):")
+        print(scope.metrics_summary())
     return 0
 
 

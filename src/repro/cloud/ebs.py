@@ -46,9 +46,10 @@ class Volume:
 
 
 class VolumeStore:
-    """Creates, attaches and persists volumes within one availability zone's
-    storage service (cross-zone attachment is not allowed, as on EC2 —
-    cross-region migrations must *copy* disk state instead, Table 2)."""
+    """Creates, attaches and persists volumes within one availability zone.
+
+    Cross-zone attachment is not allowed, as on EC2 — cross-region
+    migrations must *copy* disk state instead (Table 2)."""
 
     def __init__(self) -> None:
         self._volumes: Dict[str, Volume] = {}

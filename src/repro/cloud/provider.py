@@ -25,6 +25,8 @@ from repro.cloud.spot_market import REVOCATION_GRACE_S, SpotMarket
 from repro.cloud.startup import StartupSampler
 from repro.cloud.vpc import VirtualPrivateCloud
 from repro.errors import InstanceNotHeldError, MarketError
+from repro.obs.events import LeaseAcquired, LeaseTerminated
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.traces.catalog import MarketKey, TraceCatalog
 
 __all__ = ["LeaseKind", "Lease", "CloudProvider"]
@@ -83,6 +85,10 @@ class CloudProvider:
     startup_cv:
         Dispersion of startup latencies (0 makes them deterministic —
         useful in tests).
+    sink:
+        A :class:`repro.obs.TraceSink` receiving lease-lifecycle events
+        (:class:`~repro.obs.LeaseAcquired` / :class:`~repro.obs.LeaseTerminated`).
+        The default null sink makes this free.
     """
 
     def __init__(
@@ -91,8 +97,10 @@ class CloudProvider:
         rng: np.random.Generator,
         grace_s: float = REVOCATION_GRACE_S,
         startup_cv: float = 0.25,
+        sink: TraceSink = NULL_SINK,
     ) -> None:
         self.catalog = catalog
+        self.sink = sink
         self.grace_s = float(grace_s)
         self.startup = StartupSampler(rng, cv=startup_cv)
         self.volumes = VolumeStore()
@@ -141,6 +149,17 @@ class CloudProvider:
             bid=float(bid),
         )
         self._active[lease.lease_id] = lease
+        if self.sink.enabled:
+            self.sink.emit(
+                LeaseAcquired(
+                    t=t,
+                    market=str(key),
+                    kind="spot",
+                    lease_id=lease.lease_id,
+                    ready_at=lease.ready_at,
+                    bid=lease.bid,
+                )
+            )
         return lease
 
     def request_on_demand(self, key: MarketKey, t: float) -> Lease:
@@ -154,6 +173,16 @@ class CloudProvider:
             ready_at=t + delay,
         )
         self._active[lease.lease_id] = lease
+        if self.sink.enabled:
+            self.sink.emit(
+                LeaseAcquired(
+                    t=t,
+                    market=str(key),
+                    kind="on_demand",
+                    lease_id=lease.lease_id,
+                    ready_at=lease.ready_at,
+                )
+            )
         return lease
 
     def revocation_warning_time(self, lease: Lease, from_t: float) -> Optional[float]:
@@ -180,6 +209,7 @@ class CloudProvider:
             lease.end_reason = reason or "cancelled"
             lease.records = []
             del self._active[lease.lease_id]
+            self._emit_terminated(lease, t, revoked=False)
             return lease
         if revoked and lease.kind is not LeaseKind.SPOT:
             raise MarketError("on-demand leases cannot be revoked")
@@ -194,7 +224,22 @@ class CloudProvider:
                 self.on_demand_price(lease.market), lease.ready_at, t
             )
         del self._active[lease.lease_id]
+        self._emit_terminated(lease, t, revoked=revoked)
         return lease
+
+    def _emit_terminated(self, lease: Lease, t: float, *, revoked: bool) -> None:
+        if self.sink.enabled:
+            self.sink.emit(
+                LeaseTerminated(
+                    t=t,
+                    market=str(lease.market),
+                    kind=lease.kind.value,
+                    lease_id=lease.lease_id,
+                    reason=lease.end_reason,
+                    revoked=revoked,
+                    billed=lease.total_cost,
+                )
+            )
 
     def active_leases(self) -> List[Lease]:
         """Currently held (unterminated) leases."""

@@ -97,3 +97,23 @@ class SpotMarket:
         if warn is None:
             return None
         return warn + self.grace_s
+
+    # --------------------------------------------------- crossing attribution
+    def last_rise_above(self, threshold: float, at: float) -> float | None:
+        """Most recent instant <= ``at`` the price rose above ``threshold``.
+
+        Decision tracing uses this to attribute a boundary decision (made a
+        lead time before the billing boundary) to the actual price-crossing
+        instant that triggered it. ``None`` when the price never rose above
+        the threshold by ``at``.
+        """
+        cross = self.trace.crossings_above(threshold)
+        earlier = cross[cross <= at]
+        return float(earlier[-1]) if earlier.size else None
+
+    def last_fall_below(self, threshold: float, at: float) -> float | None:
+        """Most recent instant <= ``at`` the price fell to/below ``threshold``
+        (the reverse-migration trigger), or ``None``."""
+        cross = self.trace.crossings_below(threshold)
+        earlier = cross[cross <= at]
+        return float(earlier[-1]) if earlier.size else None

@@ -27,9 +27,11 @@ from repro.core.replication import ReplicatedScheduler
 from repro.core.elastic import DemandCurve, ElasticResult, ElasticSpotFleet
 from repro.core.results import SimulationResult, AggregateResult, aggregate
 from repro.core.simulation import (
+    ObservedRun,
     SimulationConfig,
     run_simulation,
     run_simulation_instrumented,
+    run_simulation_observed,
     run_many,
 )
 
@@ -60,7 +62,9 @@ __all__ = [
     "AggregateResult",
     "aggregate",
     "SimulationConfig",
+    "ObservedRun",
     "run_simulation",
     "run_many",
     "run_simulation_instrumented",
+    "run_simulation_observed",
 ]

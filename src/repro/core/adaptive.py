@@ -104,6 +104,13 @@ class AdaptiveBidding:
     def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
         return spot_price <= on_demand_price * self.reverse_threshold_frac
 
+    def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
+        bid = self.bid_price(market, t)
+        return (
+            f"survival-advised over trailing {self.lookback_s / SECONDS_PER_HOUR:.0f} h window "
+            f"(${bid:.4f} vs on-demand ${market.on_demand_price:.4f})"
+        )
+
     @property
     def is_proactive(self) -> bool:
         return True

@@ -51,6 +51,10 @@ class BiddingPolicy(Protocol):
         """Return to the spot market at the next boundary?"""
         ...
 
+    def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
+        """One-line rationale for the bid (attached to trace events)."""
+        ...
+
 
 @dataclass(frozen=True)
 class ReactiveBidding:
@@ -68,6 +72,9 @@ class ReactiveBidding:
 
     def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
         return spot_price <= on_demand_price
+
+    def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
+        return f"match on-demand ${market.on_demand_price:.4f}; platform revokes on crossing"
 
     @property
     def is_proactive(self) -> bool:
@@ -102,6 +109,13 @@ class ProactiveBidding:
 
     def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
         return spot_price <= on_demand_price * self.reverse_threshold_frac
+
+    def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
+        capped = self.k * market.on_demand_price > market.bid_cap
+        return (
+            f"{self.k:g} x on-demand ${market.on_demand_price:.4f}"
+            + ("; clipped to provider cap" if capped else "; scheduler exits voluntarily")
+        )
 
     @property
     def is_proactive(self) -> bool:

@@ -46,6 +46,21 @@ from repro.core.accounting import AvailabilityTracker, CostLedger
 from repro.core.bidding import BiddingPolicy
 from repro.core.strategies import HostingStrategy, PlacementTarget
 from repro.errors import SchedulingError
+from repro.obs.events import (
+    BidPlaced,
+    BillingTick,
+    CheckpointRestore,
+    CheckpointWrite,
+    ForcedMigration,
+    MigrationAborted,
+    PriceCrossing,
+    Revocation,
+    RevocationWarning,
+    ServiceBlackout,
+    VoluntaryMigration,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.simulator.engine import Engine
 from repro.simulator.process import Process, Timeout
 from repro.traces.catalog import MarketKey
@@ -70,8 +85,9 @@ class MigrationRecord:
 
 @dataclass(frozen=True)
 class PlacementRecord:
-    """One tenure on a placement: the service held these leases over
-    [start, end). Together the records form the run's placement timeline."""
+    """One tenure on a placement: these leases held over [start, end).
+
+    Together the records form the run's placement timeline."""
 
     start: float
     end: float
@@ -98,9 +114,11 @@ class _Placement:
 
 @dataclass
 class ServiceContext:
-    """Persistent identity of the hosted service: its networked volume
-    (disk state + checkpoint images survive revocations) and its stable
-    address (re-bound to whichever server currently runs the nested VM)."""
+    """Persistent identity of the hosted service: volume plus address.
+
+    The networked volume (disk state + checkpoint images) survives
+    revocations; the stable address is re-bound to whichever server
+    currently runs the nested VM."""
 
     volume_id: str
     address: str
@@ -114,6 +132,12 @@ class CloudScheduler:
     The service's disk state lives on an EBS-style networked volume and its
     address on a VPC elastic IP; both follow the nested VM through every
     migration (cloned/re-homed on cross-region moves).
+
+    Every decision is additionally narrated to ``sink`` as typed
+    :mod:`repro.obs` trace events (free with the default null sink) and
+    tallied into ``metrics`` — migrations by cause, downtime per blackout,
+    spend per market, bid-to-revocation lead times. Neither affects the
+    simulated behaviour.
     """
 
     #: Safety margin added to migration lead times (seconds).
@@ -129,6 +153,8 @@ class CloudScheduler:
         rng: np.random.Generator,
         horizon: float,
         service_disk_gib: float = 2.0,
+        sink: TraceSink = NULL_SINK,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
         self.provider = provider
@@ -138,6 +164,8 @@ class CloudScheduler:
         self.rng = rng
         self.horizon = float(horizon)
         self.service_disk_gib = float(service_disk_gib)
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
         self.ledger = CostLedger()
         self.availability = AvailabilityTracker()
@@ -207,11 +235,26 @@ class CloudScheduler:
     # ---------------------------------------------------------------- leases
     def _acquire(self, key: MarketKey, n_servers: int, kind: LeaseKind, t: float) -> _Placement:
         leases: List[Lease] = []
-        for _ in range(n_servers):
-            if kind is LeaseKind.SPOT:
-                bid = self.bidding.bid_price(self.provider.market(key), t)
+        if kind is LeaseKind.SPOT:
+            market = self.provider.market(key)
+            bid = self.bidding.bid_price(market, t)
+            for _ in range(n_servers):
                 leases.append(self.provider.request_spot(key, bid, t))
-            else:
+            if self.sink.enabled:
+                explain = getattr(self.bidding, "explain_bid", None)
+                self.sink.emit(
+                    BidPlaced(
+                        t=t,
+                        market=str(key),
+                        bid=bid,
+                        price=market.price_at(t),
+                        policy=self.bidding.name,
+                        n_servers=n_servers,
+                        rationale=explain(market, t) if explain is not None else "",
+                    )
+                )
+        else:
+            for _ in range(n_servers):
                 leases.append(self.provider.request_on_demand(key, t))
         return _Placement(kind=kind, key=key, leases=leases)
 
@@ -219,6 +262,8 @@ class CloudScheduler:
         for lease in placement.leases:
             done = self.provider.terminate(lease, t, revoked=revoked, reason=reason)
             self.ledger.add_records(done.records, market=str(placement.key))
+            if done.records:
+                self.metrics.counter(f"spend_usd.{placement.key}").inc(done.total_cost)
 
     # ------------------------------------------------------- service identity
     def _provision_service(self, placement: _Placement, t: float) -> None:
@@ -246,6 +291,10 @@ class CloudScheduler:
         mem = self.strategy.migration_memory(self.placement.key)
         self.provider.volumes.write(self.service.volume_id, "checkpoint",
                                     mem.size_gib, at=t)
+        if self.sink.enabled:
+            self.sink.emit(
+                CheckpointWrite(t=t, market=str(self.placement.key), size_gib=mem.size_gib)
+            )
 
     def _move_service(self, src_key: MarketKey, dst: _Placement, t: float) -> float:
         """Re-home volume and address onto the new placement.
@@ -347,13 +396,23 @@ class CloudScheduler:
                 target=dst,
             )
         )
+        self.metrics.counter(f"migrations.{kind}").inc()
 
     def _blackout(self, start: float, end: float, cause: str, degraded_s: float) -> None:
         """Record a service blackout (clipped to the horizon) plus any
         lazy-restore degradation window that follows it."""
         if self.availability.window_start is None:
             return
-        self.availability.record_downtime(start, min(end, self.horizon), cause)
+        clipped_end = min(end, self.horizon)
+        self.availability.record_downtime(start, clipped_end, cause)
+        if self.sink.enabled:
+            self.sink.emit(
+                ServiceBlackout(
+                    t=start, cause=cause, start=start, end=clipped_end, degraded_s=degraded_s
+                )
+            )
+        self.metrics.histogram("downtime_s").observe(max(0.0, clipped_end - start))
+        self.metrics.counter(f"blackouts.{cause}").inc()
         if degraded_s > 0 and end < self.horizon:
             self.availability.record_degraded(
                 end, min(end + degraded_s, self.horizon), f"{cause}-degraded"
@@ -440,7 +499,30 @@ class CloudScheduler:
         price = market.price_at(now)
         od_price = market.on_demand_price
 
+        if self.sink.enabled:
+            lead = self._planned_lead(placement.key)
+            self.sink.emit(
+                BillingTick(
+                    t=now,
+                    market=str(placement.key),
+                    price=price,
+                    on_demand_price=od_price,
+                    boundary=now + lead,
+                )
+            )
+
         if self.bidding.wants_planned_migration(price, od_price):
+            if self.sink.enabled:
+                rose = market.last_rise_above(od_price, now)
+                self.sink.emit(
+                    PriceCrossing(
+                        t=now if rose is None else rose,
+                        market=str(placement.key),
+                        price=price,
+                        threshold=od_price,
+                        direction="above-on-demand",
+                    )
+                )
             # Price above on-demand here: leave at the boundary, to the
             # cheapest spot sibling if one beats on-demand, else on-demand.
             od = self.strategy.best_on_demand_target(self.provider)
@@ -485,6 +567,17 @@ class CloudScheduler:
         now = self.engine.now
         if now >= self.horizon:
             return
+        if self.sink.enabled:
+            own = self._market(placement.key)
+            self.sink.emit(
+                BillingTick(
+                    t=now,
+                    market=str(placement.key),
+                    price=own.price_at(now),
+                    on_demand_price=own.on_demand_price,
+                    boundary=now + lead,
+                )
+            )
         od_rate = self.strategy.on_demand_rate(self.provider, placement.key)
         spot = self.strategy.best_spot_target(self.provider, self.bidding, now)
         if spot is None:
@@ -492,6 +585,17 @@ class CloudScheduler:
         price = self._market(spot.key).price_at(now)
         od_single = self.provider.on_demand_price(spot.key)
         if spot.rate < od_rate and self.bidding.wants_reverse_migration(price, od_single):
+            if self.sink.enabled:
+                fell = self._market(spot.key).last_fall_below(od_single, now)
+                self.sink.emit(
+                    PriceCrossing(
+                        t=now if fell is None else fell,
+                        market=str(spot.key),
+                        price=price,
+                        threshold=od_single,
+                        direction="below-on-demand",
+                    )
+                )
             yield from self._voluntary_migration(now, spot.key, spot.n_servers,
                                                  LeaseKind.SPOT, "reverse")
 
@@ -557,11 +661,31 @@ class CloudScheduler:
                     f"aborted-{kind}", now, self.engine.now, 0.0,
                     str(source_key), str(target_key),
                 )
+                if self.sink.enabled:
+                    self.sink.emit(
+                        MigrationAborted(
+                            t=self.engine.now,
+                            kind=kind,
+                            source=str(source_key),
+                            target=str(target_key),
+                            reason="target-revoked",
+                        )
+                    )
                 return
 
         if suspend_at >= self.horizon:
             # Migration cannot finish inside the window; cancel it.
             self._release(target, now, revoked=False, reason="horizon-cancel")
+            if self.sink.enabled:
+                self.sink.emit(
+                    MigrationAborted(
+                        t=now,
+                        kind=kind,
+                        source=str(source_key),
+                        target=str(target_key),
+                        reason="horizon",
+                    )
+                )
             yield Timeout(max(0.0, self.horizon - now))
             return
 
@@ -577,6 +701,25 @@ class CloudScheduler:
         self._record_migration(
             kind, now, resume_at, timing.downtime_s + rebind, str(source_key), str(target_key)
         )
+        if self.sink.enabled:
+            next_cross = None
+            if placement.kind is LeaseKind.SPOT and placement.leases[0].bid is not None:
+                # Where the abandoned market's price would next have crossed
+                # the bid — the revocation a proactive move side-stepped.
+                next_cross = self._market(source_key).revocation_warning_time(
+                    placement.leases[0].bid, now
+                )
+            self.sink.emit(
+                VoluntaryMigration(
+                    t=resume_at,
+                    kind=kind,
+                    source=str(source_key),
+                    target=str(target_key),
+                    started_at=now,
+                    downtime_s=timing.downtime_s + rebind,
+                    next_bid_crossing=next_cross,
+                )
+            )
         yield Timeout(max(0.0, min(resume_at, self.horizon) - suspend_at))
 
     def _forced_migration(
@@ -594,6 +737,28 @@ class CloudScheduler:
         mem = self.strategy.migration_memory(source_key)
         grace = self.provider.grace_s
         terminate_at = warning + grace
+
+        bid = placement.leases[0].bid
+        assert bid is not None
+        if self.sink.enabled:
+            price = self._market(source_key).price_at(warning)
+            self.sink.emit(
+                PriceCrossing(
+                    t=warning,
+                    market=str(source_key),
+                    price=price,
+                    threshold=bid,
+                    direction="above-bid",
+                )
+            )
+            self.sink.emit(
+                RevocationWarning(
+                    t=warning, market=str(source_key), bid=bid, price=price, grace_s=grace
+                )
+            )
+        self.metrics.histogram("revocation_lead_s").observe(
+            warning - placement.leases[0].requested_at
+        )
 
         if not self.strategy.allows_on_demand:
             yield from self._pure_spot_outage(warning)
@@ -619,6 +784,16 @@ class CloudScheduler:
         yield Timeout(max(0.0, min(terminate_at, self.horizon) - self.engine.now))
         self._write_checkpoint(min(suspend_at, self.horizon))
         self._release(placement, min(terminate_at, self.horizon), revoked=True, reason="revoked")
+        if self.sink.enabled:
+            self.sink.emit(
+                Revocation(
+                    t=min(terminate_at, self.horizon),
+                    market=str(source_key),
+                    bid=bid,
+                    warned_at=warning,
+                )
+            )
+        self.metrics.counter("revocations").inc()
         self.placement = target
         rebind = self._move_service(source_key, target, terminate_at)
         resume_at += rebind
@@ -627,6 +802,21 @@ class CloudScheduler:
             "forced", warning, resume_at, timing.downtime_s + rebind,
             str(source_key), str(target.key),
         )
+        if self.sink.enabled:
+            self.sink.emit(
+                ForcedMigration(
+                    t=resume_at,
+                    source=str(source_key),
+                    target=str(target.key),
+                    started_at=warning,
+                    downtime_s=timing.downtime_s + rebind,
+                )
+            )
+            self.sink.emit(
+                CheckpointRestore(
+                    t=resume_at, market=str(target.key), downtime_s=timing.downtime_s + rebind
+                )
+            )
         yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))
 
     def _pure_spot_outage(self, warning: float) -> Generator:
@@ -646,6 +836,16 @@ class CloudScheduler:
         yield Timeout(max(0.0, min(terminate_at, self.horizon) - self.engine.now))
         self._write_checkpoint(min(suspend_at, self.horizon))
         self._release(placement, min(terminate_at, self.horizon), revoked=True, reason="revoked")
+        if self.sink.enabled:
+            self.sink.emit(
+                Revocation(
+                    t=min(terminate_at, self.horizon),
+                    market=str(key),
+                    bid=bid,
+                    warned_at=warning,
+                )
+            )
+        self.metrics.counter("revocations").inc()
         if self.service is not None:
             self.provider.volumes.detach(self.service.volume_id)
             self.provider.vpc.unbind(self.service.address)
@@ -678,4 +878,8 @@ class CloudScheduler:
         self._record_migration(
             "outage", warning, resume_at, resume_at - suspend_at, str(key), str(key)
         )
+        if self.sink.enabled:
+            self.sink.emit(
+                CheckpointRestore(t=resume_at, market=str(key), downtime_s=timing.downtime_s)
+            )
         yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))

@@ -18,6 +18,8 @@ from repro.core.scheduler import CloudScheduler
 from repro.core.strategies import HostingStrategy
 from repro.cloud.provider import CloudProvider
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.simulator.engine import Engine
 from repro.simulator.rng import RngStreams
 from repro.traces.calibration import MarketCalibration, REGIONS, SIZES
@@ -32,8 +34,10 @@ from repro.vm.mechanisms import (
 
 __all__ = [
     "SimulationConfig",
+    "ObservedRun",
     "run_simulation",
     "run_simulation_instrumented",
+    "run_simulation_observed",
     "run_many",
 ]
 
@@ -80,10 +84,18 @@ def _result_label(config: SimulationConfig, strategy: HostingStrategy) -> str:
     return f"{config.bidding.name}/{config.mechanism.value}/{strategy!r}"
 
 
+@dataclass(frozen=True)
+class ObservedRun:
+    """One simulation's summary plus its observability by-products."""
+
+    result: SimulationResult
+    fired_events: int  #: discrete events the engine processed
+    metrics: MetricsRegistry  #: the scheduler's per-run metric registry
+
+
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Run one seeded scheduler simulation and summarise it."""
-    result, _events = run_simulation_instrumented(config)
-    return result
+    return run_simulation_observed(config).result
 
 
 def run_simulation_instrumented(
@@ -91,6 +103,21 @@ def run_simulation_instrumented(
 ) -> tuple[SimulationResult, int]:
     """Like :func:`run_simulation`, also returning the engine's fired-event
     count (the runtime layer's events-processed telemetry)."""
+    observed = run_simulation_observed(config)
+    return observed.result, observed.fired_events
+
+
+def run_simulation_observed(
+    config: SimulationConfig, sink: TraceSink = NULL_SINK
+) -> ObservedRun:
+    """Run one simulation with decision tracing and metrics attached.
+
+    ``sink`` receives every :mod:`repro.obs` trace event the stack emits
+    (engine, provider, scheduler); the default null sink costs one branch
+    per emission site, so results are identical whether or not anyone is
+    listening. The returned :class:`ObservedRun` carries the scheduler's
+    metric registry alongside the usual summary.
+    """
     catalog = config.catalog
     if catalog is None:
         catalog = build_catalog(
@@ -105,9 +132,10 @@ def run_simulation_instrumented(
         catalog,
         rng=streams.get("provider/startup"),
         startup_cv=config.startup_cv,
+        sink=sink,
     )
     strategy = config.strategy()
-    engine = Engine()
+    engine = Engine(sink=sink)
     scheduler = CloudScheduler(
         engine=engine,
         provider=provider,
@@ -117,6 +145,7 @@ def run_simulation_instrumented(
         rng=streams.get("scheduler/jitter"),
         horizon=config.horizon_s,
         service_disk_gib=config.service_disk_gib,
+        sink=sink,
     )
     scheduler.run()
 
@@ -152,7 +181,12 @@ def run_simulation_instrumented(
         spot_time_fraction=scheduler.spot_time_fraction(),
         downtime_by_cause=by_cause,
     )
-    return result, engine.fired_count
+    metrics = scheduler.metrics
+    metrics.gauge("total_cost_usd").set(result.total_cost)
+    metrics.gauge("normalized_cost_percent").set(result.normalized_cost_percent)
+    metrics.gauge("unavailability_percent").set(result.unavailability_percent)
+    metrics.gauge("spot_time_fraction").set(result.spot_time_fraction)
+    return ObservedRun(result=result, fired_events=engine.fired_count, metrics=metrics)
 
 
 def run_many(

@@ -195,8 +195,10 @@ class SingleMarketStrategy(HostingStrategy):
 
 
 class MultiMarketStrategy(HostingStrategy):
-    """All sizes within one AZ; the fleet packs onto whichever size is
-    cheapest per unit of capacity."""
+    """All sizes within one AZ, packed onto the cheapest size.
+
+    The fleet packs onto whichever size is currently cheapest per unit
+    of capacity."""
 
     def __init__(self, region: str, service_units: int = 8) -> None:
         if service_units <= 0:

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from repro.experiments.common import DEFAULT_SEEDS, ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import observe
 from repro.runtime import collect_telemetry
 from repro.units import days
 
@@ -49,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", metavar="DIR", default=None,
         help="also write each report as Markdown into DIR",
     )
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL decision trace of every run to PATH, tagged "
+        "with its experiment id (inspect with 'repro-trace summarize')",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print each experiment's merged run metrics after its report",
+    )
     return p
 
 
@@ -78,24 +88,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         md_dir = Path(args.markdown)
         md_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
-    for eid in ids:
-        start = time.perf_counter()
-        with collect_telemetry() as tel:
-            report = run_experiment(eid, cfg)
-        elapsed = time.perf_counter() - start
-        if tel.batches:
-            report.runtime_telemetry = tel.summary()
-        # Telemetry stays out of the rendered report so report artifacts
-        # are byte-identical at any --jobs; the footer carries it instead.
-        print(report.render())
-        print(f"[{eid} completed in {elapsed:.1f}s | {tel.summary()}]")
-        print()
-        if md_dir is not None:
-            from repro.analysis.export import report_to_markdown
+    trace_fp = None
+    if args.trace is not None:
+        trace_fp = open(args.trace, "w", encoding="utf-8")
+    try:
+        for eid in ids:
+            start = time.perf_counter()
+            with collect_telemetry() as tel, observe(
+                trace=trace_fp is not None, metrics=args.metrics
+            ) as scope:
+                report = run_experiment(eid, cfg)
+            elapsed = time.perf_counter() - start
+            if tel.batches:
+                report.runtime_telemetry = tel.summary()
+            # Telemetry, traces and metrics stay out of the rendered report
+            # so report artifacts are byte-identical at any --jobs and with
+            # or without --trace/--metrics; the footer carries them instead.
+            print(report.render())
+            print(f"[{eid} completed in {elapsed:.1f}s | {tel.summary()}]")
+            if trace_fp is not None:
+                n = scope.write_jsonl(trace_fp, extra_tags={"experiment": eid})
+                print(f"[{eid} trace: {n} event(s) -> {args.trace}]")
+            if args.metrics:
+                print(f"[{eid} run metrics]")
+                print(scope.metrics_summary())
+            print()
+            if md_dir is not None:
+                from repro.analysis.export import report_to_markdown
 
-            (md_dir / f"{eid}.md").write_text(report_to_markdown(report))
-        if not report.all_hold():
-            failures += 1
+                (md_dir / f"{eid}.md").write_text(report_to_markdown(report))
+            if not report.all_hold():
+                failures += 1
+    finally:
+        if trace_fp is not None:
+            trace_fp.close()
     if failures:
         print(f"{failures} experiment(s) deviated from the paper's claims", file=sys.stderr)
     return 1 if failures else 0

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — alias for the ``repro-trace`` command."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

@@ -1,0 +1,150 @@
+"""Observation scopes: collect traces and metrics across batch boundaries.
+
+The experiment drivers never see sinks — they submit
+:class:`~repro.runtime.spec.RunSpec` batches. An :func:`observe` scope
+bridges the gap the same way :func:`repro.runtime.collect_telemetry` does:
+while a scope with ``trace=True`` is active, :func:`repro.runtime.run_batch`
+switches every spec to capture mode (workers record into a
+:class:`~repro.obs.sinks.MemorySink` and ship the events back inside their
+run telemetry), and reports each finished batch here **in submission
+order** — which is what makes the JSONL stream byte-identical at any
+``--jobs`` value.
+
+A scope accumulates, per run: the label, the seed, the captured event
+dicts, and the run's metrics snapshot; plus one merged
+:class:`~repro.obs.metrics.MetricsRegistry` across all runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import write_jsonl_line
+
+__all__ = [
+    "RunObservation",
+    "ObservationScope",
+    "observe",
+    "active_scopes",
+    "trace_capture_active",
+    "notify_run",
+]
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """What one executed run reported back."""
+
+    label: str
+    seed: int
+    events: Tuple[Dict[str, Any], ...] = ()
+    metrics: Optional[Dict[str, Any]] = None
+
+
+class ObservationScope:
+    """Accumulates run observations while active (see :func:`observe`)."""
+
+    def __init__(self, trace: bool = False, metrics: bool = False) -> None:
+        self.trace = trace
+        self.metrics_enabled = metrics
+        self.runs: List[RunObservation] = []
+        self.metrics = MetricsRegistry()
+
+    # -------------------------------------------------------------- ingestion
+    def add_run(
+        self,
+        label: str,
+        seed: int,
+        events: Optional[Tuple[Dict[str, Any], ...]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one finished run (called in submission order)."""
+        self.runs.append(
+            RunObservation(label=label, seed=seed, events=tuple(events or ()), metrics=metrics)
+        )
+        if metrics:
+            self.metrics.merge(MetricsRegistry.from_dict(metrics))
+
+    # --------------------------------------------------------------- queries
+    @property
+    def event_count(self) -> int:
+        return sum(len(r.events) for r in self.runs)
+
+    def iter_event_records(
+        self, extra_tags: Optional[Dict[str, Any]] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Per-event records tagged with their run's label and seed."""
+        for run in self.runs:
+            for event in run.events:
+                record: Dict[str, Any] = dict(extra_tags or {})
+                record["run"] = run.label
+                record["seed"] = run.seed
+                record.update(event)
+                yield record
+
+    # ----------------------------------------------------------------- output
+    def write_jsonl(
+        self,
+        target: Union[str, IO[str]],
+        extra_tags: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Write every captured event as JSONL; returns the line count."""
+        n = 0
+        if hasattr(target, "write"):
+            for record in self.iter_event_records(extra_tags):
+                write_jsonl_line(target, record)  # type: ignore[arg-type]
+                n += 1
+            return n
+        with open(target, "w", encoding="utf-8") as fp:
+            for record in self.iter_event_records(extra_tags):
+                write_jsonl_line(fp, record)
+                n += 1
+        return n
+
+    def metrics_summary(self) -> str:
+        return self.metrics.summary()
+
+
+_ACTIVE: contextvars.ContextVar[Tuple[ObservationScope, ...]] = contextvars.ContextVar(
+    "repro_obs_scopes", default=()
+)
+
+
+@contextlib.contextmanager
+def observe(trace: bool = False, metrics: bool = False) -> Iterator[ObservationScope]:
+    """Activate an :class:`ObservationScope` for the duration of the block.
+
+    Every :func:`repro.runtime.run_batch` executed inside reports its runs
+    here; ``trace=True`` additionally switches those runs to event capture.
+    """
+    scope = ObservationScope(trace=trace, metrics=metrics)
+    token = _ACTIVE.set(_ACTIVE.get() + (scope,))
+    try:
+        yield scope
+    finally:
+        _ACTIVE.reset(token)
+
+
+def active_scopes() -> Tuple[ObservationScope, ...]:
+    """The currently active scopes, innermost last."""
+    return _ACTIVE.get()
+
+
+def trace_capture_active() -> bool:
+    """Should runs capture trace events right now?"""
+    return any(scope.trace for scope in _ACTIVE.get())
+
+
+def notify_run(
+    label: str,
+    seed: int,
+    events: Optional[Tuple[Dict[str, Any], ...]],
+    metrics: Optional[Dict[str, Any]],
+) -> None:
+    """Report one finished run to every active scope (executor hook)."""
+    for scope in _ACTIVE.get():
+        scope.add_run(label, seed, events=events, metrics=metrics)

@@ -1,0 +1,173 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The scheduler records *why*-shaped aggregates here as it runs — migrations
+by cause, downtime per blackout, spend per market, bid-to-revocation lead
+times — cheap enough to stay always-on (a handful of increments per
+simulated hour). A registry serialises to a plain dict
+(:meth:`MetricsRegistry.to_dict`) so it can ride a
+:class:`~repro.runtime.telemetry.RunTelemetry` across the process-pool
+boundary, and registries :meth:`~MetricsRegistry.merge` so batches and
+experiments can aggregate per-run metrics deterministically (merge order =
+submission order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Observed samples with count/sum/min/max and quantile queries.
+
+    Samples are kept (runs observe tens of values, not millions) so merged
+    histograms answer exact quantiles; merging concatenates in call order,
+    which the batch layer keeps deterministic.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: Optional[List[float]] = None) -> None:
+        self.samples: List[float] = list(samples or [])
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact sample quantile (nearest-rank), 0 on an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ---------------------------------------------------------------- access
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    # ------------------------------------------------------------- transport
+    def to_dict(self) -> Dict[str, Any]:
+        """A picklable/JSON-safe snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: list(h.samples) for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        for k, v in data.get("counters", {}).items():
+            reg.counters[k] = Counter(v)
+        for k, v in data.get("gauges", {}).items():
+            reg.gauges[k] = Gauge(v)
+        for k, v in data.get("histograms", {}).items():
+            reg.histograms[k] = Histogram(v)
+        return reg
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (counters add, gauges take the
+        latest write, histograms concatenate). Returns ``self``."""
+        for k, c in other.counters.items():
+            self.counter(k).inc(c.value)
+        for k, g in other.gauges.items():
+            self.gauge(k).set(g.value)
+        for k, h in other.histograms.items():
+            self.histogram(k).samples.extend(h.samples)
+        return self
+
+    # ------------------------------------------------------------- rendering
+    def summary(self) -> str:
+        """Sorted multi-line rendering (the ``--metrics`` footer)."""
+        lines: List[str] = []
+        for name, c in sorted(self.counters.items()):
+            value = c.value
+            lines.append(
+                f"  {name} = {int(value)}" if value == int(value) else f"  {name} = {value:.4f}"
+            )
+        for name, g in sorted(self.gauges.items()):
+            lines.append(f"  {name} = {g.value:.4f}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name}: n={h.count} mean={h.mean:.2f} min={h.min:.2f} "
+                f"p95={h.quantile(0.95):.2f} max={h.max:.2f}"
+            )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SimulationResult
 from repro.errors import ConfigurationError
+from repro.obs.capture import notify_run, trace_capture_active
+from repro.obs.sinks import NULL_SINK, MemorySink, TraceSink
 from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
 from repro.runtime.spec import BatchSpec, RunSpec
 from repro.runtime.telemetry import BatchTelemetry, RunTelemetry, notify_batch
@@ -43,7 +45,7 @@ def _execute_one(
     spec: RunSpec, cache: Optional[TraceCatalogCache]
 ) -> Tuple[SimulationResult, RunTelemetry]:
     """Run one spec, resolving its catalog through ``cache`` when possible."""
-    from repro.core.simulation import run_simulation_instrumented
+    from repro.core.simulation import run_simulation_observed
 
     start = time.perf_counter()
     catalog = None
@@ -52,16 +54,24 @@ def _execute_one(
     key = spec.catalog_key() if cache is not None else None
     if key is not None:
         catalog, cache_hit, catalog_wall = cache.get_or_build(key)
-    result, events = run_simulation_instrumented(spec.to_config(catalog=catalog))
+    sink: TraceSink = MemorySink() if spec.capture_trace else NULL_SINK
+    observed = run_simulation_observed(spec.to_config(catalog=catalog), sink=sink)
+    result = observed.result
     wall = time.perf_counter() - start
+    trace_events = None
+    if spec.capture_trace:
+        # Ship events as plain dicts so they pickle across the pool boundary.
+        trace_events = tuple(e.to_dict() for e in sink.events)  # type: ignore[union-attr]
     telemetry = RunTelemetry(
         label=result.label,
         seed=spec.seed,
         wall_s=wall,
-        events_processed=events,
+        events_processed=observed.fired_events,
         catalog_wall_s=catalog_wall,
         catalog_cache_hit=cache_hit,
         worker_pid=os.getpid(),
+        metrics=observed.metrics.to_dict(),
+        trace_events=trace_events,
     )
     return result, telemetry
 
@@ -126,6 +136,12 @@ def run_batch(
         raise ConfigurationError("jobs must be >= 1")
     if cache is None:
         cache = shared_catalog_cache()
+    if trace_capture_active():
+        # An observe(trace=True) scope is watching: flip every run to event
+        # capture. Capture never changes results, only telemetry payloads.
+        specs = tuple(
+            s if s.capture_trace else s.with_(capture_trace=True) for s in specs
+        )
 
     batch_start = time.perf_counter()
     slots: List[Optional[Tuple[SimulationResult, RunTelemetry]]] = [None] * len(specs)
@@ -166,6 +182,10 @@ def run_batch(
 
     results = tuple(pair[0] for pair in slots)  # type: ignore[union-attr]
     run_telemetry = tuple(pair[1] for pair in slots)  # type: ignore[union-attr]
+    # Report to observation scopes in submission order — this, not worker
+    # completion order, is what keeps trace files identical at any --jobs.
+    for t in run_telemetry:
+        notify_run(t.label, t.seed, t.trace_events, t.metrics)
     telemetry = BatchTelemetry(
         runs=len(specs),
         wall_s=time.perf_counter() - batch_start,

@@ -171,6 +171,10 @@ class RunSpec:
     startup_cv: float = 0.25
     service_disk_gib: float = 2.0
     label: str = ""
+    #: Capture :mod:`repro.obs` trace events during execution and return
+    #: them on the run's telemetry (set automatically by ``run_batch`` when
+    #: an ``observe(trace=True)`` scope is active). Does not affect results.
+    capture_trace: bool = False
 
     def with_(self, **kw) -> "RunSpec":
         """A copy with fields replaced."""

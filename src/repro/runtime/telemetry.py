@@ -11,7 +11,7 @@ from __future__ import annotations
 import contextlib
 import contextvars
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "RunTelemetry",
@@ -32,6 +32,12 @@ class RunTelemetry:
     catalog_wall_s: float = 0.0  #: catalog build time (0 on a cache hit)
     catalog_cache_hit: bool = False
     worker_pid: int = 0  #: executing process (parent pid when serial)
+    #: The run's metric-registry snapshot (:meth:`MetricsRegistry.to_dict`).
+    metrics: Optional[Dict[str, Any]] = None
+    #: Captured trace events as dicts, present only when the run's spec set
+    #: ``capture_trace`` — dicts (not event objects) so they cross the
+    #: process-pool boundary as plain picklable data.
+    trace_events: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,8 @@ import heapq
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import EngineRunCompleted
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.simulator.events import Event, EventKind
 
 __all__ = ["Engine", "EventHandle"]
@@ -60,15 +62,22 @@ class Engine:
     trace:
         When true, every fired event is appended to :attr:`fired_log`
         (useful in tests; costs memory on long runs).
+    sink:
+        A :class:`repro.obs.TraceSink` receiving one
+        :class:`~repro.obs.EngineRunCompleted` per :meth:`run` call. The
+        default null sink makes this free.
     """
 
-    def __init__(self, start_time: float = 0.0, trace: bool = False) -> None:
+    def __init__(
+        self, start_time: float = 0.0, trace: bool = False, sink: TraceSink = NULL_SINK
+    ) -> None:
         self._now = float(start_time)
         self._seq = 0
         self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._running = False
         self._stopped = False
         self.trace = trace
+        self.sink = sink
         self.fired_log: list[Event] = []
         self.fired_count = 0
 
@@ -180,6 +189,8 @@ class Engine:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = until
+        if self.sink.enabled:
+            self.sink.emit(EngineRunCompleted(t=self._now, fired_events=self.fired_count))
         return fired
 
     def stop(self) -> None:

@@ -1,0 +1,98 @@
+"""Analysis helpers over plain event records (repro.analysis.decisions)."""
+
+from repro.analysis.decisions import (
+    AVOIDANCE_WINDOW_S,
+    decision_timeline,
+    event_counts,
+    group_runs,
+    migration_narrative,
+    revocations_avoided,
+    total_downtime_s,
+)
+
+
+def vol(t, started_at, crossing):
+    return {
+        "type": "voluntary-migration", "t": t, "kind": "planned",
+        "source": "us-east-1a/small", "target": "us-east-1a/od",
+        "started_at": started_at, "downtime_s": 2.0,
+        "next_bid_crossing": crossing,
+    }
+
+
+RUN_A = [
+    {"type": "bid-placed", "t": 0.0, "market": "us-east-1a/small", "bid": 0.188,
+     "price": 0.05, "policy": "proactive", "n_servers": 1, "rationale": "cap",
+     "run": "proactive/small", "seed": 11},
+    vol(3700.0, 3600.0, 3600.0 + AVOIDANCE_WINDOW_S - 1.0) | {"run": "proactive/small", "seed": 11},
+    vol(7300.0, 7200.0, 7200.0 + AVOIDANCE_WINDOW_S + 1.0) | {"run": "proactive/small", "seed": 11},
+    vol(9000.0, 8900.0, None) | {"run": "proactive/small", "seed": 11},
+    {"type": "service-blackout", "t": 3600.0, "cause": "planned-migration",
+     "start": 3600.0, "end": 3602.5, "degraded_s": 0.0,
+     "run": "proactive/small", "seed": 11},
+]
+
+RUN_B = [
+    {"type": "revocation-warning", "t": 100.0, "market": "us-east-1a/small",
+     "bid": 0.047, "price": 0.2, "grace_s": 120.0, "run": "reactive/small", "seed": 23},
+    {"type": "forced-migration", "t": 220.0, "source": "us-east-1a/small",
+     "target": "us-east-1a/od", "started_at": 100.0, "downtime_s": 20.0,
+     "run": "reactive/small", "seed": 23},
+]
+
+
+class TestGrouping:
+    def test_group_runs_in_first_appearance_order(self):
+        groups = group_runs(RUN_A + RUN_B)
+        assert [key for key, _ in groups] == [
+            ("", "proactive/small", 11),
+            ("", "reactive/small", 23),
+        ]
+        assert [len(events) for _, events in groups] == [5, 2]
+
+    def test_untagged_stream_is_one_group(self):
+        records = [{"type": "bid-placed", "t": 0.0}]
+        assert len(group_runs(records)) == 1
+
+    def test_event_counts_sorted_by_type(self):
+        counts = event_counts(RUN_A)
+        assert counts == {
+            "bid-placed": 1, "service-blackout": 1, "voluntary-migration": 3,
+        }
+        assert list(counts) == sorted(counts)
+
+
+class TestFig6Helpers:
+    def test_revocations_avoided_uses_the_window(self):
+        avoided = revocations_avoided(RUN_A)
+        # Only the crossing inside the window counts; the late crossing and
+        # the never-crossing (None) voluntary moves don't.
+        assert len(avoided) == 1
+        assert avoided[0]["t"] == 3700.0
+
+    def test_total_downtime_sums_blackouts(self):
+        assert total_downtime_s(RUN_A) == 2.5
+        assert total_downtime_s(RUN_B) == 0.0
+
+    def test_narrative_states_the_fig6_numbers(self):
+        text = migration_narrative(RUN_A)
+        assert "3 voluntary migration(s)" in text
+        assert "1 of them ahead of a bid crossing" in text
+        assert "0 forced migration(s)" in text
+        assert "2.5 s total blackout" in text
+        reactive = migration_narrative(RUN_B)
+        assert "1 forced migration(s) from 1 revocation warning(s)" in reactive
+
+
+class TestTimeline:
+    def test_chronological_and_described(self):
+        text = decision_timeline(RUN_B)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "warned" in lines[0] and "forced move" in lines[1]
+
+    def test_types_filter_and_limit(self):
+        text = decision_timeline(RUN_A, limit=1, types=["voluntary-migration"])
+        lines = text.splitlines()
+        assert "planned move" in lines[0]
+        assert "2 more event(s)" in lines[-1]

@@ -1,0 +1,96 @@
+"""Event model: registry completeness and lossless wire round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    BidPlaced,
+    BillingTick,
+    CheckpointRestore,
+    CheckpointWrite,
+    EngineRunCompleted,
+    ForcedMigration,
+    LeaseAcquired,
+    LeaseTerminated,
+    MigrationAborted,
+    PriceCrossing,
+    Revocation,
+    RevocationWarning,
+    ServiceBlackout,
+    TraceEvent,
+    VoluntaryMigration,
+    event_from_dict,
+)
+
+SAMPLES = [
+    BidPlaced(t=0.0, market="us-east-1a/small", bid=0.188, price=0.05,
+              policy="proactive", n_servers=2, rationale="4 x on-demand"),
+    LeaseAcquired(t=1.0, market="us-east-1a/small", kind="spot",
+                  lease_id="sir-1", ready_at=96.0, bid=0.188),
+    LeaseAcquired(t=1.0, market="us-east-1a/small", kind="on_demand",
+                  lease_id="i-1", ready_at=96.0),
+    LeaseTerminated(t=3600.0, market="us-east-1a/small", kind="spot",
+                    lease_id="sir-1", reason="revoked", revoked=True, billed=0.0),
+    PriceCrossing(t=120.0, market="us-east-1a/small", price=0.2,
+                  threshold=0.188, direction="above-bid"),
+    BillingTick(t=3000.0, market="us-east-1a/small", price=0.05,
+                on_demand_price=0.047, boundary=3600.0),
+    RevocationWarning(t=120.0, market="us-east-1a/small", bid=0.188,
+                      price=0.2, grace_s=120.0),
+    Revocation(t=240.0, market="us-east-1a/small", bid=0.188, warned_at=120.0),
+    VoluntaryMigration(t=3610.0, kind="planned", source="us-east-1a/small",
+                       target="us-east-1a/od", started_at=3000.0,
+                       downtime_s=2.5, next_bid_crossing=4000.0),
+    VoluntaryMigration(t=3610.0, kind="reverse", source="us-east-1a/od",
+                       target="us-east-1a/small", started_at=3000.0,
+                       downtime_s=2.5),
+    ForcedMigration(t=240.0, source="us-east-1a/small", target="us-east-1a/od",
+                    started_at=120.0, downtime_s=20.0),
+    MigrationAborted(t=3000.0, kind="planned", source="us-east-1a/small",
+                     target="us-east-1b/small", reason="target-revoked"),
+    CheckpointWrite(t=3600.0, market="us-east-1a/small", size_gib=2.0),
+    CheckpointRestore(t=3620.0, market="us-east-1a/od", downtime_s=20.0),
+    ServiceBlackout(t=3600.0, cause="forced-migration", start=3600.0,
+                    end=3620.0, degraded_s=5.0),
+    EngineRunCompleted(t=86400.0, fired_events=1234),
+]
+
+
+class TestRegistry:
+    def test_every_event_class_is_registered(self):
+        assert len(EVENT_TYPES) == 14
+        for wire, cls in EVENT_TYPES.items():
+            assert cls.etype == wire
+            assert issubclass(cls, TraceEvent)
+
+    def test_wire_names_are_kebab_case(self):
+        for wire in EVENT_TYPES:
+            assert wire == wire.lower()
+            assert " " not in wire and "_" not in wire
+
+    def test_samples_cover_every_type(self):
+        assert {type(e).etype for e in SAMPLES} == set(EVENT_TYPES)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+    def test_to_dict_from_dict_is_lossless(self, event):
+        record = event.to_dict()
+        assert record["type"] == type(event).etype
+        assert next(iter(record)) == "type"
+        assert event_from_dict(record) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+    def test_events_are_frozen(self, event):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.t = -1.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event type"):
+            event_from_dict({"type": "no-such-event", "t": 0.0})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"t": 0.0})

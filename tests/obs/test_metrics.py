@@ -1,0 +1,83 @@
+"""Metrics registry: semantics, transport round-trip, merge determinism."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_only_increases(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value == 7.0
+
+    def test_histogram_stats(self):
+        h = Histogram()
+        for v in (10.0, 30.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 60.0
+        assert h.mean == pytest.approx(20.0)
+        assert h.min == 10.0 and h.max == 30.0
+        assert h.quantile(0.0) == 10.0
+        assert h.quantile(0.5) == 20.0
+        assert h.quantile(1.0) == 30.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram()
+        assert h.count == 0 and h.mean == 0.0 and h.quantile(0.95) == 0.0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0]).quantile(1.5)
+
+
+class TestRegistry:
+    def test_created_on_first_touch(self):
+        reg = MetricsRegistry()
+        assert not reg
+        reg.counter("migrations.planned").inc()
+        assert reg.counter("migrations.planned") is reg.counters["migrations.planned"]
+        assert bool(reg)
+
+    def test_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("revocations").inc(3)
+        reg.gauge("total_cost_usd").set(12.5)
+        reg.histogram("downtime_s").observe(20.0)
+        clone = MetricsRegistry.from_dict(reg.to_dict())
+        assert clone.to_dict() == reg.to_dict()
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("revocations").inc(2)
+        b.counter("revocations").inc(3)
+        a.gauge("total_cost_usd").set(1.0)
+        b.gauge("total_cost_usd").set(9.0)
+        a.histogram("downtime_s").observe(1.0)
+        b.histogram("downtime_s").observe(2.0)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.counter("revocations").value == 5        # counters add
+        assert a.gauge("total_cost_usd").value == 9.0     # last write wins
+        assert a.histogram("downtime_s").samples == [1.0, 2.0]  # concatenated
+
+    def test_summary_renders_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("revocations").inc(4)
+        reg.gauge("spot_time_fraction").set(0.9)
+        reg.histogram("downtime_s").observe(15.0)
+        text = reg.summary()
+        assert "revocations = 4" in text
+        assert "spot_time_fraction = 0.9000" in text
+        assert "downtime_s: n=1" in text
+        assert MetricsRegistry().summary() == "  (no metrics recorded)"

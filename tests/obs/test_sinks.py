@@ -1,0 +1,93 @@
+"""Sinks: the null default, memory/ring collection, JSONL round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SINK,
+    EngineRunCompleted,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    RingBufferSink,
+    TraceSink,
+    event_from_dict,
+    read_jsonl,
+)
+
+
+def ticks(n):
+    return [EngineRunCompleted(t=float(i), fired_events=i) for i in range(n)]
+
+
+class TestNullSink:
+    def test_disabled_and_shared(self):
+        assert NULL_SINK.enabled is False
+        assert isinstance(NULL_SINK, NullSink)
+
+    def test_emit_is_a_noop(self):
+        NULL_SINK.emit(ticks(1)[0])  # must not raise or record anything
+
+
+class TestMemorySink:
+    def test_collects_in_order(self):
+        sink = MemorySink()
+        assert sink.enabled is True
+        events = ticks(3)
+        for e in events:
+            sink.emit(e)
+        assert sink.events == events
+        assert len(sink) == 3
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_most_recent(self):
+        sink = RingBufferSink(capacity=2)
+        for e in ticks(5):
+            sink.emit(e)
+        assert [e.fired_events for e in sink.events] == [3, 4]
+        assert len(sink) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonl:
+    def test_round_trip_with_tags(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = ticks(3)
+        with JsonlSink(path, tags={"run": "proactive/small", "seed": 11}) as sink:
+            for e in events:
+                sink.emit(e)
+            assert sink.lines_written == 3
+
+        records = list(read_jsonl(path))
+        assert len(records) == 3
+        for record, event in zip(records, events):
+            assert record["run"] == "proactive/small"
+            assert record["seed"] == 11
+            payload = {k: v for k, v in record.items() if k not in ("run", "seed")}
+            assert event_from_dict(payload) == event
+
+    def test_lines_are_compact_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(ticks(1)[0])
+        line = path.read_text().splitlines()[0]
+        assert ": " not in line and ", " not in line
+        assert json.loads(line)["type"] == "engine-run-completed"
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"engine-run-completed","t":0.0,"fired_events":1}\n\n\n')
+        assert len(list(read_jsonl(path))) == 1
+
+
+class TestProtocol:
+    def test_provided_sinks_satisfy_the_protocol(self):
+        for sink in (NULL_SINK, MemorySink(), RingBufferSink(4)):
+            assert isinstance(sink, TraceSink)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Keep ``docs/TRACING.md`` honest about the ``repro.obs`` event model.
+
+Checks, in both directions:
+
+* every event class documented in TRACING.md exists in ``repro.obs`` with
+  the documented wire name;
+* every registered event type is documented (a heading per event);
+* every documented field of an event exists on the dataclass, and every
+  dataclass field appears in the doc's field table.
+
+Exits non-zero with a per-problem report when the doc and the code drift.
+Run from the repository root (CI does): ``python tools/check_tracing_docs.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import EVENT_TYPES  # noqa: E402
+
+DOC = REPO / "docs" / "TRACING.md"
+
+#: ``### `ClassName` — `wire-name```  headings in TRACING.md.
+HEADING = re.compile(r"^###\s+`(?P<cls>\w+)`\s+—\s+`(?P<wire>[a-z-]+)`\s*$")
+#: ``| `field` | ... |`` rows in the field tables.
+FIELD_ROW = re.compile(r"^\|\s*`(?P<field>\w+)`\s*\|")
+
+
+def parse_doc(text: str) -> dict[str, tuple[str, list[str]]]:
+    """Documented class name -> (wire name, documented field names)."""
+    documented: dict[str, tuple[str, list[str]]] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        m = HEADING.match(line)
+        if m:
+            current = m.group("cls")
+            documented[current] = (m.group("wire"), [])
+            continue
+        if line.startswith("## "):
+            # A new top-level section ends the event reference entries, so
+            # unrelated tables (e.g. the metrics table) are not attributed
+            # to the last event.
+            current = None
+            continue
+        if current is not None:
+            f = FIELD_ROW.match(line)
+            if f and f.group("field") != "field":
+                documented[current][1].append(f.group("field"))
+    return documented
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"missing {DOC}")
+        return 1
+    documented = parse_doc(DOC.read_text(encoding="utf-8"))
+    by_class = {cls.__name__: (wire, cls) for wire, cls in EVENT_TYPES.items()}
+    problems: list[str] = []
+
+    for name, (wire, doc_fields) in documented.items():
+        if name not in by_class:
+            problems.append(f"TRACING.md documents unknown event class {name!r}")
+            continue
+        real_wire, cls = by_class[name]
+        if wire != real_wire:
+            problems.append(
+                f"{name}: documented wire name {wire!r} != actual {real_wire!r}"
+            )
+        real_fields = [f.name for f in dataclasses.fields(cls)]
+        for f in doc_fields:
+            if f not in real_fields:
+                problems.append(f"{name}: documented field {f!r} does not exist")
+        for f in real_fields:
+            if f not in doc_fields:
+                problems.append(f"{name}: field {f!r} missing from TRACING.md")
+
+    for name in by_class:
+        if name not in documented:
+            problems.append(f"event class {name} is not documented in TRACING.md")
+
+    if problems:
+        print(f"TRACING.md is out of sync with repro.obs ({len(problems)} problem(s)):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        f"TRACING.md OK: {len(documented)} event classes documented, "
+        "wire names and fields all match repro.obs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
