@@ -330,7 +330,12 @@ class CloudScheduler:
         )
 
     def _disk_copy_s(self, src: MarketKey, dst: MarketKey) -> float:
-        return disk_copy_seconds_between(self.service_disk_gib, src.region, dst.region)
+        # Fault injection may stretch WAN copies (testkit FaultPlan); a
+        # plain provider has no such attribute and factors out to 1.
+        factor = getattr(self.provider, "disk_copy_factor", 1.0)
+        return factor * disk_copy_seconds_between(
+            self.service_disk_gib, src.region, dst.region
+        )
 
     def _planned_lead(self, source: MarketKey) -> float:
         """Lead before a billing boundary at which to evaluate moves.

@@ -34,7 +34,10 @@ from repro.vm.mechanisms import (
 
 __all__ = [
     "SimulationConfig",
+    "SimStack",
     "ObservedRun",
+    "build_stack",
+    "summarize_stack",
     "run_simulation",
     "run_simulation_instrumented",
     "run_simulation_observed",
@@ -68,6 +71,11 @@ class SimulationConfig:
     startup_cv: float = 0.25
     service_disk_gib: float = 2.0
     label: str = ""
+    #: Optional :class:`repro.testkit.faults.FaultPlan` (duck-typed — any
+    #: object with ``apply_to_catalog``/``wrap_provider``). Applied while
+    #: building the stack: spikes overlay the catalog *before* the provider
+    #: sees it, so billing and bids both face the faulted prices.
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.horizon_s <= SECONDS_PER_HOUR:
@@ -93,30 +101,32 @@ class ObservedRun:
     metrics: MetricsRegistry  #: the scheduler's per-run metric registry
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Run one seeded scheduler simulation and summarise it."""
-    return run_simulation_observed(config).result
+@dataclass
+class SimStack:
+    """The fully-assembled machinery of one simulation run.
+
+    Built by :func:`build_stack`, run via ``stack.scheduler.run()``, and
+    summarised by :func:`summarize_stack`. Keeping the live objects
+    together lets post-run oracles (:mod:`repro.testkit.oracles`) audit
+    the ledger, availability tracker, and provider against the distilled
+    :class:`~repro.core.results.SimulationResult`.
+    """
+
+    config: SimulationConfig
+    catalog: TraceCatalog
+    provider: CloudProvider
+    engine: Engine
+    scheduler: CloudScheduler
+    strategy: HostingStrategy
 
 
-def run_simulation_instrumented(
-    config: SimulationConfig,
-) -> tuple[SimulationResult, int]:
-    """Like :func:`run_simulation`, also returning the engine's fired-event
-    count (the runtime layer's events-processed telemetry)."""
-    observed = run_simulation_observed(config)
-    return observed.result, observed.fired_events
+def build_stack(config: SimulationConfig, sink: TraceSink = NULL_SINK) -> SimStack:
+    """Assemble catalog, provider, engine and scheduler for one run.
 
-
-def run_simulation_observed(
-    config: SimulationConfig, sink: TraceSink = NULL_SINK
-) -> ObservedRun:
-    """Run one simulation with decision tracing and metrics attached.
-
-    ``sink`` receives every :mod:`repro.obs` trace event the stack emits
-    (engine, provider, scheduler); the default null sink costs one branch
-    per emission site, so results are identical whether or not anyone is
-    listening. The returned :class:`ObservedRun` carries the scheduler's
-    metric registry alongside the usual summary.
+    If ``config.faults`` is set, its spikes are overlaid on the catalog
+    before the provider is constructed (so billing sees the spiked
+    prices) and its provider-level faults are applied before the
+    scheduler takes the provider.
     """
     catalog = config.catalog
     if catalog is None:
@@ -127,6 +137,9 @@ def run_simulation_observed(
             sizes=config.sizes,
             calibrations=config.calibrations,
         )
+    faults = config.faults
+    if faults is not None:
+        catalog = faults.apply_to_catalog(catalog)
     streams = RngStreams(config.seed)
     provider = CloudProvider(
         catalog,
@@ -134,6 +147,8 @@ def run_simulation_observed(
         startup_cv=config.startup_cv,
         sink=sink,
     )
+    if faults is not None:
+        provider = faults.wrap_provider(provider, run_seed=config.seed)
     strategy = config.strategy()
     engine = Engine(sink=sink)
     scheduler = CloudScheduler(
@@ -147,12 +162,25 @@ def run_simulation_observed(
         service_disk_gib=config.service_disk_gib,
         sink=sink,
     )
-    scheduler.run()
+    return SimStack(
+        config=config,
+        catalog=catalog,
+        provider=provider,
+        engine=engine,
+        scheduler=scheduler,
+        strategy=strategy,
+    )
 
+
+def summarize_stack(stack: SimStack) -> SimulationResult:
+    """Distil a completed stack into a :class:`SimulationResult` and set
+    the summary gauges on the scheduler's metric registry."""
+    config = stack.config
+    scheduler = stack.scheduler
     avail = scheduler.availability
     ledger = scheduler.ledger
     duration_h = avail.window_duration / SECONDS_PER_HOUR
-    baseline_rate = strategy.baseline_rate(provider)
+    baseline_rate = stack.strategy.baseline_rate(stack.provider)
     baseline_cost = baseline_rate * duration_h
     norm = (
         ledger.normalized_cost_percent(baseline_rate, avail.window_duration)
@@ -163,7 +191,7 @@ def run_simulation_observed(
     for iv in avail.downtime:
         by_cause[iv.cause] = by_cause.get(iv.cause, 0.0) + iv.duration
     result = SimulationResult(
-        label=_result_label(config, strategy),
+        label=_result_label(config, stack.strategy),
         seed=config.seed,
         duration_hours=duration_h,
         total_cost=ledger.total,
@@ -186,7 +214,52 @@ def run_simulation_observed(
     metrics.gauge("normalized_cost_percent").set(result.normalized_cost_percent)
     metrics.gauge("unavailability_percent").set(result.unavailability_percent)
     metrics.gauge("spot_time_fraction").set(result.spot_time_fraction)
-    return ObservedRun(result=result, fired_events=engine.fired_count, metrics=metrics)
+    return result
+
+
+def run_simulation(config: SimulationConfig, verify: bool = False) -> SimulationResult:
+    """Run one seeded scheduler simulation and summarise it.
+
+    ``verify=True`` runs the :mod:`repro.testkit.oracles` conservation
+    checks after the run and raises
+    :class:`~repro.errors.InvariantViolation` if any fail.
+    """
+    return run_simulation_observed(config, verify=verify).result
+
+
+def run_simulation_instrumented(
+    config: SimulationConfig,
+) -> tuple[SimulationResult, int]:
+    """Like :func:`run_simulation`, also returning the engine's fired-event
+    count (the runtime layer's events-processed telemetry)."""
+    observed = run_simulation_observed(config)
+    return observed.result, observed.fired_events
+
+
+def run_simulation_observed(
+    config: SimulationConfig, sink: TraceSink = NULL_SINK, verify: bool = False
+) -> ObservedRun:
+    """Run one simulation with decision tracing and metrics attached.
+
+    ``sink`` receives every :mod:`repro.obs` trace event the stack emits
+    (engine, provider, scheduler); the default null sink costs one branch
+    per emission site, so results are identical whether or not anyone is
+    listening. The returned :class:`ObservedRun` carries the scheduler's
+    metric registry alongside the usual summary. ``verify=True`` audits
+    the completed stack with the invariant oracles and raises
+    :class:`~repro.errors.InvariantViolation` on any red check.
+    """
+    stack = build_stack(config, sink=sink)
+    stack.scheduler.run()
+    result = summarize_stack(stack)
+    if verify:
+        # Imported lazily: the testkit builds on this module.
+        from repro.testkit.oracles import verify_stack
+
+        verify_stack(stack, result).raise_on_failure()
+    return ObservedRun(
+        result=result, fired_events=stack.engine.fired_count, metrics=stack.scheduler.metrics
+    )
 
 
 def run_many(

@@ -23,6 +23,8 @@ __all__ = [
     "MigrationError",
     "CheckpointBoundError",
     "WorkloadError",
+    "InvariantViolation",
+    "WorkerCrashError",
 ]
 
 
@@ -110,3 +112,27 @@ class CheckpointBoundError(MigrationError):
 
 class WorkloadError(ReproError):
     """A workload/queueing-model parameterisation is infeasible."""
+
+
+class InvariantViolation(ReproError):
+    """A post-run invariant oracle found a conservation-law violation.
+
+    Raised by :mod:`repro.testkit.oracles` when a completed simulation's
+    books do not balance — e.g. billed cost differs from the sum of
+    start-of-hour charges, or availability plus blackout time does not
+    cover the horizon. Carries the individual check failures in
+    ``failures`` when raised from a full report.
+    """
+
+    def __init__(self, message: str, failures: "list[str] | None" = None) -> None:
+        self.failures = list(failures or [])
+        super().__init__(message)
+
+
+class WorkerCrashError(ReproError):
+    """A batch-executor worker crashed while executing a run.
+
+    Raised organically on worker failure and injected by
+    :class:`repro.testkit.faults.FaultPlan` crash schedules to exercise
+    the executor's retry path.
+    """

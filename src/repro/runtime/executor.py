@@ -15,11 +15,12 @@ import atexit
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SimulationResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.obs.capture import notify_run, trace_capture_active
 from repro.obs.sinks import NULL_SINK, MemorySink, TraceSink
 from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
@@ -31,6 +32,12 @@ __all__ = ["BatchResult", "run_batch"]
 #: Progress hook: called once per completed run (completion order).
 ProgressCallback = Callable[[RunTelemetry], None]
 
+#: Default retry budget for crashed runs and its exponential-backoff base.
+#: Retrying is always safe: a run is a pure function of its spec, so a
+#: re-execution is byte-identical to the attempt that crashed.
+DEFAULT_RETRIES = 2
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
 
 @dataclass(frozen=True)
 class BatchResult:
@@ -41,12 +48,18 @@ class BatchResult:
     telemetry: BatchTelemetry
 
 
-def _execute_one(
-    spec: RunSpec, cache: Optional[TraceCatalogCache]
+def _attempt_one(
+    spec: RunSpec, cache: Optional[TraceCatalogCache], attempt: int
 ) -> Tuple[SimulationResult, RunTelemetry]:
-    """Run one spec, resolving its catalog through ``cache`` when possible."""
+    """One execution attempt of one spec (no retry handling)."""
     from repro.core.simulation import run_simulation_observed
 
+    faults = spec.faults
+    if faults is not None and getattr(faults, "crash_seeds", ()):
+        if faults.should_crash(spec.seed, attempt):
+            raise WorkerCrashError(
+                f"injected worker crash: seed={spec.seed} attempt={attempt}"
+            )
     start = time.perf_counter()
     catalog = None
     cache_hit = False
@@ -70,18 +83,45 @@ def _execute_one(
         catalog_wall_s=catalog_wall,
         catalog_cache_hit=cache_hit,
         worker_pid=os.getpid(),
+        attempts=attempt + 1,
         metrics=observed.metrics.to_dict(),
         trace_events=trace_events,
     )
     return result, telemetry
 
 
+def _execute_one(
+    spec: RunSpec,
+    cache: Optional[TraceCatalogCache],
+    retries: int = DEFAULT_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+) -> Tuple[SimulationResult, RunTelemetry]:
+    """Run one spec with retry/backoff, resolving its catalog via ``cache``.
+
+    A crashed attempt (injected :class:`~repro.errors.WorkerCrashError` or
+    any organic exception) is retried up to ``retries`` times with
+    exponential backoff; the final failure propagates. Retries cannot
+    change results — a run is a pure function of its spec.
+    """
+    for attempt in range(retries + 1):
+        try:
+            return _attempt_one(spec, cache, attempt)
+        except Exception:
+            if attempt >= retries:
+                raise
+            if retry_backoff_s > 0:
+                time.sleep(retry_backoff_s * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _execute_group(
-    specs: Tuple[RunSpec, ...]
+    specs: Tuple[RunSpec, ...],
+    retries: int = DEFAULT_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
 ) -> List[Tuple[SimulationResult, RunTelemetry]]:
     """Pool-worker entry point: run a catalog-sharing group serially."""
     cache = shared_catalog_cache()
-    return [_execute_one(spec, cache) for spec in specs]
+    return [_execute_one(spec, cache, retries, retry_backoff_s) for spec in specs]
 
 
 # One persistent pool per worker count: reusing workers across batches keeps
@@ -97,6 +137,13 @@ def _get_pool(jobs: int) -> ProcessPoolExecutor:
     return pool
 
 
+def _discard_pool(jobs: int) -> None:
+    """Drop a broken pool so the next batch gets a fresh one."""
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover
     for pool in _POOLS.values():
@@ -110,6 +157,8 @@ def run_batch(
     jobs: int = 1,
     cache: Optional[TraceCatalogCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retries: int = DEFAULT_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
 ) -> BatchResult:
     """Execute a batch of runs and return results in submission order.
 
@@ -128,12 +177,21 @@ def run_batch(
         Called with each run's :class:`RunTelemetry` as it completes
         (completion order, which under ``jobs > 1`` may differ from
         submission order).
+    retries:
+        Per-run retry budget for crashed attempts (injected or organic);
+        each retry re-executes the same pure spec, so retried runs are
+        byte-identical to first-try runs. The consumed attempts surface on
+        :class:`~repro.runtime.telemetry.RunTelemetry.attempts`.
+    retry_backoff_s:
+        Base sleep before a retry; doubles per attempt.
     """
     specs: Tuple[RunSpec, ...] = tuple(runs.runs if isinstance(runs, BatchSpec) else runs)
     if not specs:
         raise ConfigurationError("batch needs at least one run")
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
+    if retries < 0:
+        raise ConfigurationError("retries must be >= 0")
     if cache is None:
         cache = shared_catalog_cache()
     if trace_capture_active():
@@ -149,7 +207,7 @@ def run_batch(
 
     if jobs == 1 or len(specs) == 1:
         for i, spec in enumerate(specs):
-            slots[i] = _execute_one(spec, cache)
+            slots[i] = _execute_one(spec, cache, retries, retry_backoff_s)
             if progress is not None:
                 progress(slots[i][1])
     else:
@@ -165,16 +223,35 @@ def run_batch(
                 groups.setdefault(key, []).append(i)
         pool = _get_pool(jobs)
         futures = [
-            (indices, pool.submit(_execute_group, tuple(specs[i] for i in indices)))
+            (
+                indices,
+                pool.submit(
+                    _execute_group,
+                    tuple(specs[i] for i in indices),
+                    retries,
+                    retry_backoff_s,
+                ),
+            )
             for indices in groups.values()
         ]
         # Non-portable runs execute in-process while the pool churns.
         for i in local:
-            slots[i] = _execute_one(specs[i], cache)
+            slots[i] = _execute_one(specs[i], cache, retries, retry_backoff_s)
             if progress is not None:
                 progress(slots[i][1])
         for indices, future in futures:
-            for i, pair in zip(indices, future.result()):
+            try:
+                group_pairs = future.result()
+            except BrokenProcessPool:
+                # The pool died (hard worker crash, OOM kill, ...). Discard
+                # it and fall back to in-process execution for this group —
+                # results are identical, only slower.
+                _discard_pool(jobs)
+                group_pairs = [
+                    _execute_one(specs[i], cache, retries, retry_backoff_s)
+                    for i in indices
+                ]
+            for i, pair in zip(indices, group_pairs):
                 slots[i] = pair
                 parallel_runs += 1
                 if progress is not None:

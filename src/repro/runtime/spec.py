@@ -171,6 +171,12 @@ class RunSpec:
     startup_cv: float = 0.25
     service_disk_gib: float = 2.0
     label: str = ""
+    #: Optional :class:`repro.testkit.faults.FaultPlan`. Frozen and
+    #: pickleable, so faulted runs cross the process pool unchanged —
+    #: a stormed batch is byte-identical at any ``jobs`` value. The fault
+    #: overlay is applied per run *after* catalog-cache resolution, so the
+    #: cache only ever holds clean base catalogs.
+    faults: Optional[Any] = None
     #: Capture :mod:`repro.obs` trace events during execution and return
     #: them on the run's telemetry (set automatically by ``run_batch`` when
     #: an ``observe(trace=True)`` scope is active). Does not affect results.
@@ -197,6 +203,7 @@ class RunSpec:
             startup_cv=config.startup_cv,
             service_disk_gib=config.service_disk_gib,
             label=config.label,
+            faults=getattr(config, "faults", None),
         )
 
     def to_config(self, catalog=None):
@@ -223,6 +230,7 @@ class RunSpec:
             startup_cv=self.startup_cv,
             service_disk_gib=self.service_disk_gib,
             label=self.label,
+            faults=self.faults,
         )
 
     def catalog_key(self):

@@ -32,6 +32,9 @@ class RunTelemetry:
     catalog_wall_s: float = 0.0  #: catalog build time (0 on a cache hit)
     catalog_cache_hit: bool = False
     worker_pid: int = 0  #: executing process (parent pid when serial)
+    #: Execution attempts consumed (1 = first try succeeded; > 1 means the
+    #: executor's retry loop absorbed worker crashes).
+    attempts: int = 1
     #: The run's metric-registry snapshot (:meth:`MetricsRegistry.to_dict`).
     metrics: Optional[Dict[str, Any]] = None
     #: Captured trace events as dicts, present only when the run's spec set

@@ -1,0 +1,76 @@
+"""Test harness for hostile-market regimes (``repro.testkit``).
+
+The paper's four-nines claim rests on the scheduler behaving correctly
+under *hostile* conditions — revocation storms, correlated price spikes,
+slow checkpoints — yet calm traces dominate ordinary tests. This package
+makes the hostile regimes first-class:
+
+* :mod:`repro.testkit.faults` — :class:`FaultPlan`: a seeded or scripted
+  fault schedule (revocation storms, correlated multi-market spikes,
+  delayed/failed checkpoint writes, stretched disk copies and startups,
+  worker-process crashes) that rides a
+  :class:`~repro.core.simulation.SimulationConfig` /
+  :class:`~repro.runtime.spec.RunSpec` across process boundaries;
+* :mod:`repro.testkit.oracles` — post-run conservation checks (billing,
+  availability, metrics/results agreement, lease hygiene) runnable after
+  any simulation via ``run_simulation(..., verify=True)`` or the
+  ``repro-verify`` CLI;
+* :mod:`repro.testkit.builders` — deterministic trace/catalog builders
+  shared by the unit tests and downstream users;
+* :mod:`repro.testkit.strategies` — the shared Hypothesis generator set
+  (requires the ``test`` extra);
+* :mod:`repro.testkit.golden` — the committed golden-scenario corpus and
+  its comparison/refresh machinery (``repro-verify --all-golden`` /
+  ``--update-golden``);
+* :mod:`repro.testkit.cli` — the ``repro-verify`` command.
+
+See ``docs/TESTING.md`` for the full testing guide.
+"""
+
+from repro.testkit.builders import (
+    make_catalog,
+    make_constant_trace,
+    make_step_trace,
+    single_market_catalog,
+)
+from repro.testkit.faults import FaultPlan, FaultStats, PriceSpike
+from repro.testkit.golden import (
+    SCENARIOS,
+    GoldenScenario,
+    check_scenarios,
+    default_golden_dir,
+    run_scenario,
+    scenario_by_name,
+    update_golden,
+)
+from repro.testkit.oracles import (
+    OracleCheck,
+    OracleReport,
+    check_jobs_determinism,
+    check_rerun_determinism,
+    run_verified,
+    verify_stack,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "PriceSpike",
+    "OracleCheck",
+    "OracleReport",
+    "verify_stack",
+    "run_verified",
+    "check_rerun_determinism",
+    "check_jobs_determinism",
+    "GoldenScenario",
+    "SCENARIOS",
+    "scenario_by_name",
+    "run_scenario",
+    "check_scenarios",
+    "update_golden",
+    "default_golden_dir",
+    "make_step_trace",
+    "make_constant_trace",
+    "make_catalog",
+    "single_market_catalog",
+]

@@ -1,0 +1,333 @@
+"""The golden-scenario corpus: small committed runs with expected reports.
+
+Each :class:`GoldenScenario` is a fully seeded simulation small enough to
+run in a second or two; its expected :class:`~repro.core.results`
+report is committed as JSON under ``tests/golden/expected/``. The
+regression test (``tests/golden/test_golden.py``) and ``repro-verify
+--all-golden`` re-run every scenario and compare field-for-field; after an
+*intentional* behaviour change, refresh the corpus with ``repro-verify
+--update-golden`` and review the JSON diff like any other code change.
+
+The corpus deliberately spans the regimes the paper's claims hang on:
+calm markets, seeded revocation storms, a correlated spike straddling a
+billing boundary, a pure-spot outage, slow checkpoints during a storm,
+multi-market and multi-region escapes, and the all-on-demand baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.simulation import SimulationConfig, run_simulation_observed
+from repro.errors import ConfigurationError
+from repro.runtime.spec import StrategySpec
+from repro.testkit.faults import FaultPlan
+from repro.traces.catalog import MarketKey
+from repro.units import days, hours
+
+__all__ = [
+    "GoldenScenario",
+    "SCENARIOS",
+    "scenario_by_name",
+    "run_scenario",
+    "check_scenarios",
+    "update_golden",
+    "default_golden_dir",
+]
+
+#: Environment override for the expected-report directory.
+GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
+
+#: Tolerance for float fields (JSON round-trips floats exactly; the
+#: tolerance only guards against cross-platform libm differences).
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One committed scenario: a name, a story, and a seeded config."""
+
+    name: str
+    description: str
+    build: Callable[[], SimulationConfig]
+
+    def config(self) -> SimulationConfig:
+        return self.build()
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/expected`` relative to the repo root (overridable via
+    the ``REPRO_GOLDEN_DIR`` environment variable)."""
+    env = os.environ.get(GOLDEN_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "tests" / "golden" / "expected"
+
+
+# ------------------------------------------------------------------- scenarios
+_EAST = MarketKey("us-east-1a", "small")
+_WEEK = days(7)
+
+
+def _calm_single() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=11,
+        horizon_s=_WEEK,
+        regions=("us-east-1a",),
+        sizes=("small",),
+        label="golden/calm-single",
+    )
+
+
+def _calm_large() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(MarketKey("us-east-1a", "large")),
+        seed=23,
+        horizon_s=_WEEK,
+        regions=("us-east-1a",),
+        sizes=("large",),
+        label="golden/calm-large",
+    )
+
+
+def _storm_single() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=31,
+        horizon_s=_WEEK,
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.revocation_storm(401, _WEEK, n_spikes=6, duration_s=1800.0),
+        label="golden/storm-single",
+    )
+
+
+def _spike_at_boundary() -> SimulationConfig:
+    # The spike opens 90 s before the lease's 5th billing boundary — the
+    # window where revocation is cheapest for the provider-side adversary
+    # and the partial-hour-free rule matters most.
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=43,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.correlated_spike(hours(5) - 90.0, hours(2)),
+        label="golden/spike-at-boundary",
+    )
+
+
+def _pure_spot_outage() -> SimulationConfig:
+    # No on-demand fallback: a correlated spike forces a dark period.
+    return SimulationConfig(
+        strategy=StrategySpec.pure_spot(_EAST),
+        seed=53,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.correlated_spike(hours(30), hours(4)),
+        label="golden/pure-spot-outage",
+    )
+
+
+def _on_demand_baseline() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.on_demand(_EAST),
+        seed=61,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        label="golden/on-demand-baseline",
+    )
+
+
+def _multi_market_storm() -> SimulationConfig:
+    # Spikes hit only the small market, so the multi-market strategy can
+    # escape sideways within the region.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_market("us-east-1a"),
+        seed=71,
+        horizon_s=_WEEK,
+        regions=("us-east-1a",),
+        sizes=("small", "medium", "large", "xlarge"),
+        faults=FaultPlan.revocation_storm(
+            402, _WEEK, n_spikes=4, duration_s=3600.0, markets=("us-east-1a/small",)
+        ),
+        label="golden/multi-market-storm",
+    )
+
+
+def _multi_region() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.multi_region(("us-east-1a", "us-west-1a")),
+        seed=83,
+        horizon_s=_WEEK,
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium", "large", "xlarge"),
+        label="golden/multi-region",
+    )
+
+
+def _multi_region_correlated() -> SimulationConfig:
+    # Every market spikes at once: cross-region escape can't help, the
+    # scheduler must ride out the storm on on-demand.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_region(("us-east-1a", "eu-west-1a")),
+        seed=97,
+        horizon_s=_WEEK,
+        regions=("us-east-1a", "eu-west-1a"),
+        sizes=("small", "medium", "large", "xlarge"),
+        faults=FaultPlan.correlated_spike(days(2), hours(6)),
+        label="golden/multi-region-correlated",
+    )
+
+
+def _slow_checkpoint_storm() -> SimulationConfig:
+    # Storm plus degraded infrastructure: delayed/failing checkpoint
+    # writes, doubled WAN disk copies, sluggish allocations.
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=101,
+        horizon_s=_WEEK,
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.revocation_storm(
+            403,
+            _WEEK,
+            n_spikes=5,
+            duration_s=2700.0,
+            checkpoint_delay_s=45.0,
+            checkpoint_failure_rate=0.25,
+            disk_copy_factor=2.0,
+            startup_factor=1.5,
+        ),
+        label="golden/slow-checkpoint-storm",
+    )
+
+
+SCENARIOS: Tuple[GoldenScenario, ...] = (
+    GoldenScenario("calm-single", "single market, calm generated trace", _calm_single),
+    GoldenScenario("calm-large", "large instance, calm generated trace", _calm_large),
+    GoldenScenario("storm-single", "seeded 6-spike revocation storm", _storm_single),
+    GoldenScenario(
+        "spike-at-boundary", "correlated spike opening just before a billing boundary",
+        _spike_at_boundary,
+    ),
+    GoldenScenario(
+        "pure-spot-outage", "pure-spot strategy rides through a forced dark period",
+        _pure_spot_outage,
+    ),
+    GoldenScenario(
+        "on-demand-baseline", "all-on-demand control: no migrations, 100% cost",
+        _on_demand_baseline,
+    ),
+    GoldenScenario(
+        "multi-market-storm", "storm on one market, sideways escape available",
+        _multi_market_storm,
+    ),
+    GoldenScenario("multi-region", "two-region deployment, calm markets", _multi_region),
+    GoldenScenario(
+        "multi-region-correlated", "all markets spike at once across regions",
+        _multi_region_correlated,
+    ),
+    GoldenScenario(
+        "slow-checkpoint-storm", "storm with failing checkpoints and slow copies",
+        _slow_checkpoint_storm,
+    ),
+)
+
+
+def scenario_by_name(name: str) -> GoldenScenario:
+    for s in SCENARIOS:
+        if s.name == name:
+            return s
+    raise ConfigurationError(
+        f"unknown golden scenario {name!r}; known: {[s.name for s in SCENARIOS]}"
+    )
+
+
+# ------------------------------------------------------------------- execution
+def run_scenario(scenario: GoldenScenario, verify: bool = True) -> Dict[str, object]:
+    """Run one scenario (with the invariant oracles by default) and return
+    its report as a JSON-ready dict."""
+    observed = run_simulation_observed(scenario.config(), verify=verify)
+    return dataclasses.asdict(observed.result)
+
+
+def _expected_path(golden_dir: Path, scenario: GoldenScenario) -> Path:
+    return golden_dir / f"{scenario.name}.json"
+
+
+def _diff(expected: Dict[str, object], actual: Dict[str, object]) -> List[str]:
+    """Field-level differences between two report dicts."""
+    out: List[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        if key not in expected:
+            out.append(f"{key}: unexpected new field = {actual[key]!r}")
+            continue
+        if key not in actual:
+            out.append(f"{key}: field missing (expected {expected[key]!r})")
+            continue
+        e, a = expected[key], actual[key]
+        if isinstance(e, float) and isinstance(a, (int, float)):
+            if not math.isclose(e, float(a), rel_tol=REL_TOL, abs_tol=REL_TOL):
+                out.append(f"{key}: expected {e!r}, got {a!r}")
+        elif isinstance(e, dict) and isinstance(a, dict):
+            for sub in sorted(set(e) | set(a)):
+                ev, av = e.get(sub), a.get(sub)
+                if ev is None or av is None or not math.isclose(
+                    float(ev), float(av), rel_tol=REL_TOL, abs_tol=REL_TOL
+                ):
+                    out.append(f"{key}[{sub!r}]: expected {ev!r}, got {av!r}")
+        elif e != a:
+            out.append(f"{key}: expected {e!r}, got {a!r}")
+    return out
+
+
+def check_scenarios(
+    names: Optional[List[str]] = None,
+    golden_dir: Optional[Path] = None,
+    verify: bool = True,
+) -> Dict[str, List[str]]:
+    """Run scenarios and compare to their committed expected reports.
+
+    Returns ``{scenario name: [differences]}`` — empty lists mean a clean
+    match; a missing expected file reports as one difference.
+    """
+    golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
+    chosen = [scenario_by_name(n) for n in names] if names else list(SCENARIOS)
+    out: Dict[str, List[str]] = {}
+    for scenario in chosen:
+        path = _expected_path(golden_dir, scenario)
+        if not path.exists():
+            out[scenario.name] = [
+                f"no expected report at {path} (run repro-verify --update-golden)"
+            ]
+            continue
+        expected = json.loads(path.read_text())
+        actual = run_scenario(scenario, verify=verify)
+        out[scenario.name] = _diff(expected, actual)
+    return out
+
+
+def update_golden(
+    names: Optional[List[str]] = None, golden_dir: Optional[Path] = None
+) -> Dict[str, Path]:
+    """(Re)write the expected reports; returns ``{name: path written}``."""
+    golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    chosen = [scenario_by_name(n) for n in names] if names else list(SCENARIOS)
+    written: Dict[str, Path] = {}
+    for scenario in chosen:
+        actual = run_scenario(scenario, verify=True)
+        path = _expected_path(golden_dir, scenario)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        written[scenario.name] = path
+    return written

@@ -1,0 +1,351 @@
+"""Post-run invariant oracles: does a finished simulation's book balance?
+
+Each oracle audits one conservation law of the completed
+:class:`~repro.core.simulation.SimStack` against the distilled
+:class:`~repro.core.results.SimulationResult`:
+
+* **billing** — every ledger entry is a start-of-hour charge at the spot
+  price then in force (Section 2.1's "billed ... based on the spot price at
+  the beginning of each hour"), revoked partial hours are free, on-demand
+  hours bill at the fixed on-demand price, and the per-kind totals add up
+  to the reported cost;
+* **availability** — the observation window sits inside the horizon,
+  blackout intervals are disjoint and inside the window, and uptime plus
+  blackout time exactly covers the window;
+* **placement** — the placement timeline is ordered, non-overlapping, and
+  yields the reported spot-time fraction;
+* **metrics** — the :mod:`repro.obs` registry agrees with the results
+  report (migration counters, spend, summary gauges);
+* **determinism** — equal seeds and equal ``jobs`` produce byte-identical
+  reports (:func:`check_rerun_determinism`, :func:`check_jobs_determinism`).
+
+Run them via ``run_simulation(config, verify=True)``, :func:`run_verified`,
+or the ``repro-verify`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvariantViolation
+from repro.traces.catalog import MarketKey
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "OracleCheck",
+    "OracleReport",
+    "verify_stack",
+    "run_verified",
+    "check_rerun_determinism",
+    "check_jobs_determinism",
+]
+
+#: Tolerance for comparing recomputed sums of floats (order-of-addition
+#: differences only; any real accounting bug is far larger).
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+@dataclass(frozen=True)
+class OracleCheck:
+    """One oracle's verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{tail}"
+
+
+@dataclass
+class OracleReport:
+    """All oracle verdicts for one run."""
+
+    checks: List[OracleCheck] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(OracleCheck(name=name, passed=passed, detail=detail))
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> List[OracleCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`~repro.errors.InvariantViolation` if any check failed."""
+        if not self.passed:
+            lines = [str(c) for c in self.failures]
+            raise InvariantViolation(
+                f"{len(lines)} invariant check(s) failed:\n" + "\n".join(lines),
+                failures=lines,
+            )
+
+    def summary(self) -> str:
+        """Multi-line human rendering of every check."""
+        return "\n".join(str(c) for c in self.checks)
+
+
+def _market_key(market: str) -> MarketKey:
+    region, _, size = market.partition("/")
+    return MarketKey(region=region, size=size)
+
+
+# --------------------------------------------------------------------- oracles
+def _check_billing(report: OracleReport, stack, result) -> None:
+    ledger = stack.scheduler.ledger
+    catalog = stack.catalog
+    bad: List[str] = []
+    for e in ledger.entries:
+        key = _market_key(e.market)
+        if e.kind == "spot":
+            expected_rate = float(catalog.trace(key).price_at(e.time))
+            if not _close(e.rate, expected_rate):
+                bad.append(
+                    f"spot hour at t={e.time:.0f} in {e.market} billed at rate "
+                    f"{e.rate:.6f}, trace says {expected_rate:.6f}"
+                )
+            if e.note == "revoked-free":
+                if e.amount != 0.0:
+                    bad.append(f"revoked partial hour at t={e.time:.0f} charged {e.amount:.6f}")
+            elif not _close(e.amount, e.rate):
+                bad.append(
+                    f"spot hour at t={e.time:.0f} charged {e.amount:.6f} != rate {e.rate:.6f}"
+                )
+        elif e.kind == "on_demand":
+            expected_rate = catalog.on_demand_price(key)
+            if not _close(e.rate, expected_rate):
+                bad.append(
+                    f"on-demand hour at t={e.time:.0f} in {e.market} billed at "
+                    f"{e.rate:.6f}, price table says {expected_rate:.6f}"
+                )
+            if not _close(e.amount, e.rate):
+                bad.append(f"on-demand hour at t={e.time:.0f} not charged in full")
+        else:
+            bad.append(f"unknown lease kind {e.kind!r} at t={e.time:.0f}")
+    report.add(
+        "billing.start-of-hour-rates",
+        not bad,
+        "; ".join(bad[:3]) + (f" (+{len(bad) - 3} more)" if len(bad) > 3 else ""),
+    )
+
+    entry_total = sum(e.amount for e in ledger.entries)
+    report.add(
+        "billing.ledger-total",
+        _close(entry_total, result.total_cost),
+        f"entries sum to {entry_total:.6f}, report says {result.total_cost:.6f}",
+    )
+    report.add(
+        "billing.kind-split",
+        _close(ledger.total_by_kind("spot"), result.spot_cost)
+        and _close(ledger.total_by_kind("on_demand"), result.on_demand_cost)
+        and _close(result.spot_cost + result.on_demand_cost, result.total_cost),
+        f"spot {result.spot_cost:.6f} + on-demand {result.on_demand_cost:.6f} "
+        f"vs total {result.total_cost:.6f}",
+    )
+
+
+def _check_availability(report: OracleReport, stack, result) -> None:
+    avail = stack.scheduler.availability
+    horizon = stack.scheduler.horizon
+    if avail.window_start is None or avail.window_end is None:
+        report.add("availability.window", False, "observation window never opened/closed")
+        return
+    report.add(
+        "availability.window",
+        0.0 <= avail.window_start <= avail.window_end <= horizon + ABS_TOL,
+        f"window [{avail.window_start:.0f}, {avail.window_end:.0f}) "
+        f"vs horizon {horizon:.0f}",
+    )
+    ivs = sorted(avail.downtime, key=lambda iv: iv.start)
+    disjoint = all(a.end <= b.start + ABS_TOL for a, b in zip(ivs, ivs[1:]))
+    in_window = all(
+        avail.window_start - ABS_TOL <= iv.start and iv.end <= avail.window_end + ABS_TOL
+        for iv in ivs
+    )
+    report.add(
+        "availability.blackouts-disjoint",
+        disjoint and in_window,
+        f"{len(ivs)} blackout intervals",
+    )
+    # Conservation: uptime + blackout time covers the window exactly.
+    downtime = avail.total_downtime()
+    uptime = avail.window_duration - downtime
+    report.add(
+        "availability.conservation",
+        uptime >= -ABS_TOL and _close(uptime + downtime, avail.window_duration),
+        f"uptime {uptime:.1f}s + downtime {downtime:.1f}s "
+        f"vs window {avail.window_duration:.1f}s",
+    )
+    report.add(
+        "availability.report-agreement",
+        _close(result.downtime_s, downtime)
+        and _close(result.unavailability_percent, avail.unavailability_percent())
+        and _close(sum(result.downtime_by_cause.values()), downtime),
+        f"report downtime {result.downtime_s:.1f}s vs tracker {downtime:.1f}s",
+    )
+
+
+def _check_placement(report: OracleReport, stack, result) -> None:
+    scheduler = stack.scheduler
+    log = scheduler.placement_log
+    ordered = all(r.end > r.start for r in log) and all(
+        a.end <= b.start + ABS_TOL for a, b in zip(log, log[1:])
+    )
+    in_horizon = all(
+        -ABS_TOL <= r.start and r.end <= scheduler.horizon + ABS_TOL for r in log
+    )
+    report.add(
+        "placement.timeline",
+        ordered and in_horizon,
+        f"{len(log)} tenures over {scheduler.horizon / SECONDS_PER_HOUR:.0f}h",
+    )
+    report.add(
+        "placement.spot-fraction",
+        _close(result.spot_time_fraction, scheduler.spot_time_fraction()),
+        f"report {result.spot_time_fraction:.6f} "
+        f"vs log {scheduler.spot_time_fraction():.6f}",
+    )
+
+
+def _check_metrics(report: OracleReport, stack, result) -> None:
+    m = stack.scheduler.metrics
+
+    def counter(name: str) -> float:
+        c = m.counters.get(name)
+        return c.value if c is not None else 0.0
+
+    pairs = [
+        ("migrations.forced", counter("migrations.forced"), result.forced_migrations),
+        (
+            "migrations.planned(+spot-switch)",
+            counter("migrations.planned") + counter("migrations.spot-switch"),
+            result.planned_migrations,
+        ),
+        ("migrations.reverse", counter("migrations.reverse"), result.reverse_migrations),
+        ("migrations.outage", counter("migrations.outage"), result.outages),
+    ]
+    bad = [f"{n}: metric {v:g} vs report {r}" for n, v, r in pairs if not _close(v, r)]
+    report.add("metrics.migration-counters", not bad, "; ".join(bad))
+
+    spend = sum(c.value for name, c in m.counters.items() if name.startswith("spend_usd."))
+    report.add(
+        "metrics.spend-total",
+        _close(spend, result.total_cost),
+        f"spend_usd.* sums to {spend:.6f}, report says {result.total_cost:.6f}",
+    )
+
+    gauges = [
+        ("total_cost_usd", result.total_cost),
+        ("normalized_cost_percent", result.normalized_cost_percent),
+        ("unavailability_percent", result.unavailability_percent),
+        ("spot_time_fraction", result.spot_time_fraction),
+    ]
+    bad = []
+    for name, expected in gauges:
+        g = m.gauges.get(name)
+        if g is None or not _close(g.value, expected):
+            bad.append(f"{name}: gauge {'missing' if g is None else g.value} vs {expected}")
+    report.add("metrics.summary-gauges", not bad, "; ".join(bad))
+
+
+def verify_stack(stack, result) -> OracleReport:
+    """Audit a completed stack against its distilled result.
+
+    Parameters
+    ----------
+    stack:
+        A :class:`~repro.core.simulation.SimStack` whose scheduler has run
+        to the horizon.
+    result:
+        The matching :class:`~repro.core.results.SimulationResult` (from
+        :func:`~repro.core.simulation.summarize_stack`).
+    """
+    report = OracleReport()
+    _check_billing(report, stack, result)
+    _check_availability(report, stack, result)
+    _check_placement(report, stack, result)
+    _check_metrics(report, stack, result)
+    return report
+
+
+# ------------------------------------------------------------------ entry points
+def run_verified(config, sink=None):
+    """Run one simulation and audit it; returns ``(ObservedRun, OracleReport)``.
+
+    Unlike ``run_simulation(config, verify=True)`` this never raises on a
+    red check — callers inspect (or render) the report themselves.
+    """
+    from repro.core.simulation import ObservedRun, build_stack, summarize_stack
+    from repro.obs.sinks import NULL_SINK
+
+    stack = build_stack(config, sink=sink if sink is not None else NULL_SINK)
+    stack.scheduler.run()
+    result = summarize_stack(stack)
+    report = verify_stack(stack, result)
+    observed = ObservedRun(
+        result=result,
+        fired_events=stack.engine.fired_count,
+        metrics=stack.scheduler.metrics,
+    )
+    return observed, report
+
+
+def check_rerun_determinism(config, report: Optional[OracleReport] = None) -> OracleReport:
+    """Run ``config`` twice and check the reports are byte-identical.
+
+    Results are compared field-for-field (dataclass equality — exact float
+    equality, not tolerance) and the metric registries via their dict
+    snapshots.
+    """
+    from repro.core.simulation import run_simulation_observed
+
+    report = report if report is not None else OracleReport()
+    first = run_simulation_observed(config)
+    second = run_simulation_observed(config)
+    report.add(
+        "determinism.rerun-results",
+        first.result == second.result,
+        f"seed {config.seed}",
+    )
+    report.add(
+        "determinism.rerun-metrics",
+        first.metrics.to_dict() == second.metrics.to_dict(),
+        f"seed {config.seed}",
+    )
+    return report
+
+
+def check_jobs_determinism(
+    config,
+    seeds: Sequence[int],
+    jobs: int = 4,
+    report: Optional[OracleReport] = None,
+) -> OracleReport:
+    """Check ``run_many`` is byte-identical serial vs ``jobs`` workers."""
+    from repro.core.simulation import run_many
+
+    report = report if report is not None else OracleReport()
+    serial = run_many(config, list(seeds), jobs=1)
+    parallel = run_many(config, list(seeds), jobs=jobs)
+    mismatches = [
+        f"seed {s}" for s, a, b in zip(seeds, serial, parallel) if a != b
+    ]
+    report.add(
+        "determinism.jobs",
+        not mismatches,
+        f"jobs=1 vs jobs={jobs} over {len(list(seeds))} seeds"
+        + (f"; mismatched: {', '.join(mismatches)}" if mismatches else ""),
+    )
+    return report

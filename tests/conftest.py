@@ -1,4 +1,8 @@
-"""Shared fixtures: small catalogs, providers, schedulers."""
+"""Shared fixtures: small catalogs, providers, schedulers.
+
+Trace/catalog construction lives in :mod:`repro.testkit.builders`; the
+fixtures here only wire those builders into pytest.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +10,29 @@ import numpy as np
 import pytest
 
 from repro.cloud.provider import CloudProvider
+from repro.testkit.builders import make_step_trace
+from repro.testkit.builders import single_market_catalog as build_single_market_catalog
 from repro.traces.catalog import MarketKey, TraceCatalog, build_catalog
 from repro.traces.trace import PriceTrace
 from repro.units import days, hours
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark tests by directory so CI lanes can slice the suite.
+
+    ``tests/props`` → ``props`` + ``slow``; ``tests/integration`` and
+    ``tests/experiments`` → ``slow``; ``tests/golden`` → ``golden`` (the
+    corpus is fast, so it stays in the PR lane).
+    """
+    for item in items:
+        path = str(item.fspath)
+        if "/tests/props/" in path:
+            item.add_marker(pytest.mark.props)
+            item.add_marker(pytest.mark.slow)
+        elif "/tests/integration/" in path or "/tests/experiments/" in path:
+            item.add_marker(pytest.mark.slow)
+        elif "/tests/golden/" in path:
+            item.add_marker(pytest.mark.golden)
 
 
 @pytest.fixture(scope="session")
@@ -34,13 +58,6 @@ def flat_trace() -> PriceTrace:
     return PriceTrace.constant(0.02, 0.0, days(3))
 
 
-def make_step_trace(segments, horizon):
-    """Helper: build a trace from [(t, price), ...] pairs."""
-    times = [s[0] for s in segments]
-    prices = [s[1] for s in segments]
-    return PriceTrace(times, prices, horizon)
-
-
 @pytest.fixture()
 def step_trace() -> PriceTrace:
     """Cheap, spike above on-demand (0.06), then cheap again."""
@@ -51,8 +68,7 @@ def step_trace() -> PriceTrace:
 
 @pytest.fixture()
 def single_market_catalog(step_trace: PriceTrace) -> TraceCatalog:
-    key = MarketKey("us-east-1a", "small")
-    return TraceCatalog({key: step_trace}, {key: 0.06}, step_trace.horizon)
+    return build_single_market_catalog(step_trace)
 
 
 @pytest.fixture()

@@ -1,0 +1,82 @@
+"""Golden-scenario regression: every committed scenario must reproduce its
+expected report byte-for-byte (within float round-trip tolerance).
+
+On an intentional behaviour change, refresh with ``repro-verify
+--update-golden`` and review the JSON diff.
+"""
+
+import json
+
+import pytest
+
+from repro.testkit.golden import (
+    SCENARIOS,
+    check_scenarios,
+    default_golden_dir,
+    run_scenario,
+    scenario_by_name,
+    update_golden,
+)
+
+
+def test_corpus_shape():
+    assert len(SCENARIOS) == 10
+    names = [s.name for s in SCENARIOS]
+    assert len(set(names)) == len(names)
+    for s in SCENARIOS:
+        assert s.description
+
+
+def test_every_scenario_has_expected_report():
+    golden = default_golden_dir()
+    for s in SCENARIOS:
+        assert (golden / f"{s.name}.json").exists(), (
+            f"missing expected report for {s.name}; run repro-verify --update-golden"
+        )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_scenario_matches_expected(scenario):
+    diffs = check_scenarios([scenario.name])
+    assert diffs[scenario.name] == [], "\n".join(diffs[scenario.name])
+
+
+def test_unknown_scenario_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        scenario_by_name("no-such-scenario")
+
+
+def test_missing_expected_file_reports_difference(tmp_path):
+    diffs = check_scenarios(["calm-single"], golden_dir=tmp_path)
+    assert len(diffs["calm-single"]) == 1
+    assert "no expected report" in diffs["calm-single"][0]
+
+
+def test_update_golden_round_trips(tmp_path):
+    written = update_golden(["calm-single"], golden_dir=tmp_path)
+    assert written["calm-single"].exists()
+    payload = json.loads(written["calm-single"].read_text())
+    assert payload["label"] == "golden/calm-single"
+    # A freshly written report matches itself.
+    diffs = check_scenarios(["calm-single"], golden_dir=tmp_path)
+    assert diffs["calm-single"] == []
+
+
+def test_diff_reports_field_changes(tmp_path):
+    written = update_golden(["calm-single"], golden_dir=tmp_path)
+    payload = json.loads(written["calm-single"].read_text())
+    payload["total_cost"] += 1.0
+    payload["forced_migrations"] += 2
+    written["calm-single"].write_text(json.dumps(payload))
+    diffs = check_scenarios(["calm-single"], golden_dir=tmp_path)
+    joined = "\n".join(diffs["calm-single"])
+    assert "total_cost" in joined
+    assert "forced_migrations" in joined
+
+
+def test_run_scenario_passes_oracles():
+    # run_scenario verifies by default; a red oracle would raise.
+    report = run_scenario(scenario_by_name("storm-single"))
+    assert report["forced_migrations"] > 0  # the storm actually bites

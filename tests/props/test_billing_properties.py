@@ -7,23 +7,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cloud.billing import bill_on_demand_lease, bill_spot_lease
-from repro.traces.trace import PriceTrace
+from repro.testkit.strategies import trace_and_lease
 from repro.units import SECONDS_PER_HOUR
-
-
-@st.composite
-def trace_and_lease(draw):
-    n = draw(st.integers(min_value=1, max_value=20))
-    gaps = draw(st.lists(st.floats(min_value=60.0, max_value=20000.0), min_size=n, max_size=n))
-    times = np.cumsum(np.asarray(gaps)) - gaps[0]
-    prices = draw(
-        st.lists(st.floats(min_value=0.001, max_value=2.0), min_size=n, max_size=n)
-    )
-    horizon = float(times[-1] + 200000.0)
-    trace = PriceTrace(times, np.asarray(prices), horizon)
-    start = draw(st.floats(min_value=0.0, max_value=horizon / 3))
-    dur = draw(st.floats(min_value=0.0, max_value=horizon / 3))
-    return trace, start, start + dur
 
 
 @given(trace_and_lease(), st.booleans())

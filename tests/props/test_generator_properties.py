@@ -11,32 +11,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.testkit.strategies import calibrations
 from repro.traces.calibration import calibration_for
 from repro.traces.generator import generate_trace
 from repro.units import days
 
 BASE = calibration_for("us-east-1a", "small")
-
-
-@st.composite
-def calibrations(draw):
-    calm = draw(st.floats(min_value=0.06, max_value=0.44))
-    sigma = draw(st.floats(min_value=0.0, max_value=0.5))
-    blip_rate = draw(st.floats(min_value=0.0, max_value=0.05))
-    spike_rate = draw(st.floats(min_value=0.0, max_value=0.05))
-    sharp_rate = draw(st.floats(min_value=0.0, max_value=0.01))
-    change_rate = draw(st.floats(min_value=0.5, max_value=12.0))
-    cal = calibration_for(
-        "us-east-1a", "small",
-        calm_base_frac=calm, calm_sigma=sigma,
-        calm_change_rate_per_hour=change_rate,
-    )
-    return replace(
-        cal,
-        blips=replace(cal.blips, rate_per_hour=blip_rate),
-        spikes=replace(cal.spikes, rate_per_hour=spike_rate),
-        sharp_spikes=replace(cal.sharp_spikes, rate_per_hour=sharp_rate),
-    )
 
 
 @given(calibrations(), st.integers(min_value=0, max_value=1000))

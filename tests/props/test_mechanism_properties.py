@@ -4,24 +4,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cloud.regions import RegionLink
+from repro.testkit.strategies import links, memories
 from repro.vm.mechanisms import Mechanism, MigrationModel, TYPICAL_PARAMS
 from repro.vm.memory import MemoryProfile
-
-
-@st.composite
-def memories(draw):
-    size = draw(st.floats(min_value=0.5, max_value=16.0))
-    dirty = draw(st.floats(min_value=0.0, max_value=250.0))
-    ws = draw(st.floats(min_value=0.02, max_value=0.5))
-    return MemoryProfile(size_gib=size, dirty_rate_mbps=dirty, working_set_frac=ws)
-
-
-@st.composite
-def links(draw):
-    bw = draw(st.floats(min_value=280.0, max_value=1000.0))
-    return RegionLink(intra=True, memory_bandwidth_mbps=bw,
-                      disk_bandwidth_mbps=bw, rtt_ms=1.0)
 
 
 @given(memories(), links(), st.sampled_from(list(Mechanism)))

@@ -16,34 +16,11 @@ from repro.core.strategies import (
     PureSpotStrategy,
     SingleMarketStrategy,
 )
-from repro.traces.calibration import calibration_for
+from repro.testkit.strategies import worlds
 from repro.traces.catalog import MarketKey
 from repro.units import days
 
 KEY = MarketKey("us-east-1a", "small")
-
-
-@st.composite
-def worlds(draw):
-    """A random market world plus a random policy selection."""
-    seed = draw(st.integers(min_value=0, max_value=10_000))
-    calm = draw(st.floats(min_value=0.08, max_value=0.44))
-    spike_rate = draw(st.floats(min_value=0.0, max_value=0.05))
-    sharp_rate = draw(st.floats(min_value=0.0, max_value=0.01))
-    cal = calibration_for(
-        "us-east-1a",
-        "small",
-        calm_base_frac=calm,
-    )
-    from dataclasses import replace
-
-    cal = replace(
-        cal,
-        spikes=replace(cal.spikes, rate_per_hour=spike_rate),
-        sharp_spikes=replace(cal.sharp_spikes, rate_per_hour=sharp_rate),
-    )
-    policy = draw(st.sampled_from(["proactive", "reactive", "pure-spot", "multi"]))
-    return seed, cal, policy
 
 
 def build_config(seed, cal, policy):

@@ -4,32 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.traces.trace import PriceTrace
-
-
-@st.composite
-def traces(draw, max_points=40):
-    n = draw(st.integers(min_value=1, max_value=max_points))
-    gaps = draw(
-        st.lists(st.floats(min_value=0.5, max_value=5000.0), min_size=n, max_size=n)
-    )
-    times = np.cumsum(np.asarray(gaps)) - gaps[0]
-    prices = draw(
-        st.lists(
-            st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
-            min_size=n,
-            max_size=n,
-        )
-    )
-    tail = draw(st.floats(min_value=0.5, max_value=5000.0))
-    return PriceTrace(times, np.asarray(prices), float(times[-1] + tail))
-
-
-@st.composite
-def trace_and_time(draw):
-    t = draw(traces())
-    at = draw(st.floats(min_value=0.0, max_value=1.0))
-    return t, t.start + at * (t.horizon - t.start) * 0.999
+from repro.testkit.strategies import trace_and_time, traces
 
 
 @given(traces())

@@ -1,0 +1,59 @@
+"""Unit tests for the shared trace/catalog builders."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.testkit.builders import (
+    make_catalog,
+    make_constant_trace,
+    make_step_trace,
+    single_market_catalog,
+)
+from repro.traces.catalog import MarketKey
+from repro.units import days, hours
+
+
+def test_make_step_trace():
+    t = make_step_trace([(0.0, 0.02), (hours(5), 0.10)], horizon=days(1))
+    assert t.price_at(hours(1)) == 0.02
+    assert t.price_at(hours(5)) == 0.10
+    assert t.horizon == days(1)
+
+
+def test_make_step_trace_rejects_malformed():
+    with pytest.raises(TraceFormatError):
+        make_step_trace([(0.0, 0.02), (0.0, 0.10)], horizon=days(1))  # not increasing
+    with pytest.raises(TraceFormatError):
+        make_step_trace([(0.0, -0.02)], horizon=days(1))  # negative price
+
+
+def test_make_constant_trace():
+    t = make_constant_trace(0.05, days(2))
+    assert t.price_at(0.0) == 0.05
+    assert t.price_at(days(1)) == 0.05
+    assert len(t) == 1
+
+
+def test_single_market_catalog_defaults():
+    cat = single_market_catalog(make_constant_trace(0.02, days(1)))
+    key = MarketKey("us-east-1a", "small")
+    assert key in cat
+    assert cat.on_demand_price(key) == 0.06
+    assert len(cat) == 1
+
+
+def test_single_market_catalog_custom_key():
+    key = MarketKey("eu-west-1a", "xlarge")
+    cat = single_market_catalog(make_constant_trace(0.10, days(1)), on_demand_price=0.96, key=key)
+    assert cat.on_demand_price(key) == 0.96
+
+
+def test_make_catalog_multi_market():
+    a = MarketKey("us-east-1a", "small")
+    b = MarketKey("us-east-1a", "large")
+    cat = make_catalog(
+        {a: make_constant_trace(0.02, days(1)), b: make_constant_trace(0.08, days(1))},
+        {a: 0.06, b: 0.24},
+    )
+    assert set(cat.markets()) == {a, b}
+    assert cat.horizon == days(1)

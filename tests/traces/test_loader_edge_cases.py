@@ -1,0 +1,199 @@
+"""Edge-case coverage for AWS-format CSV trace IO.
+
+Complements tests/traces/test_loader.py with the hostile-input corners:
+timezone variants, blank/whitespace rows, header-only files, combined
+out-of-order + duplicate timestamps, and error-message line numbers.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.loader import (
+    format_aws_timestamp,
+    load_aws_csv,
+    parse_aws_timestamp,
+)
+
+HEADER = "Timestamp,InstanceType,ProductDescription,AvailabilityZone,SpotPrice\n"
+
+
+def row(ts, price, itype="m1.small", az="us-east-1a"):
+    return f"{ts},{itype},Linux/UNIX,{az},{price}\n"
+
+
+# ---------------------------------------------------------------- timestamps
+
+
+def test_naive_timestamp_treated_as_utc():
+    assert parse_aws_timestamp("2015-02-01T00:00:00") == parse_aws_timestamp(
+        "2015-02-01T00:00:00Z"
+    )
+
+
+def test_explicit_utc_offset_matches_z_suffix():
+    assert parse_aws_timestamp("2015-02-01T05:00:00+05:00") == parse_aws_timestamp(
+        "2015-02-01T00:00:00Z"
+    )
+
+
+def test_negative_offset_handled():
+    assert parse_aws_timestamp("2015-01-31T19:00:00-05:00") == parse_aws_timestamp(
+        "2015-02-01T00:00:00Z"
+    )
+
+
+def test_fractional_seconds_parse():
+    base = parse_aws_timestamp("2015-02-01T00:00:00Z")
+    assert parse_aws_timestamp("2015-02-01T00:00:00.500Z") == pytest.approx(base + 0.5)
+
+
+def test_surrounding_whitespace_stripped():
+    assert parse_aws_timestamp("  2015-02-01T00:00:00Z  ") == parse_aws_timestamp(
+        "2015-02-01T00:00:00Z"
+    )
+
+
+@pytest.mark.parametrize("bad", ["", "not-a-date", "2015-13-40T00:00:00Z", "12345"])
+def test_malformed_timestamps_rejected(bad):
+    with pytest.raises(TraceFormatError, match="bad timestamp"):
+        parse_aws_timestamp(bad)
+
+
+def test_format_timestamp_is_z_suffixed():
+    assert format_aws_timestamp(0.0) == "1970-01-01T00:00:00Z"
+
+
+def test_mixed_timezone_styles_in_one_file():
+    csv = (
+        HEADER
+        + row("2015-02-01T00:00:00Z", 0.01)
+        + row("2015-02-01T02:00:00+01:00", 0.02)  # == 01:00:00Z
+        + row("2015-02-01T02:00:00", 0.03)  # naive == 02:00:00Z
+    )
+    t = load_aws_csv(io.StringIO(csv))
+    assert list(t.times) == [0.0, 3600.0, 7200.0]
+    assert list(t.prices) == [0.01, 0.02, 0.03]
+
+
+# ------------------------------------------------------------ malformed rows
+
+
+def test_blank_lines_skipped():
+    csv = HEADER + row("2015-02-01T00:00:00Z", 0.01) + "\n" + " , , , , \n" + row(
+        "2015-02-01T01:00:00Z", 0.02
+    )
+    t = load_aws_csv(io.StringIO(csv))
+    assert len(t) == 2
+
+
+def test_fields_with_padding_are_stripped():
+    csv = HEADER + " 2015-02-01T00:00:00Z , m1.small , Linux/UNIX , us-east-1a , 0.01 \n"
+    t = load_aws_csv(io.StringIO(csv))
+    assert t.market == "m1.small"
+    assert t.price_at(0.0) == pytest.approx(0.01)
+
+
+def test_too_many_fields_rejected_with_line_number():
+    csv = HEADER + row("2015-02-01T00:00:00Z", 0.01) + "2015-02-01T01:00:00Z,m1.small,Linux/UNIX,us-east-1a,0.02,extra\n"
+    with pytest.raises(TraceFormatError, match="line 3"):
+        load_aws_csv(io.StringIO(csv))
+
+
+def test_bad_price_reports_line_number():
+    csv = HEADER + row("2015-02-01T00:00:00Z", 0.01) + row("2015-02-01T01:00:00Z", "free")
+    with pytest.raises(TraceFormatError, match="line 3.*bad price"):
+        load_aws_csv(io.StringIO(csv))
+
+
+def test_bad_timestamp_inside_file_rejected():
+    csv = HEADER + row("yesterday", 0.01)
+    with pytest.raises(TraceFormatError, match="bad timestamp"):
+        load_aws_csv(io.StringIO(csv))
+
+
+def test_negative_price_rejected_by_trace_validation():
+    csv = HEADER + row("2015-02-01T00:00:00Z", -0.01)
+    with pytest.raises(TraceFormatError):
+        load_aws_csv(io.StringIO(csv))
+
+
+def test_header_whitespace_tolerated():
+    csv = "Timestamp, InstanceType ,ProductDescription,AvailabilityZone,SpotPrice\n" + row(
+        "2015-02-01T00:00:00Z", 0.01
+    )
+    assert len(load_aws_csv(io.StringIO(csv))) == 1
+
+
+def test_header_wrong_order_rejected():
+    csv = "InstanceType,Timestamp,ProductDescription,AvailabilityZone,SpotPrice\n"
+    with pytest.raises(TraceFormatError, match="unexpected header"):
+        load_aws_csv(io.StringIO(csv))
+
+
+# ------------------------------------------------------------- empty inputs
+
+
+def test_truly_empty_stream_rejected():
+    with pytest.raises(TraceFormatError, match="empty trace file"):
+        load_aws_csv(io.StringIO(""))
+
+
+def test_header_only_file_rejected():
+    with pytest.raises(TraceFormatError, match="no records"):
+        load_aws_csv(io.StringIO(HEADER))
+
+
+def test_header_and_blank_lines_only_rejected():
+    with pytest.raises(TraceFormatError, match="no records"):
+        load_aws_csv(io.StringIO(HEADER + "\n\n"))
+
+
+def test_empty_file_on_disk_rejected(tmp_path):
+    p = tmp_path / "empty.csv"
+    p.write_text("")
+    with pytest.raises(TraceFormatError, match="empty trace file"):
+        load_aws_csv(p)
+
+
+# --------------------------------------------------- ordering and duplicates
+
+
+def test_out_of_order_with_duplicates_keeps_last_record():
+    csv = (
+        HEADER
+        + row("2015-02-01T02:00:00Z", 0.03)
+        + row("2015-02-01T00:00:00Z", 0.01)
+        + row("2015-02-01T02:00:00Z", 0.04)  # later record for same instant wins
+        + row("2015-02-01T01:00:00Z", 0.02)
+    )
+    t = load_aws_csv(io.StringIO(csv))
+    assert np.all(np.diff(t.times) > 0)
+    assert len(t) == 3
+    assert t.price_at(2 * 3600.0) == pytest.approx(0.04)
+
+
+def test_rebase_keeps_relative_spacing():
+    csv = HEADER + row("2015-06-01T10:00:00Z", 0.01) + row("2015-06-01T13:30:00Z", 0.02)
+    t = load_aws_csv(io.StringIO(csv))
+    assert list(t.times) == [0.0, 3.5 * 3600.0]
+
+
+def test_default_horizon_is_one_hour_past_last_record():
+    csv = HEADER + row("2015-02-01T00:00:00Z", 0.01) + row("2015-02-01T02:00:00Z", 0.02)
+    t = load_aws_csv(io.StringIO(csv))
+    assert t.horizon == pytest.approx(2 * 3600.0 + 3600.0)
+
+
+def test_filters_compose():
+    csv = (
+        HEADER
+        + row("2015-02-01T00:00:00Z", 0.01, itype="m1.small", az="us-east-1a")
+        + row("2015-02-01T00:00:00Z", 0.02, itype="m1.small", az="us-east-1b")
+        + row("2015-02-01T00:00:00Z", 0.03, itype="m1.large", az="us-east-1a")
+    )
+    t = load_aws_csv(io.StringIO(csv), instance_type="m1.small", availability_zone="us-east-1b")
+    assert len(t) == 1
+    assert t.price_at(0.0) == pytest.approx(0.02)
