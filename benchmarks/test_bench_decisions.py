@@ -1,0 +1,186 @@
+"""Perf-regression benchmarks: scheduler decisions and batch fan-out.
+
+Unlike the paper-figure benches, these two measure the optimisation
+targets of the compiled-trace work directly and persist their numbers to
+``benchmarks/output/BENCH_perf.current.json``. The committed baseline at
+the repo root (``BENCH_perf.json``) is what
+``tools/check_bench_regression.py`` compares against in CI; refresh it
+by copying the current file after an intentional perf change.
+
+* ``test_bench_decision_queries_compiled_vs_naive`` replays a realistic
+  scheduler interrogation mix (crossing lookups + window aggregates) on a
+  month-long trace through both the compiled plan and the ``naive_*``
+  oracles, asserting the >= 3x acceptance-criterion speedup.
+* ``test_bench_batch_sweep_64_shm_vs_grouped`` times a 64-run policy
+  sweep (32 proactive variants x 2 seeds) at ``jobs=4`` with the
+  shared-memory plan on and off — the win comes from per-run fan-out: the
+  grouped fallback can only parallelise as wide as the number of distinct
+  catalogs (2 here).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.bidding import ProactiveBidding
+from repro.runtime import RunSpec, StrategySpec, TraceCatalogCache, run_batch
+from repro.runtime.shm import SHM_ENV_VAR, shm_available
+from repro.traces.calibration import calibration_for
+from repro.traces.catalog import MarketKey
+from repro.traces.generator import generate_trace
+from repro.traces.trace import PriceTrace
+from repro.units import days, hours
+
+REGION = "us-east-1a"
+CURRENT_PATH = Path(__file__).parent / "output" / "BENCH_perf.current.json"
+
+
+def record(**entries) -> None:
+    """Merge measured entries into the current-results file."""
+    CURRENT_PATH.parent.mkdir(exist_ok=True)
+    data = {"schema": 1, "benchmarks": {}}
+    if CURRENT_PATH.exists():
+        data = json.loads(CURRENT_PATH.read_text())
+    data.setdefault("benchmarks", {}).update(entries)
+    CURRENT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------- scheduler decision micro
+@pytest.mark.benchmark(group="decisions")
+def test_bench_decision_queries_compiled_vs_naive():
+    """The decision mix must be >= 3x faster through the compiled plan."""
+    trace = generate_trace(calibration_for(REGION, "small"), days(30), 7)
+    assert len(trace) > 1000
+    rng = np.random.default_rng(0)
+    probes = np.sort(rng.uniform(trace.start, trace.horizon - hours(2), 400)).tolist()
+    on_demand = trace.mean_price()
+    bid = 2.5 * on_demand
+
+    def compiled_pass():
+        # Fresh trace per pass so plan construction + memoization are billed
+        # to the compiled side, exactly as a run pays them.
+        t = PriceTrace(trace.times, trace.prices, trace.horizon)
+        acc = 0.0
+        for probe in probes:
+            acc += t.first_time_above(bid, probe) or 0.0
+            acc += t.first_time_at_or_below(on_demand, probe) or 0.0
+            acc += t.mean_price(probe, probe + hours(1))
+            acc += t.time_above(on_demand, probe, probe + hours(1))
+        return acc
+
+    def naive_pass():
+        acc = 0.0
+        for probe in probes:
+            acc += trace.naive_first_time_above(bid, probe) or 0.0
+            acc += trace.naive_first_time_at_or_below(on_demand, probe) or 0.0
+            acc += trace.naive_mean_price(probe, probe + hours(1))
+            acc += trace.naive_time_above(on_demand, probe, probe + hours(1))
+        return acc
+
+    assert compiled_pass() == naive_pass()  # exactness, then speed
+    compiled_s = best_of(compiled_pass)
+    naive_s = best_of(naive_pass)
+    speedup = naive_s / compiled_s
+    record(
+        scheduler_decisions_compiled_s={"value": compiled_s, "unit": "s"},
+        scheduler_decisions_naive_s={"value": naive_s, "unit": "s"},
+        scheduler_decisions_speedup_x={"value": speedup, "unit": "x"},
+    )
+    print(f"\ndecision mix: compiled {compiled_s:.4f}s, naive {naive_s:.4f}s, {speedup:.1f}x")
+    assert speedup >= 3.0, f"compiled decision path only {speedup:.2f}x faster"
+
+
+# ------------------------------------------------------- 64-run batch sweep
+def sweep_runs():
+    """32 proactive-bidding variants x 2 seeds over one small market."""
+    runs = []
+    key = MarketKey(REGION, "small")
+    for seed in (11, 23):
+        for k in np.linspace(1.5, 9.0, 16):
+            for frac in (0.85, 0.95):
+                runs.append(
+                    RunSpec(
+                        strategy=StrategySpec.single(key),
+                        bidding=ProactiveBidding(k=float(k), reverse_threshold_frac=frac),
+                        seed=seed,
+                        horizon_s=days(30),
+                        regions=(REGION,),
+                        sizes=("small",),
+                        label=f"k={k:.2f}/f={frac}",
+                    )
+                )
+    return runs
+
+
+@pytest.mark.benchmark(group="batch-sweep")
+@pytest.mark.skipif(not shm_available(), reason="no usable shared memory")
+def test_bench_batch_sweep_64_shm_vs_grouped():
+    """Per-run shm fan-out beats catalog-grouped fan-out wall-clock.
+
+    The win is parallel *width*: the 64 runs here share only 2 catalog
+    keys, so the grouped fallback can never use more than 2 workers while
+    the shm plan fans all 64 runs across ``jobs``. Expressing that as
+    wall-clock requires actual cores — on a single-core box every mode
+    degenerates to serial-plus-overhead, so there the assertion relaxes
+    to a parity guard (shm must not be meaningfully slower than grouped).
+    """
+    runs = sweep_runs()
+    assert len(runs) == 64
+    cache = TraceCatalogCache()
+    jobs = 4
+
+    def timed_batch(disable_shm: bool):
+        prior = os.environ.get(SHM_ENV_VAR)
+        if disable_shm:
+            os.environ[SHM_ENV_VAR] = "0"
+        try:
+            # Warm the pool and both seeds' catalogs (parent and worker side).
+            run_batch(runs[:2] + runs[32:34], jobs=jobs, cache=cache)
+            t0 = time.perf_counter()
+            batch = run_batch(runs, jobs=jobs, cache=cache)
+            return time.perf_counter() - t0, batch
+        finally:
+            if prior is None:
+                os.environ.pop(SHM_ENV_VAR, None)
+            else:
+                os.environ[SHM_ENV_VAR] = prior
+
+    run_batch(runs, jobs=1, cache=cache)  # warm the serial path too
+    t0 = time.perf_counter()
+    serial = run_batch(runs, jobs=1, cache=cache)
+    serial_s = time.perf_counter() - t0
+    grouped_s, grouped = timed_batch(disable_shm=True)
+    shm_s, shm = timed_batch(disable_shm=False)
+    assert list(shm.results) == list(grouped.results) == list(serial.results)
+    assert shm.telemetry.shm_catalogs == 2 and grouped.telemetry.shm_catalogs == 0
+    speedup = grouped_s / shm_s
+    cores = os.cpu_count() or 1
+    record(
+        batch_sweep_64_serial_s={"value": serial_s, "unit": "s"},
+        batch_sweep_64_shm_s={"value": shm_s, "unit": "s"},
+        batch_sweep_64_grouped_s={"value": grouped_s, "unit": "s"},
+        batch_sweep_64_speedup_x={"value": speedup, "unit": "x"},
+    )
+    print(
+        f"\n64-run sweep @ jobs={jobs} ({cores} cores): serial {serial_s:.3f}s, "
+        f"shm {shm_s:.3f}s, grouped {grouped_s:.3f}s, {speedup:.2f}x"
+    )
+    if cores > 2:
+        assert shm_s < grouped_s, f"shm fan-out slower: {shm_s:.3f}s vs {grouped_s:.3f}s"
+    else:
+        assert shm_s <= grouped_s * 1.25, (
+            f"shm fan-out regressed even single-core: {shm_s:.3f}s vs {grouped_s:.3f}s"
+        )

@@ -107,13 +107,9 @@ class SpotMarket:
         instant that triggered it. ``None`` when the price never rose above
         the threshold by ``at``.
         """
-        cross = self.trace.crossings_above(threshold)
-        earlier = cross[cross <= at]
-        return float(earlier[-1]) if earlier.size else None
+        return self.trace.compiled.last_crossing_above_at_or_before(threshold, at)
 
     def last_fall_below(self, threshold: float, at: float) -> float | None:
         """Most recent instant <= ``at`` the price fell to/below ``threshold``
         (the reverse-migration trigger), or ``None``."""
-        cross = self.trace.crossings_below(threshold)
-        earlier = cross[cross <= at]
-        return float(earlier[-1]) if earlier.size else None
+        return self.trace.compiled.last_crossing_below_at_or_before(threshold, at)

@@ -175,6 +175,7 @@ class CloudScheduler:
         self._open_tenure: Optional[tuple] = None  #: (start, kind, market)
         self._process: Optional[Process] = None
         self._last_spot_switch = -float("inf")
+        self._lead_cache: dict[MarketKey, float] = {}
         self.service: Optional[ServiceContext] = None
 
     # ------------------------------------------------------------- placement
@@ -344,7 +345,14 @@ class CloudScheduler:
         pre-stage the migration and copy disk state cross-region, so the
         blackout lands just before the boundary. Capped at half an hour so
         boundary checks are never skipped.
+
+        Deterministic per source (the planning model is evaluated with
+        ``rng=None`` and candidate markets/links are fixed for a run), so
+        the answer is memoized per market key.
         """
+        cached = self._lead_cache.get(source)
+        if cached is not None:
+            return cached
         mem = self.strategy.migration_memory(source)
         worst_prep = 0.0
         worst_disk = 0.0
@@ -355,8 +363,12 @@ class CloudScheduler:
             worst_disk = max(worst_disk, self._disk_copy_s(source, key))
         geo = region_of(source.region).geo
         startup = max(STARTUP_MEANS_S["spot"][geo], STARTUP_MEANS_S["on_demand"][geo])
-        lead = startup + worst_prep + worst_disk + self.LEAD_MARGIN_S
-        return min(lead, 0.5 * SECONDS_PER_HOUR)
+        lead = min(
+            startup + worst_prep + worst_disk + self.LEAD_MARGIN_S,
+            0.5 * SECONDS_PER_HOUR,
+        )
+        self._lead_cache[source] = lead
+        return lead
 
     def _next_boundary_check(self, now: float, lead: float) -> float:
         """Next (billing boundary - lead) instant strictly after ``now``,

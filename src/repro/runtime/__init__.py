@@ -6,13 +6,23 @@ variant into a pickleable :class:`RunSpec`, a set of them into a
 :class:`BatchSpec`, and executes batches through :func:`run_batch` — serially
 by default (byte-for-byte reproducible ordering), or across worker processes
 with ``jobs > 1``. A per-process :class:`TraceCatalogCache` guarantees that
-N policies evaluated on one seed pay for a single trace-catalog build, and
+N policies evaluated on one seed pay for a single trace-catalog build, the
+shared-memory plan (:mod:`repro.runtime.shm`) publishes each catalog's trace
+arrays once per batch so pool workers rehydrate zero-copy views instead of
+unpickling catalogs, and
 :class:`RunTelemetry` / :class:`BatchTelemetry` records surface wall-clock,
 events-processed, and cache-hit counters in experiment reports.
 """
 
 from repro.runtime.cache import CatalogKey, TraceCatalogCache, shared_catalog_cache
 from repro.runtime.executor import BatchResult, run_batch
+from repro.runtime.shm import (
+    CatalogPlan,
+    attach_catalog,
+    publish_catalog,
+    release_segment,
+    shm_available,
+)
 from repro.runtime.spec import (
     BatchSpec,
     RunSpec,
@@ -32,14 +42,19 @@ __all__ = [
     "BatchSpec",
     "BatchTelemetry",
     "CatalogKey",
+    "CatalogPlan",
     "RunSpec",
     "RunTelemetry",
     "StrategySpec",
     "TelemetryCollector",
     "TraceCatalogCache",
+    "attach_catalog",
     "collect_telemetry",
+    "publish_catalog",
     "register_strategy_kind",
+    "release_segment",
     "run_batch",
     "shared_catalog_cache",
+    "shm_available",
     "strategy_kinds",
 ]

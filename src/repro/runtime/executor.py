@@ -24,6 +24,7 @@ from repro.errors import ConfigurationError, WorkerCrashError
 from repro.obs.capture import notify_run, trace_capture_active
 from repro.obs.sinks import NULL_SINK, MemorySink, TraceSink
 from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
+from repro.runtime.shm import publish_catalog, release_segment, shm_available
 from repro.runtime.spec import BatchSpec, RunSpec
 from repro.runtime.telemetry import BatchTelemetry, RunTelemetry, notify_batch
 
@@ -49,9 +50,17 @@ class BatchResult:
 
 
 def _attempt_one(
-    spec: RunSpec, cache: Optional[TraceCatalogCache], attempt: int
+    spec: RunSpec,
+    cache: Optional[TraceCatalogCache],
+    attempt: int,
+    prebuilt: Optional[Tuple[object, str]] = None,
 ) -> Tuple[SimulationResult, RunTelemetry]:
-    """One execution attempt of one spec (no retry handling)."""
+    """One execution attempt of one spec (no retry handling).
+
+    ``prebuilt`` is ``(catalog, source)`` when the caller already resolved
+    the catalog (the shared-memory worker path); otherwise the catalog is
+    resolved through ``cache``.
+    """
     from repro.core.simulation import run_simulation_observed
 
     faults = spec.faults
@@ -64,9 +73,15 @@ def _attempt_one(
     catalog = None
     cache_hit = False
     catalog_wall = 0.0
-    key = spec.catalog_key() if cache is not None else None
-    if key is not None:
-        catalog, cache_hit, catalog_wall = cache.get_or_build(key)
+    source = ""
+    if prebuilt is not None:
+        catalog, source = prebuilt
+        cache_hit = True
+    else:
+        key = spec.catalog_key() if cache is not None else None
+        if key is not None:
+            catalog, cache_hit, catalog_wall = cache.get_or_build(key)
+            source = "cache" if cache_hit else "build"
     sink: TraceSink = MemorySink() if spec.capture_trace else NULL_SINK
     observed = run_simulation_observed(spec.to_config(catalog=catalog), sink=sink)
     result = observed.result
@@ -82,6 +97,7 @@ def _attempt_one(
         events_processed=observed.fired_events,
         catalog_wall_s=catalog_wall,
         catalog_cache_hit=cache_hit,
+        catalog_source=source,
         worker_pid=os.getpid(),
         attempts=attempt + 1,
         metrics=observed.metrics.to_dict(),
@@ -122,6 +138,66 @@ def _execute_group(
     """Pool-worker entry point: run a catalog-sharing group serially."""
     cache = shared_catalog_cache()
     return [_execute_one(spec, cache, retries, retry_backoff_s) for spec in specs]
+
+
+def _execute_one_shm(
+    spec: RunSpec,
+    plan,
+    retries: int = DEFAULT_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+) -> List[Tuple[SimulationResult, RunTelemetry]]:
+    """Pool-worker entry point: one run against a shared-memory catalog plan.
+
+    The catalog is rehydrated as zero-copy views over the published
+    segment (cached per segment within the worker); if attaching fails for
+    any reason the worker quietly builds the catalog through its own
+    process cache instead — same results, just slower.
+    """
+    from repro.runtime.shm import attach_catalog
+
+    prebuilt: Optional[Tuple[object, str]] = None
+    try:
+        prebuilt = (attach_catalog(plan), "shm")
+    except Exception:
+        prebuilt = None
+    cache = None if prebuilt is not None else shared_catalog_cache()
+    for attempt in range(retries + 1):
+        try:
+            return [_attempt_one(spec, cache, attempt, prebuilt=prebuilt)]
+        except Exception:
+            if attempt >= retries:
+                raise
+            if retry_backoff_s > 0:
+                time.sleep(retry_backoff_s * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _publish_plans(
+    cache: Optional[TraceCatalogCache], keys: Sequence[object]
+) -> Tuple[Dict[object, object], List[object]]:
+    """Publish each unique catalog once to shared memory.
+
+    Returns ``({key: plan}, [segment handles])``; empty when shared memory
+    is unavailable (or disabled via ``REPRO_SHM=0``) or publishing fails,
+    in which case the caller uses the grouped pickling path instead.
+    """
+    if cache is None or not keys or not shm_available():
+        return {}, []
+    plans: Dict[object, object] = {}
+    segments: List[object] = []
+    try:
+        for key in keys:
+            if key in plans:
+                continue
+            catalog, _, _ = cache.get_or_build(key)  # type: ignore[arg-type]
+            plan, segment = publish_catalog(catalog)
+            plans[key] = plan
+            segments.append(segment)
+    except Exception:
+        for segment in segments:
+            release_segment(segment)
+        return {}, []
+    return plans, segments
 
 
 # One persistent pool per worker count: reusing workers across batches keeps
@@ -204,6 +280,7 @@ def run_batch(
     batch_start = time.perf_counter()
     slots: List[Optional[Tuple[SimulationResult, RunTelemetry]]] = [None] * len(specs)
     parallel_runs = 0
+    shm_catalogs = 0
 
     if jobs == 1 or len(specs) == 1:
         for i, spec in enumerate(specs):
@@ -211,51 +288,78 @@ def run_batch(
             if progress is not None:
                 progress(slots[i][1])
     else:
-        # Group portable runs by catalog key so one worker builds each
-        # catalog once; keep groups in first-appearance order.
-        groups: Dict[object, List[int]] = {}
+        portable: List[Tuple[int, object]] = []
         local: List[int] = []
         for i, spec in enumerate(specs):
             key = spec.catalog_key()
             if key is None or not spec.is_portable():
                 local.append(i)
             else:
-                groups.setdefault(key, []).append(i)
+                portable.append((i, key))
         pool = _get_pool(jobs)
-        futures = [
-            (
-                indices,
-                pool.submit(
-                    _execute_group,
-                    tuple(specs[i] for i in indices),
-                    retries,
-                    retry_backoff_s,
-                ),
-            )
-            for indices in groups.values()
-        ]
+
+        # Preferred plan: publish each unique catalog to shared memory once
+        # and fan out PER RUN — workers rehydrate zero-copy views, so runs
+        # sharing a catalog no longer have to share a worker and a batch of
+        # V variants over S seeds parallelises V×S wide instead of S wide.
+        plans, segments = _publish_plans(cache, [k for _, k in portable])
+        shm_catalogs = len(plans)
+        if plans:
+            futures = [
+                (
+                    [i],
+                    pool.submit(
+                        _execute_one_shm, specs[i], plans[key], retries, retry_backoff_s
+                    ),
+                )
+                for i, key in portable
+            ]
+        else:
+            # Fallback: group portable runs by catalog key so one worker
+            # builds each catalog once; groups keep first-appearance order.
+            groups: Dict[object, List[int]] = {}
+            for i, key in portable:
+                groups.setdefault(key, []).append(i)
+            futures = [
+                (
+                    indices,
+                    pool.submit(
+                        _execute_group,
+                        tuple(specs[i] for i in indices),
+                        retries,
+                        retry_backoff_s,
+                    ),
+                )
+                for indices in groups.values()
+            ]
         # Non-portable runs execute in-process while the pool churns.
         for i in local:
             slots[i] = _execute_one(specs[i], cache, retries, retry_backoff_s)
             if progress is not None:
                 progress(slots[i][1])
-        for indices, future in futures:
-            try:
-                group_pairs = future.result()
-            except BrokenProcessPool:
-                # The pool died (hard worker crash, OOM kill, ...). Discard
-                # it and fall back to in-process execution for this group —
-                # results are identical, only slower.
-                _discard_pool(jobs)
-                group_pairs = [
-                    _execute_one(specs[i], cache, retries, retry_backoff_s)
-                    for i in indices
-                ]
-            for i, pair in zip(indices, group_pairs):
-                slots[i] = pair
-                parallel_runs += 1
-                if progress is not None:
-                    progress(pair[1])
+        try:
+            for indices, future in futures:
+                try:
+                    group_pairs = future.result()
+                except BrokenProcessPool:
+                    # The pool died (hard worker crash, OOM kill, ...).
+                    # Discard it and fall back to in-process execution for
+                    # these runs — results are identical, only slower.
+                    _discard_pool(jobs)
+                    group_pairs = [
+                        _execute_one(specs[i], cache, retries, retry_backoff_s)
+                        for i in indices
+                    ]
+                for i, pair in zip(indices, group_pairs):
+                    slots[i] = pair
+                    parallel_runs += 1
+                    if progress is not None:
+                        progress(pair[1])
+        finally:
+            # Every future has resolved (or the batch is aborting): the
+            # segments can go — attached workers keep their mappings.
+            for segment in segments:
+                release_segment(segment)
 
     results = tuple(pair[0] for pair in slots)  # type: ignore[union-attr]
     run_telemetry = tuple(pair[1] for pair in slots)  # type: ignore[union-attr]
@@ -271,6 +375,7 @@ def run_batch(
         events_processed=sum(t.events_processed for t in run_telemetry),
         jobs=jobs,
         parallel_runs=parallel_runs,
+        shm_catalogs=shm_catalogs,
     )
     notify_batch(telemetry)
     return BatchResult(results=results, run_telemetry=run_telemetry, telemetry=telemetry)

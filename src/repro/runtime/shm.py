@@ -1,0 +1,212 @@
+"""Zero-copy catalog fan-out over ``multiprocessing.shared_memory``.
+
+A parallel batch used to ship each trace catalog to the pool by pickling
+— every worker paid a full serialize/deserialize round-trip per catalog
+group, and runs sharing a catalog had to be *grouped onto one worker* to
+amortise it, capping parallelism at the number of distinct seeds. The
+shared-memory plan removes both costs:
+
+* the parent publishes each unique catalog's trace arrays **once per
+  batch** into one :class:`~multiprocessing.shared_memory.SharedMemory`
+  block (:func:`publish_catalog`);
+* workers receive a tiny pickleable :class:`CatalogPlan` (names, offsets,
+  on-demand prices) and rehydrate :class:`~repro.traces.trace.PriceTrace`
+  views directly over the mapped block (:func:`attach_catalog`) —
+  ``np.ascontiguousarray`` on an aligned contiguous float64 view is a
+  no-op, so no trace bytes are copied anywhere;
+* with transfer cost gone, the executor fans out **per run** instead of
+  per catalog group, so same-sample policy comparisons parallelise past
+  the seed count.
+
+Platforms without usable shared memory (or ``REPRO_SHM=0`` in the
+environment) simply report :func:`shm_available` false and the executor
+falls back to the grouped pickling path — results are byte-identical
+either way; only the fan-out shape changes.
+
+Lifecycle: the parent keeps the segment handles until every future has
+completed, then closes and unlinks them (POSIX keeps the mapping valid
+for workers that already attached). Workers cache attachments in a small
+LRU keyed by segment name so repeated runs against one catalog attach
+once; evicted segments are closed as soon as no trace views remain.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.traces.catalog import MarketKey, TraceCatalog
+from repro.traces.trace import PriceTrace
+
+__all__ = [
+    "CatalogPlan",
+    "shm_available",
+    "publish_catalog",
+    "attach_catalog",
+    "release_segment",
+    "SHM_ENV_VAR",
+]
+
+#: Set to ``0`` to disable the shared-memory plan (grouped pickling is used).
+SHM_ENV_VAR = "REPRO_SHM"
+
+#: Attached segments kept per worker; older ones are closed when evicted.
+ATTACH_CACHE_MAX = 8
+
+_AVAILABLE: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Can this platform publish shared-memory catalog plans?
+
+    Probes once per process by creating a throwaway segment; the
+    ``REPRO_SHM=0`` environment override is honoured on every call.
+    """
+    if os.environ.get(SHM_ENV_VAR, "") == "0":
+        return False
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+@dataclass(frozen=True)
+class CatalogPlan:
+    """A pickleable recipe for rehydrating one published catalog.
+
+    Everything a worker needs to rebuild the catalog as views over the
+    named segment: market identities, per-market ``(offset, n)`` element
+    layout (``times`` at ``[off, off+n)``, ``prices`` at
+    ``[off+n, off+2n)``), on-demand prices and the horizon.
+    """
+
+    shm_name: str
+    horizon: float
+    markets: Tuple[Tuple[str, str], ...]  #: (region, size) per market
+    layout: Tuple[Tuple[int, int], ...]  #: (offset, n) per market
+    od_prices: Tuple[float, ...]
+    total_floats: int
+
+
+def publish_catalog(catalog: TraceCatalog):
+    """Copy a catalog's trace arrays into a fresh shared-memory segment.
+
+    Returns ``(plan, segment)``; the caller owns the segment handle and
+    must keep it alive until every consumer has attached, then
+    :func:`release_segment` it.
+    """
+    from multiprocessing import shared_memory
+
+    markets = catalog.markets()
+    lengths = [len(catalog.trace(k)) for k in markets]
+    total = 2 * sum(lengths)
+    segment = shared_memory.SharedMemory(create=True, size=max(total * 8, 8))
+    buf = np.ndarray((total,), dtype=np.float64, buffer=segment.buf)
+    layout = []
+    off = 0
+    for key, n in zip(markets, lengths):
+        trace = catalog.trace(key)
+        buf[off : off + n] = trace.times
+        buf[off + n : off + 2 * n] = trace.prices
+        layout.append((off, n))
+        off += 2 * n
+    del buf  # the parent's view must not outlive the publish call
+    plan = CatalogPlan(
+        shm_name=segment.name,
+        horizon=catalog.horizon,
+        markets=tuple((k.region, k.size) for k in markets),
+        layout=tuple(layout),
+        od_prices=tuple(catalog.on_demand_price(k) for k in markets),
+        total_floats=total,
+    )
+    return plan, segment
+
+
+def _attach_untracked(name: str):
+    """Attach to a named segment without resource-tracker registration.
+
+    Python < 3.13 has no ``track=False``: attaching registers the name
+    with the process's resource tracker, which either double-books the
+    parent's registration (fork pools share one tracker — later
+    unregisters raise KeyErrors) or, under spawn, unlinks the parent's
+    segment when the worker exits. Suppressing registration for the one
+    attach call sidesteps both; ownership stays with the publisher.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+#: Per-process attachment cache: segment name -> (catalog, segment).
+_ATTACHED: "OrderedDict[str, Tuple[TraceCatalog, object]]" = OrderedDict()
+
+
+def attach_catalog(plan: CatalogPlan) -> TraceCatalog:
+    """Rehydrate a published catalog as zero-copy views over its segment.
+
+    Cached per segment name, so a worker executing many runs against one
+    catalog attaches (and validates) once. Raises on any failure — the
+    executor's worker path falls back to building the catalog locally.
+    """
+    cached = _ATTACHED.get(plan.shm_name)
+    if cached is not None:
+        _ATTACHED.move_to_end(plan.shm_name)
+        return cached[0]
+    segment = _attach_untracked(plan.shm_name)
+    buf = np.ndarray((plan.total_floats,), dtype=np.float64, buffer=segment.buf)
+    traces: Dict[MarketKey, PriceTrace] = {}
+    od: Dict[MarketKey, float] = {}
+    for (region, size), (off, n), price in zip(plan.markets, plan.layout, plan.od_prices):
+        key = MarketKey(region=region, size=size)
+        traces[key] = PriceTrace(
+            buf[off : off + n],
+            buf[off + n : off + 2 * n],
+            plan.horizon,
+            market=size,
+            region=region,
+        )
+        od[key] = price
+    catalog = TraceCatalog(traces, od, plan.horizon)
+    _ATTACHED[plan.shm_name] = (catalog, segment)
+    while len(_ATTACHED) > ATTACH_CACHE_MAX:
+        _, (old_catalog, old_segment) = _ATTACHED.popitem(last=False)
+        del old_catalog
+        try:
+            old_segment.close()  # type: ignore[attr-defined]
+        except BufferError:  # pragma: no cover - a view is still alive
+            pass
+    return catalog
+
+
+def release_segment(segment) -> None:
+    """Close and unlink a published segment (parent side, end of batch)."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - defensive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def attached_count() -> int:
+    """Number of segments currently attached in this process (test aid)."""
+    return len(_ATTACHED)

@@ -31,6 +31,11 @@ class RunTelemetry:
     events_processed: int  #: discrete events fired by the engine
     catalog_wall_s: float = 0.0  #: catalog build time (0 on a cache hit)
     catalog_cache_hit: bool = False
+    #: How the run's catalog was resolved: ``"build"`` (generated here),
+    #: ``"cache"`` (process-cache hit), ``"shm"`` (zero-copy views over a
+    #: shared-memory plan published by the batch parent), or ``""`` when
+    #: the run carried no resolvable catalog key.
+    catalog_source: str = ""
     worker_pid: int = 0  #: executing process (parent pid when serial)
     #: Execution attempts consumed (1 = first try succeeded; > 1 means the
     #: executor's retry loop absorbed worker crashes).
@@ -54,13 +59,17 @@ class BatchTelemetry:
     events_processed: int
     jobs: int = 1  #: worker processes requested
     parallel_runs: int = 0  #: runs executed in pool workers
+    shm_catalogs: int = 0  #: catalogs published as shared-memory plans
 
     def summary(self) -> str:
         """One-line human summary (the runner's footer ingredient)."""
-        return (
+        base = (
             f"{self.runs} runs, {self.catalog_builds} catalog builds, "
             f"{self.catalog_cache_hits} cache hits, jobs={self.jobs}"
         )
+        if self.shm_catalogs:
+            base += f", {self.shm_catalogs} shm catalogs"
+        return base
 
 
 class TelemetryCollector:
@@ -94,14 +103,21 @@ class TelemetryCollector:
         return max((b.jobs for b in self.batches), default=1)
 
     @property
+    def shm_catalogs(self) -> int:
+        return sum(b.shm_catalogs for b in self.batches)
+
+    @property
     def wall_s(self) -> float:
         return sum(b.wall_s for b in self.batches)
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.runs} runs, {self.catalog_builds} catalog builds, "
             f"{self.cache_hits} cache hits, jobs={self.jobs}"
         )
+        if self.shm_catalogs:
+            base += f", {self.shm_catalogs} shm catalogs"
+        return base
 
 
 _ACTIVE: contextvars.ContextVar[Tuple[TelemetryCollector, ...]] = contextvars.ContextVar(

@@ -174,16 +174,35 @@ class Engine:
         self._running = True
         self._stopped = False
         fired = 0
+        # Hot loop: heap/pop/trace-log bound to locals and the peek/step pair
+        # inlined — cancelled events are skipped in one tombstone sweep and
+        # each live event costs exactly one pop, with no re-peek and no
+        # per-event method dispatch. ``self._stopped`` must be re-read through
+        # self because callbacks call stop().
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self.trace
+        fired_log = self.fired_log
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                nxt = self.peek()
-                if nxt is None:
+                while heap and heap[0][3].cancelled:
+                    pop(heap)
+                if not heap:
                     break
-                if until is not None and nxt > until:
+                t = heap[0][0]
+                if until is not None and t > until:
                     break
-                self.step()
+                handle = pop(heap)[3]
+                ev = handle.event
+                self._now = t
+                self.fired_count += 1
+                if trace:
+                    fired_log.append(ev)
+                cb = ev.callback
+                if cb is not None:
+                    cb(self, ev)
                 fired += 1
         finally:
             self._running = False

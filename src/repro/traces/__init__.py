@@ -10,6 +10,7 @@ format (:mod:`repro.traces.loader`).
 """
 
 from repro.traces.trace import PriceTrace
+from repro.traces.compiled import CompiledTrace
 from repro.traces.calibration import (
     MarketCalibration,
     SpikeModel,
@@ -31,6 +32,7 @@ from repro.traces.statistics import (
 
 __all__ = [
     "PriceTrace",
+    "CompiledTrace",
     "MarketCalibration",
     "SpikeModel",
     "calibration_for",

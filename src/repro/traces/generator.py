@@ -326,9 +326,27 @@ class TraceGenerator:
 
         idx = np.clip(np.searchsorted(calm_times, bp, side="right") - 1, 0, len(calm_times) - 1)
         price = calm_prices[idx].copy()
-        for exc in excursions:
-            env = exc.envelope_at(bp)
-            np.maximum(price, env, out=price)
+        if excursions:
+            # One sorted-events sweep over every excursion's constant pieces
+            # instead of a per-excursion envelope_at pass: each step price
+            # holds on [step_time, next_step_or_end), every such endpoint is
+            # a breakpoint, so a piece covers exactly the bp slice between
+            # the two searchsorted positions. Scatter-max of piece prices is
+            # order-independent, hence bit-identical to the merge loop.
+            lo_t = np.concatenate([exc.step_times for exc in excursions])
+            hi_t = np.concatenate(
+                [np.append(exc.step_times[1:], exc.end) for exc in excursions]
+            )
+            pr = np.concatenate([exc.step_prices for exc in excursions])
+            lo_idx = np.searchsorted(bp, lo_t, side="left")
+            lens = np.searchsorted(bp, hi_t, side="left") - lo_idx
+            covered = lens > 0
+            if np.any(covered):
+                lo_idx, lens, pr = lo_idx[covered], lens[covered], pr[covered]
+                flat = np.repeat(lo_idx, lens) + (
+                    np.arange(int(lens.sum())) - np.repeat(np.cumsum(lens) - lens, lens)
+                )
+                np.maximum.at(price, flat, np.repeat(pr, lens))
 
         floor = cal.price_floor_frac * cal.on_demand
         np.clip(price, floor, None, out=price)

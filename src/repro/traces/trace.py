@@ -2,9 +2,17 @@
 
 A spot-price history is a right-open step function: the price set at
 ``times[i]`` holds on ``[times[i], times[i+1])`` and the last price holds to
-``horizon``. All queries are NumPy-vectorised (``searchsorted`` under the
-hood) so month-long traces with thousands of change points stay cheap even
-when the scheduler interrogates them at every decision point.
+``horizon``. Queries are answered through a lazily built
+:class:`~repro.traces.compiled.CompiledTrace` query plan — window
+aggregates become two ``searchsorted``\\ s over precomputed segment bounds
+and threshold crossings hit per-threshold memoized tables — so month-long
+traces with thousands of change points stay cheap even when the scheduler
+interrogates them at every decision point.
+
+The original O(n) implementations survive as ``naive_*`` methods: they are
+the reference oracle for the exact-equivalence property suite
+(``tests/props/test_compiled_equivalence.py``), and every public query is
+guaranteed to return the bit-identical float its naive twin returns.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import TraceFormatError
+from repro.traces.compiled import CompiledTrace
 
 __all__ = ["PriceTrace"]
 
@@ -38,7 +47,7 @@ class PriceTrace:
     * ``horizon > times[-1]``
     """
 
-    __slots__ = ("times", "prices", "horizon", "market", "region")
+    __slots__ = ("times", "prices", "horizon", "market", "region", "_compiled")
 
     def __init__(
         self,
@@ -72,6 +81,33 @@ class PriceTrace:
         self.horizon = float(horizon)
         self.market = market
         self.region = region
+        self._compiled: CompiledTrace | None = None
+
+    # ---------------------------------------------------------- compiled plan
+    @property
+    def compiled(self) -> CompiledTrace:
+        """The trace's compiled query plan, built once on first use."""
+        comp = self._compiled
+        if comp is None:
+            comp = CompiledTrace(self.times, self.prices, self.horizon)
+            self._compiled = comp
+        return comp
+
+    def __getstate__(self):
+        # The compiled plan is derived state: rebuild lazily after unpickling
+        # rather than shipping index tables between processes.
+        return (self.times, self.prices, self.horizon, self.market, self.region)
+
+    def __setstate__(self, state) -> None:
+        times, prices, horizon, market, region = state
+        times.setflags(write=False)
+        prices.setflags(write=False)
+        self.times = times
+        self.prices = prices
+        self.horizon = horizon
+        self.market = market
+        self.region = region
+        self._compiled = None
 
     # ------------------------------------------------------------- basic info
     @property
@@ -107,6 +143,16 @@ class PriceTrace:
         beyond the horizon clamp to the last price (callers normally stay in
         range — the clamps make vector post-processing forgiving).
         """
+        if type(t) is float or type(t) is int:
+            return self.compiled.price_at(t)
+        arr = np.asarray(t, dtype=np.float64)
+        out = self.prices[self._index_at(arr)]
+        if np.isscalar(t) or arr.ndim == 0:
+            return float(out)
+        return out
+
+    def naive_price_at(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Reference O(n)-array lookup (oracle for the compiled fast path)."""
         arr = np.asarray(t, dtype=np.float64)
         out = self.prices[self._index_at(arr)]
         if np.isscalar(t) or arr.ndim == 0:
@@ -115,6 +161,10 @@ class PriceTrace:
 
     def next_change_after(self, t: float) -> float | None:
         """First change time strictly after ``t``, or ``None`` if none before horizon."""
+        return self.compiled.next_change_after(t)
+
+    def naive_next_change_after(self, t: float) -> float | None:
+        """Reference implementation of :meth:`next_change_after`."""
         idx = int(np.searchsorted(self.times, t, side="right"))
         if idx >= len(self.times):
             return None
@@ -133,6 +183,25 @@ class PriceTrace:
         hi = self.horizon if t1 is None else min(t1, self.horizon)
         if hi <= lo:
             return
+        comp = self.compiled
+        first, last = comp.window_bounds(lo, hi)
+        starts = np.maximum(comp.bounds[first:last], lo)
+        ends = np.minimum(comp.bounds[first + 1 : last + 1], hi)
+        keep = ends > starts
+        yield from zip(
+            starts[keep].tolist(),
+            ends[keep].tolist(),
+            self.prices[first:last][keep].tolist(),
+        )
+
+    def naive_segments(self, t0: float | None = None, t1: float | None = None) -> Iterator[
+        tuple[float, float, float]
+    ]:
+        """Reference Python-loop implementation of :meth:`segments`."""
+        lo = self.start if t0 is None else max(t0, self.start)
+        hi = self.horizon if t1 is None else min(t1, self.horizon)
+        if hi <= lo:
+            return
         bounds = np.concatenate([self.times, [self.horizon]])
         i = int(np.clip(np.searchsorted(self.times, lo, side="right") - 1, 0, len(self.times) - 1))
         while i < len(self.times) and bounds[i] < hi:
@@ -144,7 +213,11 @@ class PriceTrace:
 
     # -------------------------------------------------------------- aggregates
     def _segment_durations(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised (durations, prices) of segments clipped to [t0, t1)."""
+        """Reference (durations, prices) of segments clipped to [t0, t1).
+
+        Clips the *full* bounds array — O(n) per call; the compiled plan
+        produces the identical arrays from just the covered segments.
+        """
         bounds = np.concatenate([self.times, [self.horizon]])
         lo = np.clip(bounds[:-1], t0, t1)
         hi = np.clip(bounds[1:], t0, t1)
@@ -154,6 +227,10 @@ class PriceTrace:
 
     def mean_price(self, t0: float | None = None, t1: float | None = None) -> float:
         """Time-weighted mean price over ``[t0, t1)`` (default: whole trace)."""
+        return self.compiled.mean_price(t0, t1)
+
+    def naive_mean_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Reference implementation of :meth:`mean_price`."""
         a = self.start if t0 is None else t0
         b = self.horizon if t1 is None else t1
         dur, prices = self._segment_durations(a, b)
@@ -164,6 +241,10 @@ class PriceTrace:
 
     def price_std(self, t0: float | None = None, t1: float | None = None) -> float:
         """Time-weighted standard deviation of the price over the window."""
+        return self.compiled.price_std(t0, t1)
+
+    def naive_price_std(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Reference implementation of :meth:`price_std`."""
         a = self.start if t0 is None else t0
         b = self.horizon if t1 is None else t1
         dur, prices = self._segment_durations(a, b)
@@ -176,6 +257,12 @@ class PriceTrace:
 
     def time_above(self, threshold: float, t0: float | None = None, t1: float | None = None) -> float:
         """Total seconds in the window during which price > ``threshold``."""
+        return self.compiled.time_above(threshold, t0, t1)
+
+    def naive_time_above(
+        self, threshold: float, t0: float | None = None, t1: float | None = None
+    ) -> float:
+        """Reference implementation of :meth:`time_above`."""
         a = self.start if t0 is None else t0
         b = self.horizon if t1 is None else t1
         dur, prices = self._segment_durations(a, b)
@@ -183,6 +270,10 @@ class PriceTrace:
 
     def max_price(self, t0: float | None = None, t1: float | None = None) -> float:
         """Maximum price attained in the window."""
+        return self.compiled.max_price(t0, t1)
+
+    def naive_max_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Reference implementation of :meth:`max_price`."""
         a = self.start if t0 is None else t0
         b = self.horizon if t1 is None else t1
         dur, prices = self._segment_durations(a, b)
@@ -192,6 +283,10 @@ class PriceTrace:
 
     def min_price(self, t0: float | None = None, t1: float | None = None) -> float:
         """Minimum price attained in the window."""
+        return self.compiled.min_price(t0, t1)
+
+    def naive_min_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Reference implementation of :meth:`min_price`."""
         a = self.start if t0 is None else t0
         b = self.horizon if t1 is None else t1
         dur, prices = self._segment_durations(a, b)
@@ -204,8 +299,13 @@ class PriceTrace:
         """Change times at which price transitions from <= threshold to > it.
 
         If the trace *starts* above the threshold, the start time is included
-        as a crossing.
+        as a crossing. The returned array is memoized per threshold and
+        read-only — copy before mutating.
         """
+        return self.compiled.crossings_above(threshold)
+
+    def naive_crossings_above(self, threshold: float) -> np.ndarray:
+        """Reference implementation of :meth:`crossings_above`."""
         above = self.prices > threshold
         rising = np.flatnonzero(above[1:] & ~above[:-1]) + 1
         out = self.times[rising]
@@ -214,7 +314,14 @@ class PriceTrace:
         return out
 
     def crossings_below(self, threshold: float) -> np.ndarray:
-        """Change times at which price transitions from > threshold to <= it."""
+        """Change times at which price transitions from > threshold to <= it.
+
+        Memoized per threshold; the returned array is read-only.
+        """
+        return self.compiled.crossings_below(threshold)
+
+    def naive_crossings_below(self, threshold: float) -> np.ndarray:
+        """Reference implementation of :meth:`crossings_below`."""
         above = self.prices > threshold
         falling = np.flatnonzero(~above[1:] & above[:-1]) + 1
         return self.times[falling]
@@ -225,11 +332,15 @@ class PriceTrace:
         If the price is already above the threshold at ``from_t`` the answer
         is ``from_t`` itself.
         """
+        return self.compiled.first_time_above(threshold, from_t)
+
+    def naive_first_time_above(self, threshold: float, from_t: float) -> float | None:
+        """Reference implementation of :meth:`first_time_above`."""
         if from_t >= self.horizon:
             return None
-        if float(self.price_at(from_t)) > threshold:
+        if float(self.naive_price_at(from_t)) > threshold:
             return max(from_t, self.start)
-        cross = self.crossings_above(threshold)
+        cross = self.naive_crossings_above(threshold)
         later = cross[cross > from_t]
         if later.size == 0:
             return None
@@ -237,11 +348,15 @@ class PriceTrace:
 
     def first_time_at_or_below(self, threshold: float, from_t: float) -> float | None:
         """Earliest time >= ``from_t`` with price <= ``threshold``, or ``None``."""
+        return self.compiled.first_time_at_or_below(threshold, from_t)
+
+    def naive_first_time_at_or_below(self, threshold: float, from_t: float) -> float | None:
+        """Reference implementation of :meth:`first_time_at_or_below`."""
         if from_t >= self.horizon:
             return None
-        if float(self.price_at(from_t)) <= threshold:
+        if float(self.naive_price_at(from_t)) <= threshold:
             return max(from_t, self.start)
-        cross = self.crossings_below(threshold)
+        cross = self.naive_crossings_below(threshold)
         later = cross[cross > from_t]
         if later.size == 0:
             return None
@@ -265,10 +380,15 @@ class PriceTrace:
             raise TraceFormatError(
                 f"slice [{t0}, {t1}) outside trace [{self.start}, {self.horizon})"
             )
-        seg = list(self.segments(t0, t1))
-        times = np.array([s[0] for s in seg])
-        prices = np.array([s[2] for s in seg])
-        return PriceTrace(times, prices, t1, market=self.market, region=self.region)
+        comp = self.compiled
+        first, last = comp.window_bounds(t0, t1)
+        starts = np.maximum(comp.bounds[first:last], t0)
+        ends = np.minimum(comp.bounds[first + 1 : last + 1], t1)
+        keep = ends > starts
+        return PriceTrace(
+            starts[keep], self.prices[first:last][keep], t1,
+            market=self.market, region=self.region,
+        )
 
     def shift(self, dt: float) -> "PriceTrace":
         """The same trace translated by ``dt`` seconds."""

@@ -1,0 +1,161 @@
+"""Shared-memory catalog fan-out: round-trips, caching, gating, leaks."""
+
+import numpy as np
+import pytest
+
+from repro.core.bidding import ProactiveBidding
+from repro.runtime import (
+    TraceCatalogCache,
+    RunSpec,
+    StrategySpec,
+    attach_catalog,
+    publish_catalog,
+    release_segment,
+    run_batch,
+    shm_available,
+)
+from repro.runtime import shm as shm_mod
+from repro.runtime.cache import CatalogKey
+from repro.traces.catalog import MarketKey
+from repro.units import days
+
+REGION = "us-east-1a"
+
+pytestmark = pytest.mark.skipif(not shm_available(), reason="no usable shared memory")
+
+
+@pytest.fixture
+def catalog():
+    return CatalogKey(
+        seed=7, horizon_s=days(2), regions=(REGION,), sizes=("small", "medium")
+    ).build()
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    """Each test starts and ends with an empty per-process attach cache."""
+    yield
+    while shm_mod._ATTACHED:
+        _, (cat, segment) = shm_mod._ATTACHED.popitem(last=False)
+        del cat
+        try:
+            segment.close()
+        except BufferError:
+            pass
+
+
+class TestRoundTrip:
+    def test_attached_catalog_equals_source(self, catalog):
+        plan, segment = publish_catalog(catalog)
+        try:
+            clone = attach_catalog(plan)
+            assert clone.markets() == catalog.markets()
+            assert clone.horizon == catalog.horizon
+            for key in catalog.markets():
+                np.testing.assert_array_equal(clone.trace(key).times, catalog.trace(key).times)
+                np.testing.assert_array_equal(clone.trace(key).prices, catalog.trace(key).prices)
+                assert clone.on_demand_price(key) == catalog.on_demand_price(key)
+        finally:
+            release_segment(segment)
+
+    def test_attached_traces_are_views_not_copies(self, catalog):
+        plan, segment = publish_catalog(catalog)
+        try:
+            clone = attach_catalog(plan)
+            trace = clone.trace(catalog.markets()[0])
+            # A zero-copy rehydration shares the segment's buffer.
+            assert trace.times.base is not None
+            assert not trace.times.flags.owndata
+            assert not trace.times.flags.writeable
+        finally:
+            release_segment(segment)
+
+    def test_plan_layout_covers_all_markets(self, catalog):
+        plan, segment = publish_catalog(catalog)
+        try:
+            assert len(plan.markets) == len(catalog.markets()) == len(plan.layout)
+            assert plan.total_floats == 2 * sum(len(catalog.trace(k)) for k in catalog.markets())
+        finally:
+            release_segment(segment)
+
+
+class TestAttachCache:
+    def test_repeat_attach_hits_cache(self, catalog):
+        plan, segment = publish_catalog(catalog)
+        try:
+            first = attach_catalog(plan)
+            assert attach_catalog(plan) is first
+            assert shm_mod.attached_count() == 1
+        finally:
+            release_segment(segment)
+
+    def test_lru_evicts_oldest_attachment(self, catalog):
+        published = [publish_catalog(catalog) for _ in range(shm_mod.ATTACH_CACHE_MAX + 1)]
+        try:
+            for plan, _ in published:
+                attach_catalog(plan)
+            assert shm_mod.attached_count() == shm_mod.ATTACH_CACHE_MAX
+            assert published[0][0].shm_name not in shm_mod._ATTACHED
+        finally:
+            for _, segment in published:
+                release_segment(segment)
+
+
+class TestGating:
+    def test_env_var_disables_shm(self, monkeypatch):
+        monkeypatch.setenv(shm_mod.SHM_ENV_VAR, "0")
+        assert not shm_available()
+        monkeypatch.delenv(shm_mod.SHM_ENV_VAR)
+        assert shm_available()
+
+    def test_release_segment_is_idempotent(self, catalog):
+        plan, segment = publish_catalog(catalog)
+        release_segment(segment)
+        release_segment(segment)  # second close/unlink must not raise
+
+
+class TestExecutorIntegration:
+    @staticmethod
+    def _runs(seeds=(11, 23)):
+        runs = []
+        for size in ("small", "medium"):
+            for seed in seeds:
+                runs.append(
+                    RunSpec(
+                        strategy=StrategySpec.single(MarketKey(REGION, size)),
+                        bidding=ProactiveBidding(),
+                        seed=seed,
+                        horizon_s=days(2),
+                        regions=(REGION,),
+                        sizes=(size,),
+                        label=f"shm/{size}",
+                    )
+                )
+        return runs
+
+    def test_shm_batch_matches_serial(self):
+        runs = self._runs()
+        serial = run_batch(runs, jobs=1, cache=TraceCatalogCache())
+        parallel = run_batch(runs, jobs=2)
+        assert list(parallel.results) == list(serial.results)
+        assert parallel.telemetry.shm_catalogs == 4  # one plan per (size, seed) key
+        assert parallel.telemetry.parallel_runs == len(runs)
+        assert "shm catalogs" in parallel.telemetry.summary()
+
+    def test_disabled_shm_falls_back_to_grouping(self, monkeypatch):
+        monkeypatch.setenv(shm_mod.SHM_ENV_VAR, "0")
+        runs = self._runs(seeds=(5,))
+        batch = run_batch(runs, jobs=2)
+        assert batch.telemetry.shm_catalogs == 0
+        assert all(t.catalog_source != "shm" for t in batch.run_telemetry)
+        monkeypatch.delenv(shm_mod.SHM_ENV_VAR)
+        again = run_batch(runs, jobs=2)
+        assert list(again.results) == list(batch.results)  # identical either way
+
+    def test_no_segment_leaks_after_batch(self, tmp_path):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        run_batch(self._runs(seeds=(3,)), jobs=2)
+        after = set(glob.glob("/dev/shm/psm_*"))
+        assert after <= before  # every published segment was unlinked

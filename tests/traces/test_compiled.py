@@ -1,0 +1,108 @@
+"""Unit tests for the compiled trace query plan itself.
+
+The exact-equivalence contract lives in
+``tests/props/test_compiled_equivalence.py``; this file covers the
+plan's mechanics — lazy construction and sharing, per-threshold
+memoization, immutability of cached tables, and window-bounds edge
+cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import CompiledTrace, PriceTrace
+
+
+@pytest.fixture
+def trace() -> PriceTrace:
+    return PriceTrace(
+        np.array([0.0, 100.0, 250.0, 400.0]),
+        np.array([1.0, 3.0, 0.5, 2.0]),
+        600.0,
+        market="m4.large",
+        region="us-east-1",
+    )
+
+
+def test_compiled_is_lazy_and_shared(trace):
+    assert trace._compiled is None
+    comp = trace.compiled
+    assert isinstance(comp, CompiledTrace)
+    assert trace.compiled is comp  # built once, reused
+
+
+def test_bounds_extend_times_with_horizon(trace):
+    comp = trace.compiled
+    np.testing.assert_array_equal(comp.bounds, [0.0, 100.0, 250.0, 400.0, 600.0])
+    assert not comp.bounds.flags.writeable
+
+
+def test_window_bounds_edges(trace):
+    comp = trace.compiled
+    assert comp.window_bounds(0.0, 600.0) == (0, 4)  # full trace
+    assert comp.window_bounds(-50.0, 50.0) == (0, 1)  # clamps before start
+    assert comp.window_bounds(100.0, 250.0) == (1, 2)  # exactly one segment
+    assert comp.window_bounds(500.0, 400.0) == (3, 3)  # inverted: empty
+    # Degenerate windows may keep the containing segment; clipping masks it out.
+    dur, prices = comp.window(150.0, 150.0)
+    assert dur.size == 0 and prices.size == 0
+    assert comp.window_bounds(650.0, 700.0) == (3, 4)  # past horizon clamps
+
+
+def test_window_clips_to_requested_range(trace):
+    dur, prices = trace.compiled.window(50.0, 300.0)
+    np.testing.assert_array_equal(dur, [50.0, 150.0, 50.0])
+    np.testing.assert_array_equal(prices, [1.0, 3.0, 0.5])
+
+
+def test_empty_window_raises_with_window_in_message(trace):
+    with pytest.raises(TraceFormatError, match=r"empty window \[150.0, 150.0\)"):
+        trace.compiled.mean_price(150.0, 150.0)
+
+
+def test_crossing_tables_are_memoized_per_threshold(trace):
+    comp = trace.compiled
+    assert comp.cached_thresholds() == (0, 0)
+    first = comp.crossings_above(1.5)
+    assert comp.crossings_above(1.5) is first  # identical object, not a rebuild
+    comp.crossings_below(1.5)
+    comp.crossings_above(0.75)
+    assert comp.cached_thresholds() == (2, 1)
+
+
+def test_cached_crossings_are_read_only(trace):
+    cross = trace.compiled.crossings_above(1.5)
+    with pytest.raises(ValueError):
+        cross[0] = -1.0
+
+
+def test_first_time_above_reuses_table_not_a_scan(trace):
+    comp = trace.compiled
+    assert comp.first_time_above(2.5, 0.0) == 100.0
+    assert comp.first_time_above(2.5, 150.0) == 150.0  # already above
+    assert comp.first_time_above(2.5, 300.0) is None
+    assert comp.cached_thresholds() == (1, 0)  # one table served all three
+
+
+def test_last_crossing_lookups(trace):
+    comp = trace.compiled
+    assert comp.last_crossing_above_at_or_before(1.5, 50.0) is None
+    assert comp.last_crossing_above_at_or_before(1.5, 100.0) == 100.0
+    assert comp.last_crossing_above_at_or_before(1.5, 599.0) == 400.0
+    assert comp.last_crossing_below_at_or_before(1.5, 599.0) == 250.0
+
+
+def test_scalar_lookup_clamps_like_trace(trace):
+    comp = trace.compiled
+    assert comp.price_at(-10.0) == 1.0
+    assert comp.price_at(9999.0) == 2.0
+    assert comp.index_at(250.0) == 2
+    assert comp.next_change_after(400.0) is None
+
+
+def test_public_queries_route_through_compiled(trace):
+    # Querying via the trace populates the shared plan's memo tables.
+    trace.first_time_above(1.5, 0.0)
+    trace.first_time_at_or_below(1.5, 120.0)
+    assert trace.compiled.cached_thresholds() == (1, 1)
