@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", type=str, default=None,
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
+    p.add_argument("--ledger", metavar="PATH", default=None,
+                   help="journal each completed seed to a crash-safe run "
+                   "ledger at PATH (a directory gets one file per batch)")
+    p.add_argument("--resume", action="store_true",
+                   help="with --ledger: replay seeds already journaled and "
+                   "run only the remainder (byte-identical results)")
     p.add_argument("--stability-weight", type=float, default=2.0)
     p.add_argument("--fast", action="store_true",
                    help="smoke run: horizon capped at 10 days, first two seeds")
@@ -113,6 +119,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and args.ledger is None:
+        print("--resume needs --ledger PATH", file=sys.stderr)
+        return 2
+    if args.ledger is not None and args.csv is not None:
+        # The CSV replay is a single in-process run outside run_batch;
+        # there is no batch to journal.
+        print("--ledger does not apply to --csv replays", file=sys.stderr)
+        return 2
     if args.fast:
         args.days = min(args.days, 10.0)
         args.seeds = args.seeds[:2]
@@ -162,7 +176,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 metrics=observed.metrics.to_dict(),
             )
         else:
-            results = run_many(cfg, args.seeds, jobs=args.jobs)
+            results = run_many(
+                cfg, args.seeds, jobs=args.jobs,
+                ledger=args.ledger, resume=args.resume,
+            )
     for r in results:
         t.add_row(
             r.seed, r.normalized_cost_percent, r.unavailability_percent,

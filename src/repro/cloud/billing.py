@@ -12,6 +12,14 @@ EC2's 2015-era rules, as described in Section 2.1 of the paper:
 
 Billing hour boundaries are anchored at the *lease start*, not wall-clock
 hours.
+
+Hour comparisons use a relative epsilon: lease endpoints are produced by
+float arithmetic (``start + k * 3600.0`` sums, migration timing near
+boundary instants), so a lease that is N hours long *up to float noise*
+(e.g. ``end - start == 3 * 3600 - 1e-9``) must bill exactly N full hours —
+not N-1 full hours plus a spurious "voluntary-full" partial. Any genuine
+partial hour shorter than the tolerance (about a nanosecond per simulated
+second) is billing noise by construction and is dropped with it.
 """
 
 from __future__ import annotations
@@ -25,6 +33,19 @@ from repro.traces.trace import PriceTrace
 from repro.units import SECONDS_PER_HOUR
 
 __all__ = ["BillingRecord", "bill_spot_lease", "bill_on_demand_lease", "billing_boundaries"]
+
+#: Relative tolerance for hour-boundary comparisons.
+_REL_EPS = 1e-9
+
+
+def _boundary_tolerance(start: float, end: float) -> float:
+    """Absolute slack for hour comparisons on the lease ``[start, end)``.
+
+    Scaled to the magnitudes involved so month-long simulations (times
+    around 2.6e6 s) and rebased traces (times near 0) both absorb one-ulp
+    noise without ever approaching a billable fraction of an hour.
+    """
+    return _REL_EPS * max(abs(start), abs(end), SECONDS_PER_HOUR)
 
 
 @dataclass(frozen=True)
@@ -47,9 +68,13 @@ def billing_boundaries(start: float, end: float) -> List[float]:
     """
     if end < start:
         raise MarketError(f"lease ends before it starts: [{start}, {end}]")
+    tol = _boundary_tolerance(start, end)
     out = []
     k = 1
-    while start + k * SECONDS_PER_HOUR < end:
+    # A boundary landing within tolerance of `end` coincides with it (the
+    # lease is an exact number of hours up to float noise), so it is not
+    # strictly inside the lease.
+    while start + k * SECONDS_PER_HOUR < end - tol:
         out.append(start + k * SECONDS_PER_HOUR)
         k += 1
     return out
@@ -72,13 +97,16 @@ def bill_spot_lease(
     records: List[BillingRecord] = []
     if end == start:
         return records
-    n_full = int(math.floor((end - start) / SECONDS_PER_HOUR))
+    tol = _boundary_tolerance(start, end)
+    # An N-hour lease with up-to-tolerance float noise on either side
+    # counts exactly N full hours.
+    n_full = int(math.floor((end - start + tol) / SECONDS_PER_HOUR))
     for k in range(n_full):
         hs = start + k * SECONDS_PER_HOUR
         rate = float(trace.price_at(hs))
         records.append(BillingRecord(hs, rate, rate, "spot"))
     last_start = start + n_full * SECONDS_PER_HOUR
-    if last_start < end:
+    if last_start < end - tol:
         rate = float(trace.price_at(last_start))
         if revoked:
             records.append(BillingRecord(last_start, rate, 0.0, "spot", note="revoked-free"))
@@ -96,7 +124,10 @@ def bill_on_demand_lease(rate: float, start: float, end: float) -> List[BillingR
     records: List[BillingRecord] = []
     if end == start:
         return records
-    n_hours = int(math.ceil((end - start) / SECONDS_PER_HOUR))
+    tol = _boundary_tolerance(start, end)
+    # Round up, but never on float noise alone: an N-hour lease plus a
+    # sub-tolerance sliver is N hours, not N+1.
+    n_hours = int(math.ceil((end - start - tol) / SECONDS_PER_HOUR))
     for k in range(n_hours):
         hs = start + k * SECONDS_PER_HOUR
         records.append(BillingRecord(hs, rate, rate, "on_demand"))

@@ -263,7 +263,11 @@ def run_simulation_observed(
 
 
 def run_many(
-    config: SimulationConfig, seeds: List[int], jobs: int = 1
+    config: SimulationConfig,
+    seeds: List[int],
+    jobs: int = 1,
+    ledger: Optional[object] = None,
+    resume: bool = False,
 ) -> List[SimulationResult]:
     """Run the same configuration over several trace samples.
 
@@ -271,7 +275,9 @@ def run_many(
     a :class:`~repro.runtime.RunSpec` (any attached catalog is dropped —
     every seed gets its own sample, served through the runtime's catalog
     cache). ``jobs > 1`` fans the seeds across worker processes with
-    results in seed order, identical to the serial run.
+    results in seed order, identical to the serial run. ``ledger`` /
+    ``resume`` journal completed seeds to a crash-safe run ledger and
+    replay them on restart (see :mod:`repro.runtime.ledger`).
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
@@ -279,4 +285,4 @@ def run_many(
     from repro.runtime import RunSpec, run_batch
 
     specs = [RunSpec.from_config(config, seed=s) for s in seeds]
-    return list(run_batch(specs, jobs=jobs).results)
+    return list(run_batch(specs, jobs=jobs, ledger=ledger, resume=resume).results)

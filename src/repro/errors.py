@@ -25,6 +25,7 @@ __all__ = [
     "WorkloadError",
     "InvariantViolation",
     "WorkerCrashError",
+    "LedgerError",
 ]
 
 
@@ -135,4 +136,14 @@ class WorkerCrashError(ReproError):
     Raised organically on worker failure and injected by
     :class:`repro.testkit.faults.FaultPlan` crash schedules to exercise
     the executor's retry path.
+    """
+
+
+class LedgerError(ReproError):
+    """A batch run ledger cannot be used for the requested resume.
+
+    Raised when a ledger's batch-header fingerprint does not match the
+    batch being resumed (the specs, catalogs, or package version changed
+    since the ledger was written), or when the ledger is structurally
+    invalid beyond the tolerated torn trailing record.
     """

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable, List, Sequence, Union
 
 from repro.core.bidding import BiddingPolicy, ProactiveBidding
@@ -27,23 +28,39 @@ class ExperimentConfig:
     ``fast`` shrinks seeds/horizon for quick smoke runs (used by the unit
     tests); benchmarks run the full configuration. ``jobs`` fans each
     driver's seed×variant batches across worker processes — results are
-    identical to the serial default, only faster.
+    identical to the serial default, only faster. ``ledger_dir`` journals
+    every batch a driver emits into per-batch ledger files under that
+    directory (named by batch fingerprint); with ``resume`` set, batches
+    already journaled there replay instead of re-executing, so an
+    interrupted ``repro-experiments`` invocation picks up where it died.
     """
 
     seeds: Sequence[int] = DEFAULT_SEEDS
     horizon_s: float = days(30)
     fast: bool = False
     jobs: int = 1
+    ledger_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if self.resume and self.ledger_dir is None:
+            raise ConfigurationError("resume needs a ledger directory")
 
     def effective_seeds(self) -> List[int]:
         return list(self.seeds[:2] if self.fast else self.seeds)
 
     def effective_horizon(self) -> float:
         return days(10) if self.fast else self.horizon_s
+
+    def effective_ledger(self) -> Path | None:
+        """The batch-ledger directory, created on first use (or ``None``)."""
+        if self.ledger_dir is None:
+            return None
+        path = Path(self.ledger_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
 
     def with_(self, **kw) -> "ExperimentConfig":
         return replace(self, **kw)
@@ -81,5 +98,7 @@ def simulate(
         label=label,
     )
     specs = [base.with_(seed=s) for s in cfg.effective_seeds()]
-    batch = run_batch(specs, jobs=cfg.jobs)
+    batch = run_batch(
+        specs, jobs=cfg.jobs, ledger=cfg.effective_ledger(), resume=cfg.resume
+    )
     return aggregate(list(batch.results), label=label or None)

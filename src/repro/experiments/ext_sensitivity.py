@@ -72,7 +72,13 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
                 label=f"{name}/{bidding.name}",
             )
             rows[(name, bidding.name)] = aggregate(
-                run_many(sim, cfg.effective_seeds(), jobs=cfg.jobs),
+                run_many(
+                    sim,
+                    cfg.effective_seeds(),
+                    jobs=cfg.jobs,
+                    ledger=cfg.effective_ledger(),
+                    resume=cfg.resume,
+                ),
                 label=f"{name}/{bidding.name}",
             )
 

@@ -47,6 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
         "serial; results are identical at any worker count)",
     )
     p.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="journal every batch to crash-safe run ledgers under DIR "
+        "(one JSONL file per batch, named by batch fingerprint)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="with --ledger: replay runs already journaled under DIR and "
+        "execute only the remainder — reports are byte-identical to an "
+        "uninterrupted run",
+    )
+    p.add_argument(
         "--markdown", metavar="DIR", default=None,
         help="also write each report as Markdown into DIR",
     )
@@ -77,9 +88,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and args.ledger is None:
+        print("--resume needs --ledger DIR", file=sys.stderr)
+        return 2
     cfg = ExperimentConfig(
         seeds=tuple(args.seeds), horizon_s=days(args.days), fast=args.fast,
-        jobs=args.jobs,
+        jobs=args.jobs, ledger_dir=args.ledger, resume=args.resume,
     )
     md_dir = None
     if args.markdown is not None:

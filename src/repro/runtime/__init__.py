@@ -16,6 +16,13 @@ events-processed, and cache-hit counters in experiment reports.
 
 from repro.runtime.cache import CatalogKey, TraceCatalogCache, shared_catalog_cache
 from repro.runtime.executor import BatchResult, run_batch
+from repro.runtime.ledger import (
+    LEDGER_VERSION,
+    LedgerRecord,
+    LedgerState,
+    RunLedger,
+    resolve_ledger_path,
+)
 from repro.runtime.shm import (
     CatalogPlan,
     attach_catalog,
@@ -27,7 +34,9 @@ from repro.runtime.spec import (
     BatchSpec,
     RunSpec,
     StrategySpec,
+    batch_fingerprint,
     register_strategy_kind,
+    spec_fingerprint,
     strategy_kinds,
 )
 from repro.runtime.telemetry import (
@@ -43,18 +52,25 @@ __all__ = [
     "BatchTelemetry",
     "CatalogKey",
     "CatalogPlan",
+    "LEDGER_VERSION",
+    "LedgerRecord",
+    "LedgerState",
+    "RunLedger",
     "RunSpec",
     "RunTelemetry",
     "StrategySpec",
     "TelemetryCollector",
     "TraceCatalogCache",
     "attach_catalog",
+    "batch_fingerprint",
     "collect_telemetry",
     "publish_catalog",
     "register_strategy_kind",
     "release_segment",
+    "resolve_ledger_path",
     "run_batch",
     "shared_catalog_cache",
     "shm_available",
+    "spec_fingerprint",
     "strategy_kinds",
 ]

@@ -17,15 +17,17 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SimulationResult
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.errors import ConfigurationError, LedgerError, WorkerCrashError
 from repro.obs.capture import notify_run, trace_capture_active
 from repro.obs.sinks import NULL_SINK, MemorySink, TraceSink
 from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
+from repro.runtime.ledger import RunLedger, resolve_ledger_path
 from repro.runtime.shm import publish_catalog, release_segment, shm_available
-from repro.runtime.spec import BatchSpec, RunSpec
+from repro.runtime.spec import BatchSpec, RunSpec, batch_fingerprint, spec_fingerprint
 from repro.runtime.telemetry import BatchTelemetry, RunTelemetry, notify_batch
 
 __all__ = ["BatchResult", "run_batch"]
@@ -227,6 +229,54 @@ def _shutdown_pools() -> None:  # pragma: no cover
     _POOLS.clear()
 
 
+def _open_ledger(
+    ledger: Union[str, Path, None],
+    resume: bool,
+    specs: Tuple[RunSpec, ...],
+    fingerprints: Tuple[str, ...],
+    batch_fp: str,
+) -> Tuple[Optional[RunLedger], Dict[int, Tuple[SimulationResult, RunTelemetry]], bool]:
+    """Open (or resume) the batch's journal.
+
+    Returns ``(journal, replayed slots, resumed)``. With ``resume=True``
+    an existing ledger is validated against ``batch_fp`` — a mismatch is a
+    hard :class:`~repro.errors.LedgerError`, never a silent partial reuse
+    — and its intact run records become pre-filled result slots. Without
+    ``resume`` (or when no file exists yet) a fresh ledger is started.
+    """
+    if ledger is None:
+        return None, {}, False
+    path = resolve_ledger_path(ledger, batch_fp)
+    if resume and path.exists():
+        journal, state = RunLedger.load(path)
+        if state.fingerprint != batch_fp:
+            raise LedgerError(
+                f"ledger {path} was written for a different batch "
+                f"(ledger fingerprint {state.fingerprint[:16]}..., batch "
+                f"{batch_fp[:16]}...); the specs, catalogs, or package "
+                "version changed — delete the ledger to start over"
+            )
+        if state.runs != len(specs):
+            raise LedgerError(
+                f"ledger {path} records a {state.runs}-run batch; "
+                f"this batch has {len(specs)} runs"
+            )
+        replayed: Dict[int, Tuple[SimulationResult, RunTelemetry]] = {}
+        for index, record in state.records.items():
+            if not 0 <= index < len(specs):
+                raise LedgerError(
+                    f"ledger {path} records run index {index} outside the batch"
+                )
+            if record.fingerprint != fingerprints[index]:
+                raise LedgerError(
+                    f"ledger {path} run {index} fingerprint does not match "
+                    "its spec — the file was modified"
+                )
+            replayed[index] = (record.result, record.telemetry)
+        return journal, replayed, True
+    return RunLedger.start(path, batch_fp, len(specs)), {}, False
+
+
 def run_batch(
     runs: Union[BatchSpec, Sequence[RunSpec]],
     *,
@@ -235,6 +285,8 @@ def run_batch(
     progress: Optional[ProgressCallback] = None,
     retries: int = DEFAULT_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    ledger: Union[str, Path, None] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Execute a batch of runs and return results in submission order.
 
@@ -252,7 +304,7 @@ def run_batch(
     progress:
         Called with each run's :class:`RunTelemetry` as it completes
         (completion order, which under ``jobs > 1`` may differ from
-        submission order).
+        submission order). Not called for runs replayed from a ledger.
     retries:
         Per-run retry budget for crashed attempts (injected or organic);
         each retry re-executes the same pure spec, so retried runs are
@@ -260,6 +312,18 @@ def run_batch(
         :class:`~repro.runtime.telemetry.RunTelemetry.attempts`.
     retry_backoff_s:
         Base sleep before a retry; doubles per attempt.
+    ledger:
+        Journal each completed run to this append-only JSONL file (a
+        directory gets one per-batch file named by batch fingerprint).
+        Appends are atomic, so an orchestrator killed mid-batch loses at
+        most the run it was writing. See :mod:`repro.runtime.ledger`.
+    resume:
+        With ``ledger``, validate an existing journal's batch fingerprint
+        and replay its completed runs instead of re-executing them —
+        the final :class:`BatchResult` is byte-identical to an
+        uninterrupted run at any ``jobs``. A fingerprint mismatch raises
+        :class:`~repro.errors.LedgerError`; a missing file simply starts
+        a fresh journal.
     """
     specs: Tuple[RunSpec, ...] = tuple(runs.runs if isinstance(runs, BatchSpec) else runs)
     if not specs:
@@ -268,98 +332,124 @@ def run_batch(
         raise ConfigurationError("jobs must be >= 1")
     if retries < 0:
         raise ConfigurationError("retries must be >= 0")
+    if resume and ledger is None:
+        raise ConfigurationError("resume=True needs a ledger path")
     if cache is None:
         cache = shared_catalog_cache()
     if trace_capture_active():
         # An observe(trace=True) scope is watching: flip every run to event
         # capture. Capture never changes results, only telemetry payloads.
+        # (Fingerprints exclude capture_trace, so ledgers are unaffected.)
         specs = tuple(
             s if s.capture_trace else s.with_(capture_trace=True) for s in specs
         )
 
+    journal: Optional[RunLedger] = None
+    fingerprints: Tuple[str, ...] = ()
+    resumed = False
     batch_start = time.perf_counter()
     slots: List[Optional[Tuple[SimulationResult, RunTelemetry]]] = [None] * len(specs)
+    if ledger is not None:
+        fingerprints = tuple(spec_fingerprint(s) for s in specs)
+        journal, replayed, resumed = _open_ledger(
+            ledger, resume, specs, fingerprints, batch_fingerprint(specs)
+        )
+        for i, pair in replayed.items():
+            slots[i] = pair
+
+    def _complete(i: int, pair: Tuple[SimulationResult, RunTelemetry]) -> None:
+        """One run finished executing: journal it, then report progress.
+
+        Journaling first is what makes `kill after n runs` recoverable:
+        a run either reached the ledger or will re-execute on resume.
+        """
+        slots[i] = pair
+        if journal is not None:
+            journal.record_run(i, fingerprints[i], pair[0], pair[1])
+        if progress is not None:
+            progress(pair[1])
+
+    pending = [i for i in range(len(specs)) if slots[i] is None]
     parallel_runs = 0
     shm_catalogs = 0
 
-    if jobs == 1 or len(specs) == 1:
-        for i, spec in enumerate(specs):
-            slots[i] = _execute_one(spec, cache, retries, retry_backoff_s)
-            if progress is not None:
-                progress(slots[i][1])
-    else:
-        portable: List[Tuple[int, object]] = []
-        local: List[int] = []
-        for i, spec in enumerate(specs):
-            key = spec.catalog_key()
-            if key is None or not spec.is_portable():
-                local.append(i)
-            else:
-                portable.append((i, key))
-        pool = _get_pool(jobs)
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                _complete(i, _execute_one(specs[i], cache, retries, retry_backoff_s))
+        elif pending:
+            portable: List[Tuple[int, object]] = []
+            local: List[int] = []
+            for i in pending:
+                key = specs[i].catalog_key()
+                if key is None or not specs[i].is_portable():
+                    local.append(i)
+                else:
+                    portable.append((i, key))
+            pool = _get_pool(jobs)
 
-        # Preferred plan: publish each unique catalog to shared memory once
-        # and fan out PER RUN — workers rehydrate zero-copy views, so runs
-        # sharing a catalog no longer have to share a worker and a batch of
-        # V variants over S seeds parallelises V×S wide instead of S wide.
-        plans, segments = _publish_plans(cache, [k for _, k in portable])
-        shm_catalogs = len(plans)
-        if plans:
-            futures = [
-                (
-                    [i],
-                    pool.submit(
-                        _execute_one_shm, specs[i], plans[key], retries, retry_backoff_s
-                    ),
-                )
-                for i, key in portable
-            ]
-        else:
-            # Fallback: group portable runs by catalog key so one worker
-            # builds each catalog once; groups keep first-appearance order.
-            groups: Dict[object, List[int]] = {}
-            for i, key in portable:
-                groups.setdefault(key, []).append(i)
-            futures = [
-                (
-                    indices,
-                    pool.submit(
-                        _execute_group,
-                        tuple(specs[i] for i in indices),
-                        retries,
-                        retry_backoff_s,
-                    ),
-                )
-                for indices in groups.values()
-            ]
-        # Non-portable runs execute in-process while the pool churns.
-        for i in local:
-            slots[i] = _execute_one(specs[i], cache, retries, retry_backoff_s)
-            if progress is not None:
-                progress(slots[i][1])
-        try:
-            for indices, future in futures:
-                try:
-                    group_pairs = future.result()
-                except BrokenProcessPool:
-                    # The pool died (hard worker crash, OOM kill, ...).
-                    # Discard it and fall back to in-process execution for
-                    # these runs — results are identical, only slower.
-                    _discard_pool(jobs)
-                    group_pairs = [
-                        _execute_one(specs[i], cache, retries, retry_backoff_s)
-                        for i in indices
-                    ]
-                for i, pair in zip(indices, group_pairs):
-                    slots[i] = pair
-                    parallel_runs += 1
-                    if progress is not None:
-                        progress(pair[1])
-        finally:
-            # Every future has resolved (or the batch is aborting): the
-            # segments can go — attached workers keep their mappings.
-            for segment in segments:
-                release_segment(segment)
+            # Preferred plan: publish each unique catalog to shared memory
+            # once and fan out PER RUN — workers rehydrate zero-copy views,
+            # so runs sharing a catalog no longer have to share a worker and
+            # a batch of V variants over S seeds parallelises V×S wide
+            # instead of S wide.
+            plans, segments = _publish_plans(cache, [k for _, k in portable])
+            shm_catalogs = len(plans)
+            if plans:
+                futures = [
+                    (
+                        [i],
+                        pool.submit(
+                            _execute_one_shm, specs[i], plans[key], retries, retry_backoff_s
+                        ),
+                    )
+                    for i, key in portable
+                ]
+            else:
+                # Fallback: group portable runs by catalog key so one worker
+                # builds each catalog once; groups keep first-appearance order.
+                groups: Dict[object, List[int]] = {}
+                for i, key in portable:
+                    groups.setdefault(key, []).append(i)
+                futures = [
+                    (
+                        indices,
+                        pool.submit(
+                            _execute_group,
+                            tuple(specs[i] for i in indices),
+                            retries,
+                            retry_backoff_s,
+                        ),
+                    )
+                    for indices in groups.values()
+                ]
+            # Non-portable runs execute in-process while the pool churns.
+            for i in local:
+                _complete(i, _execute_one(specs[i], cache, retries, retry_backoff_s))
+            try:
+                for indices, future in futures:
+                    try:
+                        group_pairs = future.result()
+                    except BrokenProcessPool:
+                        # The pool died (hard worker crash, OOM kill, ...).
+                        # Discard it and fall back to in-process execution for
+                        # these runs — results are identical, only slower.
+                        _discard_pool(jobs)
+                        group_pairs = [
+                            _execute_one(specs[i], cache, retries, retry_backoff_s)
+                            for i in indices
+                        ]
+                    for i, pair in zip(indices, group_pairs):
+                        _complete(i, pair)
+                        parallel_runs += 1
+            finally:
+                # Every future has resolved (or the batch is aborting): the
+                # segments can go — attached workers keep their mappings.
+                for segment in segments:
+                    release_segment(segment)
+    finally:
+        if journal is not None:
+            journal.close()
 
     results = tuple(pair[0] for pair in slots)  # type: ignore[union-attr]
     run_telemetry = tuple(pair[1] for pair in slots)  # type: ignore[union-attr]
@@ -376,6 +466,8 @@ def run_batch(
         jobs=jobs,
         parallel_runs=parallel_runs,
         shm_catalogs=shm_catalogs,
+        resumed=resumed,
+        replayed_runs=len(specs) - len(pending),
     )
     notify_batch(telemetry)
     return BatchResult(results=results, run_telemetry=run_telemetry, telemetry=telemetry)

@@ -12,6 +12,10 @@ share trace catalogs.
 from __future__ import annotations
 
 import copy
+import dataclasses
+import enum
+import hashlib
+import json
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
@@ -36,9 +40,95 @@ __all__ = [
     "BatchSpec",
     "RunSpec",
     "StrategySpec",
+    "batch_fingerprint",
     "register_strategy_kind",
+    "spec_fingerprint",
     "strategy_kinds",
 ]
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-encodable canonical form.
+
+    The reduction is *structural*: dataclasses become ``[class name,
+    {field: value}]``, enums their class + value, mappings sorted key/value
+    lists, and callables their qualified name. Two objects reduce to the
+    same form iff they would configure a simulation identically, which is
+    what the run ledger's fingerprints need — no pickle bytes (unstable
+    across interpreter versions), no ``id()``s, no dict ordering.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; JSON uses the same shortest form.
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, _canonical(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return [type(obj).__name__, fields]
+    if isinstance(obj, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        return ["map", sorted(items, key=lambda kv: json.dumps(kv[0], sort_keys=True))]
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(json.dumps(_canonical(x), sort_keys=True) for x in obj)]
+    # Numpy scalars and anything else numeric-like.
+    for caster in (int, float):
+        try:
+            cast = caster(obj)
+        except (TypeError, ValueError):
+            continue
+        if type(cast)(obj) == cast:
+            return cast
+    if callable(obj):
+        # Legacy factory callables: identified by qualified name only (two
+        # distinct closures with one name collide — RunSpec.is_portable()
+        # already steers ledgered batches towards declarative specs).
+        mod = getattr(obj, "__module__", "?")
+        qual = getattr(obj, "__qualname__", repr(type(obj).__name__))
+        return ["callable", mod, qual]
+    raise ConfigurationError(
+        f"cannot fingerprint {type(obj).__name__!r} value {obj!r}"
+    )
+
+
+def spec_fingerprint(spec: "RunSpec") -> str:
+    """Stable content hash of one :class:`RunSpec`.
+
+    Only fields that determine the simulation *result* participate;
+    ``capture_trace`` is excluded (it changes telemetry payloads, never
+    results), so a batch resumed inside an ``observe(trace=True)`` scope
+    still matches its ledger.
+    """
+    fields = {
+        f.name: _canonical(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "capture_trace"
+    }
+    blob = json.dumps(["RunSpec", fields], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def batch_fingerprint(specs: Sequence["RunSpec"]) -> str:
+    """Content hash of a whole batch: package version + ordered run hashes.
+
+    Every run's fingerprint already covers its catalog identity (seed,
+    horizon, regions, sizes, calibration overrides), so two equal batch
+    fingerprints imply identical catalogs, specs, and run order.
+    """
+    from repro._version import __version__
+
+    blob = json.dumps(
+        ["batch", __version__, [spec_fingerprint(s) for s in specs]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 #: Strategy kind -> constructor. Extensions register theirs via
 #: :func:`register_strategy_kind`; the names mirror ``repro-simulate
@@ -268,6 +358,10 @@ class RunSpec:
             return False
         return True
 
+    def fingerprint(self) -> str:
+        """Stable content hash (see :func:`spec_fingerprint`)."""
+        return spec_fingerprint(self)
+
 
 @dataclass(frozen=True)
 class BatchSpec:
@@ -291,3 +385,7 @@ class BatchSpec:
 
     def __iter__(self):
         return iter(self.runs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash (see :func:`batch_fingerprint`)."""
+        return batch_fingerprint(self.runs)

@@ -46,6 +46,10 @@ class RunTelemetry:
     #: ``capture_trace`` — dicts (not event objects) so they cross the
     #: process-pool boundary as plain picklable data.
     trace_events: Optional[Tuple[Dict[str, Any], ...]] = None
+    #: True when this run was replayed from a :mod:`repro.runtime.ledger`
+    #: journal instead of executed; every other field then reports the
+    #: *original* execution (wall clock, worker pid, attempts).
+    replayed: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,6 +64,8 @@ class BatchTelemetry:
     jobs: int = 1  #: worker processes requested
     parallel_runs: int = 0  #: runs executed in pool workers
     shm_catalogs: int = 0  #: catalogs published as shared-memory plans
+    resumed: bool = False  #: batch was resumed from a run ledger
+    replayed_runs: int = 0  #: runs replayed from the ledger, not executed
 
     def summary(self) -> str:
         """One-line human summary (the runner's footer ingredient)."""
@@ -69,6 +75,8 @@ class BatchTelemetry:
         )
         if self.shm_catalogs:
             base += f", {self.shm_catalogs} shm catalogs"
+        if self.replayed_runs:
+            base += f", {self.replayed_runs} replayed"
         return base
 
 
@@ -107,6 +115,10 @@ class TelemetryCollector:
         return sum(b.shm_catalogs for b in self.batches)
 
     @property
+    def replayed_runs(self) -> int:
+        return sum(b.replayed_runs for b in self.batches)
+
+    @property
     def wall_s(self) -> float:
         return sum(b.wall_s for b in self.batches)
 
@@ -117,6 +129,8 @@ class TelemetryCollector:
         )
         if self.shm_catalogs:
             base += f", {self.shm_catalogs} shm catalogs"
+        if self.replayed_runs:
+            base += f", {self.replayed_runs} replayed"
         return base
 
 

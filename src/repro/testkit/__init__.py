@@ -33,7 +33,12 @@ from repro.testkit.builders import (
     make_step_trace,
     single_market_catalog,
 )
-from repro.testkit.faults import FaultPlan, FaultStats, PriceSpike
+from repro.testkit.faults import (
+    FaultPlan,
+    FaultStats,
+    PriceSpike,
+    kill_orchestrator_after_n_runs,
+)
 from repro.testkit.golden import (
     SCENARIOS,
     GoldenScenario,
@@ -56,6 +61,7 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "PriceSpike",
+    "kill_orchestrator_after_n_runs",
     "OracleCheck",
     "OracleReport",
     "verify_stack",

@@ -18,6 +18,11 @@ one simulation run:
   raise inside :mod:`repro.runtime.executor`, exercising its
   retry/backoff path.
 
+Separately, :func:`kill_orchestrator_after_n_runs` builds an
+*orchestrator-death* fault: a ``run_batch`` progress hook that SIGKILLs
+the batch parent after ``n`` completed runs, exercising the run ledger's
+crash/resume path end-to-end (see :mod:`repro.runtime.ledger`).
+
 Everything in a plan is deterministic given ``(plan, run seed)``: spike
 schedules derive from ``FaultPlan.seed``, checkpoint faults from a stream
 keyed on ``(plan seed, run seed)``. Plans are frozen, hashable and
@@ -28,8 +33,10 @@ process-pool boundary — a faulted batch is byte-identical at any
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +44,7 @@ from repro.errors import ConfigurationError
 from repro.traces.catalog import TraceCatalog
 from repro.traces.trace import PriceTrace
 
-__all__ = ["PriceSpike", "FaultPlan", "FaultStats"]
+__all__ = ["PriceSpike", "FaultPlan", "FaultStats", "kill_orchestrator_after_n_runs"]
 
 #: Seed-stream tags keeping fault RNG independent of simulation streams.
 _STORM_STREAM = 0x5707B10
@@ -93,6 +100,38 @@ class FaultStats:
             "checkpoint_failures": self.checkpoint_failures,
             "checkpoint_delay_total_s": self.checkpoint_delay_total_s,
         }
+
+
+def kill_orchestrator_after_n_runs(
+    n: int, *, sig: int = signal.SIGKILL
+) -> Callable[[object], None]:
+    """An orchestrator-death fault: SIGKILL the *batch parent* mid-flight.
+
+    Returns a :func:`repro.runtime.run_batch` ``progress`` hook that kills
+    the current process the moment the ``n``-th run completes. Because the
+    executor journals a run to its ledger *before* reporting progress, a
+    batch killed this way has exactly ``n`` intact run records (plus
+    whatever concurrent workers finished) — resuming it with
+    ``run_batch(..., ledger=..., resume=True)`` must replay those runs and
+    re-execute only the remainder, byte-identically. Unlike
+    :attr:`FaultPlan.crash_seeds` (worker deaths the executor retries
+    in-line), this fault is unsurvivable by design: it exercises the
+    recovery path end-to-end and is the testkit's SIGKILL stand-in for an
+    OOM-killed or Ctrl-C'd orchestrator.
+
+    Run it in a sacrificial subprocess — the default signal is SIGKILL and
+    the process hosting the batch dies.
+    """
+    if n < 1:
+        raise ConfigurationError(f"kill threshold must be >= 1, got {n}")
+    completed = [0]
+
+    def hook(telemetry: object) -> None:
+        completed[0] += 1
+        if completed[0] >= n:
+            os.kill(os.getpid(), sig)
+
+    return hook
 
 
 class _StretchedStartup:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import csv
 import datetime as _dt
 import io
+import math
+import re
 from pathlib import Path
 from typing import TextIO
 
@@ -31,10 +33,29 @@ __all__ = ["load_aws_csv", "save_aws_csv", "parse_aws_timestamp", "format_aws_ti
 _HEADER = ["Timestamp", "InstanceType", "ProductDescription", "AvailabilityZone", "SpotPrice"]
 _EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
 
+#: Fractional-second timestamp: base, ``.digits``, optional zone suffix.
+#: Python's ``fromisoformat`` only accepts 3- or 6-digit fractions before
+#: 3.11, so fractions are split off and re-attached as plain arithmetic.
+_FRACTION_RE = re.compile(r"^(?P<base>[^.]*)\.(?P<frac>\d+)(?P<tz>Z|[+-]\d{2}:?\d{2})?$")
+
+#: Decimal places kept for fractional seconds on write — comfortably below
+#: ``roundtrip_equal``'s 1e-9 tolerance.
+_FRAC_DIGITS = 9
+
 
 def parse_aws_timestamp(text: str) -> float:
-    """Parse an ISO-8601 ``Z``-suffixed timestamp to epoch seconds."""
+    """Parse an ISO-8601 ``Z``-suffixed timestamp to epoch seconds.
+
+    Fractional seconds of any precision are accepted (AWS emits whole
+    seconds; :func:`save_aws_csv` emits up to nanoseconds when a trace has
+    sub-second change points).
+    """
     text = text.strip()
+    frac = 0.0
+    m = _FRACTION_RE.match(text)
+    if m is not None:
+        frac = float(f"0.{m.group('frac')}")
+        text = m.group("base") + (m.group("tz") or "")
     try:
         if text.endswith("Z"):
             dt = _dt.datetime.fromisoformat(text[:-1]).replace(tzinfo=_dt.timezone.utc)
@@ -44,13 +65,28 @@ def parse_aws_timestamp(text: str) -> float:
                 dt = dt.replace(tzinfo=_dt.timezone.utc)
     except ValueError as exc:
         raise TraceFormatError(f"bad timestamp {text!r}") from exc
-    return (dt - _EPOCH).total_seconds()
+    return (dt - _EPOCH).total_seconds() + frac
 
 
 def format_aws_timestamp(epoch_seconds: float) -> str:
-    """Format epoch seconds as the ``Z``-suffixed ISO form AWS emits."""
-    dt = _EPOCH + _dt.timedelta(seconds=float(epoch_seconds))
-    return dt.strftime("%Y-%m-%dT%H:%M:%SZ")
+    """Format epoch seconds as the ``Z``-suffixed ISO form AWS emits.
+
+    Whole seconds keep AWS's exact shape (``2015-02-01T00:04:17Z``); a
+    fractional second is appended at nanosecond precision with trailing
+    zeros trimmed (``...T00:04:17.25Z``), so sub-second change points
+    survive the CSV round-trip instead of collapsing onto one second.
+    """
+    total = round(float(epoch_seconds), _FRAC_DIGITS)
+    secs = math.floor(total)
+    frac = round(total - secs, _FRAC_DIGITS)
+    if frac >= 1.0:  # rounding carried into the next second
+        secs += 1
+        frac = 0.0
+    dt = _EPOCH + _dt.timedelta(seconds=secs)
+    base = dt.strftime("%Y-%m-%dT%H:%M:%S")
+    if frac > 0.0:
+        base += f"{frac:.{_FRAC_DIGITS}f}".rstrip("0")[1:]  # '.dddd', no leading 0
+    return base + "Z"
 
 
 def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
@@ -76,7 +112,11 @@ def load_aws_csv(
     instance_type / availability_zone:
         Optional filters; required if the file mixes several markets.
     horizon:
-        Validity end; defaults to one hour past the last record.
+        Validity end, **in the returned trace's time frame**: when
+        ``rebase_to_zero`` is true (the default) that frame is seconds
+        since the first record, NOT epoch seconds — a raw epoch horizon
+        would silently mix frames. Must be strictly later than the last
+        (rebased) change point. Defaults to one hour past the last record.
     rebase_to_zero:
         Shift times so the first record is at t=0 (what the simulator
         expects).
@@ -84,8 +124,9 @@ def load_aws_csv(
     Raises
     ------
     TraceFormatError
-        On malformed rows, empty selections, or ambiguous (multi-market)
-        content when no filter is given.
+        On malformed rows, empty selections, ambiguous (multi-market)
+        content when no filter is given, or a ``horizon`` at or before
+        the last change point in the trace's frame.
     """
     fh, should_close = _open_for_read(source)
     try:
@@ -137,6 +178,13 @@ def load_aws_csv(
 
     if rebase_to_zero:
         times = times - times[0]
+    if horizon is not None and horizon <= times[-1]:
+        frame = "rebased (seconds since first record)" if rebase_to_zero else "epoch"
+        raise TraceFormatError(
+            f"horizon {horizon} is not after the last change point "
+            f"{float(times[-1])} in the trace's {frame} frame; pass a "
+            "horizon in that frame, strictly past the final record"
+        )
     end = horizon if horizon is not None else float(times[-1] + 3600.0)
     return PriceTrace(times, prices, end, market=itype, region=az)
 
@@ -158,7 +206,12 @@ def save_aws_csv(
         writer = csv.writer(fh)
         writer.writerow(_HEADER)
         for t, p in zip(trace.times, trace.prices):
-            writer.writerow([format_aws_timestamp(t + epoch_offset), itype, product, az, f"{p:.6f}"])
+            # repr precision: the shortest decimal that parses back to the
+            # identical float, so prices survive the round-trip exactly
+            # (AWS's own %.6f shape truncates sub-microdollar rates).
+            writer.writerow(
+                [format_aws_timestamp(t + epoch_offset), itype, product, az, repr(float(p))]
+            )
 
     if isinstance(dest, (str, Path)):
         with open(dest, "w", newline="") as fh:

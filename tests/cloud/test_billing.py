@@ -93,6 +93,55 @@ class TestOnDemandBilling:
         assert recs[0].kind == "on_demand"
 
 
+class TestExactBoundaryDrift:
+    """Float noise at exact N-hour boundaries must not mint extra hours.
+
+    Lease endpoints come from float sums (``start + k * 3600.0``), so a
+    lease that is N hours long up to one-ulp noise bills exactly N full
+    hours — no spurious "voluntary-full" partial, no rounded-up N+1.
+    """
+
+    JITTERS = (0.0, 1e-9, 1e-6, -1e-9, -1e-6)
+
+    @pytest.mark.parametrize("jitter", JITTERS)
+    def test_spot_exact_hours_with_jitter(self, jitter):
+        recs = bill_spot_lease(FLAT, 0.0, hours(3) + jitter, revoked=False)
+        assert len(recs) == 3
+        assert all(r.note == "" for r in recs)
+        assert sum(r.amount for r in recs) == pytest.approx(0.30)
+
+    @pytest.mark.parametrize("jitter", JITTERS)
+    def test_spot_exact_hours_with_jitter_nonzero_start(self, jitter):
+        start = hours(41)  # float-noisy absolute times, as mid-sim leases have
+        recs = bill_spot_lease(FLAT, start, start + hours(2) + jitter, revoked=False)
+        assert len(recs) == 2
+        assert all(r.note == "" for r in recs)
+
+    @pytest.mark.parametrize("jitter", JITTERS)
+    def test_on_demand_exact_hours_with_jitter(self, jitter):
+        recs = bill_on_demand_lease(0.06, 0.0, hours(4) + jitter)
+        assert len(recs) == 4
+
+    @pytest.mark.parametrize("jitter", JITTERS)
+    def test_boundaries_exact_hours_with_jitter(self, jitter):
+        bs = billing_boundaries(0.0, hours(3) + jitter)
+        assert bs == [hours(1), hours(2)]
+
+    def test_genuine_partial_hour_still_billed(self):
+        # The epsilon absorbs float noise only — a real partial hour of a
+        # second is still a voluntary-full charge.
+        recs = bill_spot_lease(FLAT, 0.0, hours(2) + 1.0, revoked=False)
+        assert len(recs) == 3
+        assert recs[-1].note == "voluntary-full"
+
+    def test_revoked_near_boundary_not_given_free_full_hour(self):
+        # Revoked 1e-9 s before the 3-hour mark: three hours were consumed
+        # up to noise, so all three bill (none is a free partial).
+        recs = bill_spot_lease(FLAT, 0.0, hours(3) - 1e-9, revoked=True)
+        assert len(recs) == 3
+        assert sum(r.amount for r in recs) == pytest.approx(0.30)
+
+
 class TestBoundaries:
     def test_boundaries_strictly_inside(self):
         bs = billing_boundaries(0.0, hours(3))

@@ -3,12 +3,24 @@
 import math
 
 import numpy as np
-from hypothesis import given
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.cloud.billing import bill_on_demand_lease, bill_spot_lease
 from repro.testkit.strategies import trace_and_lease
 from repro.units import SECONDS_PER_HOUR
+
+
+def _off_boundary(duration: float) -> bool:
+    """True when a duration is not within float noise of an N-hour mark.
+
+    Billing absorbs sub-microsecond drift at exact hour boundaries (see
+    ``repro.cloud.billing``), so the exact-ceil properties only hold away
+    from boundaries; the boundary behaviour itself is pinned by unit
+    tests in ``tests/cloud/test_billing.py``.
+    """
+    frac = duration % SECONDS_PER_HOUR
+    return 0.01 < frac < SECONDS_PER_HOUR - 0.01
 
 
 @given(trace_and_lease(), st.booleans())
@@ -31,6 +43,7 @@ def test_revoked_never_costs_more_than_voluntary(args):
 @given(trace_and_lease())
 def test_record_count_matches_hours(args):
     trace, start, end = args
+    assume(_off_boundary(end - start))
     recs = bill_spot_lease(trace, start, end, revoked=False)
     assert len(recs) == math.ceil((end - start) / SECONDS_PER_HOUR)
 
@@ -56,9 +69,10 @@ def test_rates_are_trace_prices(args):
     st.floats(min_value=0.0, max_value=100 * SECONDS_PER_HOUR),
 )
 def test_on_demand_bill_is_ceil_hours_times_rate(rate, start, dur):
-    recs = bill_on_demand_lease(rate, start, start + dur)
-    total = sum(r.amount for r in recs)
     end = start + dur  # float addition may absorb a tiny dur entirely
+    assume(_off_boundary(end - start))
+    recs = bill_on_demand_lease(rate, start, end)
+    total = sum(r.amount for r in recs)
     np.testing.assert_allclose(
         total, math.ceil((end - start) / SECONDS_PER_HOUR) * rate, rtol=1e-9
     )
