@@ -242,7 +242,8 @@ def _open_ledger(
     an existing ledger is validated against ``batch_fp`` — a mismatch is a
     hard :class:`~repro.errors.LedgerError`, never a silent partial reuse
     — and its intact run records become pre-filled result slots. Without
-    ``resume`` (or when no file exists yet) a fresh ledger is started.
+    ``resume`` (or when no file exists yet) a fresh ledger is started;
+    :meth:`RunLedger.start` refuses to clobber a same-batch journal.
     """
     if ledger is None:
         return None, {}, False
@@ -316,7 +317,10 @@ def run_batch(
         Journal each completed run to this append-only JSONL file (a
         directory gets one per-batch file named by batch fingerprint).
         Appends are atomic, so an orchestrator killed mid-batch loses at
-        most the run it was writing. See :mod:`repro.runtime.ledger`.
+        most the run it was writing. Without ``resume``, an existing
+        ledger already journaling this same batch is refused (not
+        silently truncated) — pass ``resume=True`` or delete the file.
+        See :mod:`repro.runtime.ledger`.
     resume:
         With ``ledger``, validate an existing journal's batch fingerprint
         and replay its completed runs instead of re-executing them —

@@ -15,9 +15,11 @@ Guarantees
   with a single ``write`` + ``flush`` + ``fsync``. A crash (SIGKILL, OOM,
   power loss) can tear at most the final line.
 * **Torn tails are tolerated.** On load, a trailing record that does not
-  parse as JSON is dropped and its run simply re-executes. A corrupt
-  record *before* an intact one means the file was edited, not torn —
-  that is a hard :class:`~repro.errors.LedgerError`.
+  parse as JSON (or was never newline-terminated) is truncated from the
+  file and its run simply re-executes, so appends made after recovery
+  always start on a fresh line — even across repeated crash/resume
+  cycles. A corrupt record *before* an intact one means the file was
+  edited, not torn — that is a hard :class:`~repro.errors.LedgerError`.
 * **Fingerprinted headers.** The header carries the batch fingerprint
   (package version + ordered per-spec content hashes, which subsume each
   run's catalog identity). Resuming against a batch whose fingerprint
@@ -80,11 +82,36 @@ def resolve_ledger_path(ledger: Union[str, Path], fingerprint: str) -> Path:
     single batch's ledger file.
     """
     path = Path(ledger)
-    trailing_sep = str(ledger).endswith(os.sep)
+    raw = str(ledger)
+    # A trailing "/" spells directory intent on every platform; also honor
+    # the native separators so "dir\\" works on Windows.
+    trailing_sep = raw.endswith(("/", os.sep)) or (
+        os.altsep is not None and raw.endswith(os.altsep)
+    )
     if path.is_dir() or trailing_sep:
         path.mkdir(parents=True, exist_ok=True)
         return path / f"batch-{fingerprint[:16]}.jsonl"
     return path
+
+
+def _header_fingerprint(path: Path) -> Optional[str]:
+    """The batch fingerprint in ``path``'s header record, or ``None`` when
+    the file is missing or its first line is not an intact header."""
+    try:
+        with open(path, "rb") as fh:
+            first = fh.readline()
+    except OSError:
+        return None
+    if not first.endswith(b"\n"):
+        return None
+    try:
+        record = json.loads(first.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or record.get("kind") != "header":
+        return None
+    fingerprint = record.get("fingerprint")
+    return str(fingerprint) if fingerprint is not None else None
 
 
 def _result_to_dict(result: SimulationResult) -> Dict[str, Any]:
@@ -126,11 +153,23 @@ class RunLedger:
     # ------------------------------------------------------------- writing
     @classmethod
     def start(cls, path: Union[str, Path], fingerprint: str, runs: int) -> "RunLedger":
-        """Create a fresh ledger (truncating any existing file) and write
-        its batch header."""
+        """Create a fresh ledger and write its batch header.
+
+        Refuses to overwrite an existing ledger whose header names the
+        *same* batch fingerprint: that journal is resumable, and silently
+        truncating it (e.g. a rerun that forgot ``--resume``) would
+        irreversibly destroy completed work. A file holding a different
+        batch — or unreadable garbage — is overwritten as before.
+        """
         from repro._version import __version__
 
         ledger = cls(path)
+        if _header_fingerprint(ledger.path) == fingerprint:
+            raise LedgerError(
+                f"ledger {ledger.path} already journals this exact batch; "
+                "resume it with resume=True (--resume), or delete the file "
+                "to discard the journaled runs and start over"
+            )
         ledger.path.parent.mkdir(parents=True, exist_ok=True)
         ledger._fh = open(ledger.path, "w", encoding="utf-8")
         ledger._append(
@@ -184,29 +223,36 @@ class RunLedger:
         """Parse an existing ledger for resumption.
 
         Returns the ledger (positioned to append further records) and its
-        :class:`LedgerState`. Tolerates exactly one torn trailing line;
-        any other structural damage raises :class:`LedgerError`.
+        :class:`LedgerState`. Tolerates exactly one torn trailing line —
+        unparseable, or never newline-terminated — which is **truncated
+        from the file** so that later appends start on a fresh line
+        (otherwise the first post-resume record would concatenate onto
+        the fragment, corrupting the journal for every subsequent
+        resume). Any other structural damage raises :class:`LedgerError`.
         """
         path = Path(path)
         try:
-            raw = path.read_text(encoding="utf-8")
+            data = path.read_bytes()
         except OSError as exc:
             raise LedgerError(f"cannot read ledger {path}: {exc}") from exc
-        lines = raw.split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
+        terminated = data.endswith(b"\n")
+        lines = data.split(b"\n")
+        if terminated:
+            lines.pop()  # the empty sentinel after the final newline
         if not lines:
             raise LedgerError(f"ledger {path} is empty")
 
         parsed: list[Dict[str, Any]] = []
+        intact_end = 0  # byte offset just past the last intact record
         dropped_torn_tail = False
-        for lineno, line in enumerate(lines, start=1):
+        for lineno, raw_line in enumerate(lines, start=1):
+            last = lineno == len(lines)
             try:
-                record = json.loads(line)
+                record = json.loads(raw_line.decode("utf-8"))
                 if not isinstance(record, dict):
                     raise ValueError("record is not an object")
-            except ValueError as exc:
-                if lineno == len(lines):
+            except (ValueError, UnicodeDecodeError) as exc:
+                if last:
                     # A crash mid-append tears at most the final line.
                     dropped_torn_tail = True
                     break
@@ -214,7 +260,13 @@ class RunLedger:
                     f"ledger {path} line {lineno} is corrupt (not a torn "
                     f"tail — the file was modified): {exc}"
                 ) from exc
+            if last and not terminated:
+                # Parses, but the crash cut the trailing newline: the
+                # append never completed, so the record is not durable.
+                dropped_torn_tail = True
+                break
             parsed.append(record)
+            intact_end += len(raw_line) + 1
 
         if not parsed or parsed[0].get("kind") != "header":
             raise LedgerError(f"ledger {path} does not start with a header record")
@@ -253,5 +305,19 @@ class RunLedger:
             records=records,
             dropped_torn_tail=dropped_torn_tail,
         )
+        if dropped_torn_tail:
+            # Cut the torn fragment out of the file *before* handing back
+            # an append handle; appending after a fragment would weld new
+            # JSON onto it, and the next load would reject the weld as
+            # interior corruption.
+            try:
+                with open(path, "r+b") as fh:
+                    fh.truncate(intact_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            except OSError as exc:
+                raise LedgerError(
+                    f"cannot truncate torn tail of ledger {path}: {exc}"
+                ) from exc
         ledger = cls(path)
         return ledger, state

@@ -50,9 +50,10 @@ __all__ = [
 def _canonical(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-encodable canonical form.
 
-    The reduction is *structural*: dataclasses become ``[class name,
-    {field: value}]``, enums their class + value, mappings sorted key/value
-    lists, and callables their qualified name. Two objects reduce to the
+    The reduction is *structural*: dataclasses become ``[module-qualified
+    class name, {field: value}]``, enums their module-qualified class +
+    value, mappings sorted key/value lists, and callables their
+    module-qualified name. Two objects reduce to the
     same form iff they would configure a simulation identically, which is
     what the run ledger's fingerprints need — no pickle bytes (unstable
     across interpreter versions), no ``id()``s, no dict ordering.
@@ -63,13 +64,17 @@ def _canonical(obj: Any) -> Any:
         # repr round-trips exactly; JSON uses the same shortest form.
         return obj
     if isinstance(obj, enum.Enum):
-        return ["enum", type(obj).__name__, _canonical(obj.value)]
+        # Module-qualified, like callables below: two same-named enums from
+        # different modules must not fingerprint identically.
+        cls = type(obj)
+        return ["enum", f"{cls.__module__}.{cls.__qualname__}", _canonical(obj.value)]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
         fields = {
             f.name: _canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
         }
-        return [type(obj).__name__, fields]
+        return [f"{cls.__module__}.{cls.__qualname__}", fields]
     if isinstance(obj, Mapping):
         items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
         return ["map", sorted(items, key=lambda kv: json.dumps(kv[0], sort_keys=True))]

@@ -83,6 +83,33 @@ class TestFingerprints:
         fp = spec_fingerprint(_spec().with_(strategy=factory))
         assert fp == spec_fingerprint(_spec().with_(strategy=factory))
 
+    def test_same_named_dataclasses_from_different_modules_differ(self):
+        from repro.runtime.spec import _canonical
+
+        def make(module):
+            @dataclasses.dataclass(frozen=True)
+            class Overrides:
+                x: int = 1
+
+            Overrides.__module__ = module
+            Overrides.__qualname__ = "Overrides"
+            return Overrides
+
+        assert _canonical(make("ext_a")()) != _canonical(make("ext_b")())
+
+    def test_same_named_enums_from_different_modules_differ(self):
+        import enum
+
+        from repro.runtime.spec import _canonical
+
+        def make(module):
+            Mode = enum.Enum("Mode", ["FAST"])
+            Mode.__module__ = module
+            Mode.__qualname__ = "Mode"
+            return Mode
+
+        assert _canonical(make("ext_a").FAST) != _canonical(make("ext_b").FAST)
+
 
 # ------------------------------------------------------------------ journaling
 class TestJournaling:
@@ -117,6 +144,20 @@ class TestJournaling:
         expected = resolve_ledger_path(tmp_path, batch_fingerprint(_specs(1, 2)))
         assert expected in files
 
+    def test_trailing_slash_spells_directory_intent(self, tmp_path):
+        # "/" is directory intent on every platform, not just where it
+        # happens to equal os.sep; the directory is created on demand.
+        fp = batch_fingerprint(_specs(1))
+        resolved = resolve_ledger_path(str(tmp_path / "ledgers") + "/", fp)
+        assert resolved.parent == tmp_path / "ledgers"
+        assert resolved.parent.is_dir()
+        assert resolved.name == f"batch-{fp[:16]}.jsonl"
+
+    def test_plain_file_path_used_verbatim(self, tmp_path):
+        fp = batch_fingerprint(_specs(1))
+        target = tmp_path / "one.jsonl"
+        assert resolve_ledger_path(target, fp) == target
+
     def test_resume_missing_file_starts_fresh(self, tmp_path):
         led = tmp_path / "new.jsonl"
         batch = run_batch(_specs(1, 2), ledger=led, resume=True)
@@ -128,11 +169,23 @@ class TestJournaling:
         with pytest.raises(ConfigurationError):
             run_batch(_specs(1), resume=True)
 
-    def test_without_resume_existing_ledger_overwritten(self, tmp_path):
+    def test_without_resume_same_batch_ledger_refused(self, tmp_path):
+        # Forgetting --resume must not silently destroy a resumable
+        # journal for the very batch being rerun.
         led = tmp_path / "batch.jsonl"
         run_batch(_specs(1, 2), ledger=led)
-        run_batch(_specs(1, 2), ledger=led)  # fresh journal, not doubled
-        assert len(_ledger_lines(led)) == 3
+        before = _ledger_lines(led)
+        with pytest.raises(LedgerError, match="resume"):
+            run_batch(_specs(1, 2), ledger=led)
+        assert _ledger_lines(led) == before  # journal untouched
+
+    def test_without_resume_different_batch_ledger_overwritten(self, tmp_path):
+        led = tmp_path / "batch.jsonl"
+        run_batch(_specs(1, 2), ledger=led)
+        run_batch(_specs(5, 6), ledger=led)  # different batch: fresh journal
+        lines = _ledger_lines(led)
+        assert len(lines) == 3
+        assert json.loads(lines[0])["fingerprint"] == batch_fingerprint(_specs(5, 6))
 
 
 # --------------------------------------------------------------------- resume
@@ -163,6 +216,68 @@ class TestResume:
         resumed = run_batch(_specs(1, 2, 3), ledger=led, resume=True)
         assert resumed.results == base.results
         assert resumed.telemetry.replayed_runs == 2  # torn run re-executed
+
+    def test_torn_tail_truncated_on_load(self, tmp_path):
+        led = tmp_path / "batch.jsonl"
+        run_batch(_specs(1, 2, 3), ledger=led)
+        lines = _ledger_lines(led)
+        intact = "\n".join(lines[:3]) + "\n"
+        led.write_text(intact + lines[3][: len(lines[3]) // 2])
+
+        _, state = RunLedger.load(led)
+        assert state.dropped_torn_tail
+        # The fragment is physically gone: only intact records remain,
+        # newline-terminated, so post-resume appends start a fresh line.
+        assert led.read_text() == intact
+
+    def test_torn_tail_resume_survives_repeated_crash_resume_cycles(self, tmp_path):
+        # Regression: appending after an un-truncated torn fragment used
+        # to weld the next record onto it, so the *second* resume saw a
+        # corrupt interior line and bricked the journal for good.
+        led = tmp_path / "batch.jsonl"
+        base = run_batch(_specs(1, 2, 3))
+        run_batch(_specs(1, 2, 3), ledger=led)
+        lines = _ledger_lines(led)
+        led.write_text("\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2])
+
+        first = run_batch(_specs(1, 2, 3), ledger=led, resume=True)
+        assert first.results == base.results
+
+        # The healed ledger must load cleanly and hold the full batch.
+        _, state = RunLedger.load(led)
+        assert not state.dropped_torn_tail
+        assert sorted(state.records) == [0, 1, 2]
+
+        # A second resume replays everything, still byte-identical.
+        second = run_batch(_specs(1, 2, 3), ledger=led, resume=True)
+        assert second.results == base.results
+        assert second.telemetry.replayed_runs == 3
+
+        # Tear it again and resume again: still recoverable.
+        lines = _ledger_lines(led)
+        led.write_text("\n".join(lines[:3]) + "\n" + lines[3][:10])
+        third = run_batch(_specs(1, 2, 3), ledger=led, resume=True)
+        assert third.results == base.results
+        assert third.telemetry.replayed_runs == 2
+        assert sorted(RunLedger.load(led)[1].records) == [0, 1, 2]
+
+    def test_unterminated_final_line_treated_as_torn(self, tmp_path):
+        # A record whose newline never hit the disk is not durable even
+        # if its JSON happens to parse — drop it and re-execute the run.
+        led = tmp_path / "batch.jsonl"
+        base = run_batch(_specs(1, 2, 3))
+        run_batch(_specs(1, 2, 3), ledger=led)
+        lines = _ledger_lines(led)
+        led.write_text("\n".join(lines))  # strip only the final newline
+
+        _, state = RunLedger.load(led)
+        assert state.dropped_torn_tail
+        assert len(state.records) == 2
+
+        resumed = run_batch(_specs(1, 2, 3), ledger=led, resume=True)
+        assert resumed.results == base.results
+        assert resumed.telemetry.replayed_runs == 2
+        assert sorted(RunLedger.load(led)[1].records) == [0, 1, 2]
 
     def test_corrupt_interior_record_is_hard_error(self, tmp_path):
         led = tmp_path / "batch.jsonl"
