@@ -15,7 +15,13 @@ by copying the current file after an intentional perf change.
   sweep (32 proactive variants x 2 seeds) at ``jobs=4`` with the
   shared-memory plan on and off — the win comes from per-run fan-out: the
   grouped fallback can only parallelise as wide as the number of distinct
-  catalogs (2 here).
+  catalogs (2 here). The parallel-speedup entry is only recorded on boxes
+  with real cores; a 1-core container degenerates to serial-plus-overhead
+  and its ratio would gate nothing meaningful.
+* ``test_bench_batch_sweep_64_vector_vs_event`` times the same 64-run
+  sweep serially through both execution engines and asserts the vector
+  engine's speedup; ``test_bench_frontier_sweep_10k`` scales it to a
+  10k-run frontier sweep (slow lane) with an under-a-minute budget.
 """
 
 import json
@@ -168,12 +174,17 @@ def test_bench_batch_sweep_64_shm_vs_grouped():
     assert shm.telemetry.shm_catalogs == 2 and grouped.telemetry.shm_catalogs == 0
     speedup = grouped_s / shm_s
     cores = os.cpu_count() or 1
-    record(
+    entries = dict(
         batch_sweep_64_serial_s={"value": serial_s, "unit": "s"},
         batch_sweep_64_shm_s={"value": shm_s, "unit": "s"},
         batch_sweep_64_grouped_s={"value": grouped_s, "unit": "s"},
-        batch_sweep_64_speedup_x={"value": speedup, "unit": "x"},
     )
+    if cores > 2:
+        # A parallel "speedup" measured on a 1- or 2-core box is pool
+        # overhead, not fan-out width — recording it would gate noise
+        # (entry 1 recorded a misleading 0.92x exactly this way).
+        entries["batch_sweep_64_speedup_x"] = {"value": speedup, "unit": "x"}
+    record(**entries)
     print(
         f"\n64-run sweep @ jobs={jobs} ({cores} cores): serial {serial_s:.3f}s, "
         f"shm {shm_s:.3f}s, grouped {grouped_s:.3f}s, {speedup:.2f}x"
@@ -184,3 +195,85 @@ def test_bench_batch_sweep_64_shm_vs_grouped():
         assert shm_s <= grouped_s * 1.25, (
             f"shm fan-out regressed even single-core: {shm_s:.3f}s vs {grouped_s:.3f}s"
         )
+
+
+# --------------------------------------------------- vector engine sweeps
+@pytest.mark.benchmark(group="batch-sweep")
+def test_bench_batch_sweep_64_vector_vs_event():
+    """The vector engine must beat the event engine on the 64-run sweep.
+
+    Both engines run serially in-process against a warm catalog cache, so
+    the ratio isolates the execution engines from catalog builds and
+    machine-speed drift (the committed entry-2 baseline additionally pins
+    the absolute vector wall-clock). The floor is deliberately below the
+    typically measured ~9x: shared runners throttle, and this gate exists
+    to catch an accidental fallback to per-event execution, not jitter.
+    """
+    runs = sweep_runs()
+    cache = TraceCatalogCache()
+    event = run_batch(runs, engine="event", cache=cache)  # warms the cache
+    vector = run_batch(runs, engine="auto", cache=cache)
+    assert list(vector.results) == list(event.results)
+    assert vector.telemetry.vector_runs == 64
+    assert vector.telemetry.vector_checks > 0
+    event_s = best_of(lambda: run_batch(runs, engine="event", cache=cache))
+    vector_s = best_of(lambda: run_batch(runs, engine="auto", cache=cache))
+    speedup = event_s / vector_s
+    record(
+        batch_sweep_64_event_s={"value": event_s, "unit": "s"},
+        batch_sweep_64_vector_s={"value": vector_s, "unit": "s"},
+        batch_sweep_64_vector_speedup_x={"value": speedup, "unit": "x"},
+    )
+    print(
+        f"\n64-run sweep serial: event {event_s:.3f}s, vector {vector_s:.3f}s, "
+        f"{speedup:.1f}x ({vector.telemetry.deduped_runs} deduped, "
+        f"{vector.telemetry.vector_checks} checks)"
+    )
+    assert speedup >= 4.0, f"vector engine only {speedup:.2f}x over per-event"
+
+
+@pytest.mark.benchmark(group="batch-sweep")
+@pytest.mark.slow
+def test_bench_frontier_sweep_10k():
+    """A 10k-run cost-availability frontier sweep finishes under a minute.
+
+    10 catalog seeds x 1000 policy variants (100 bid multipliers x 5
+    reverse thresholds x 2 strategies), all vector-routed. Bid caps make
+    many high-k variants dynamics-identical, so the engine executes the
+    unique frontier and clones the twins — the telemetry decomposition is
+    printed so the dedupe share stays visible rather than implied.
+    """
+    key = MarketKey(REGION, "small")
+    runs = []
+    for seed in range(10):
+        for k in np.linspace(1.5, 9.0, 100):
+            for frac in (0.80, 0.85, 0.90, 0.95, 0.99):
+                for strat in (StrategySpec.single(key), StrategySpec.pure_spot(key)):
+                    runs.append(
+                        RunSpec(
+                            strategy=strat,
+                            bidding=ProactiveBidding(
+                                k=float(k), reverse_threshold_frac=frac
+                            ),
+                            seed=seed,
+                            horizon_s=days(30),
+                            regions=(REGION,),
+                            sizes=("small",),
+                            label=f"s{seed}/k={k:.2f}/f={frac}",
+                        )
+                    )
+    assert len(runs) == 10_000
+    cache = TraceCatalogCache()
+    run_batch(runs[:20], engine="auto", cache=cache)  # warm one catalog + code
+    t0 = time.perf_counter()
+    batch = run_batch(runs, engine="auto", cache=cache)
+    wall = time.perf_counter() - t0
+    tel = batch.telemetry
+    executed = tel.runs - tel.deduped_runs
+    record(batch_sweep_10k_vector_s={"value": wall, "unit": "s"})
+    print(
+        f"\n10k frontier sweep: {wall:.1f}s ({tel.vector_runs} vector, "
+        f"{executed} executed + {tel.deduped_runs} deduped clones)"
+    )
+    assert tel.vector_runs == 10_000
+    assert wall < 60.0, f"10k frontier sweep took {wall:.1f}s (budget 60s)"

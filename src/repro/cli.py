@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the per-seed fan-out "
                    "(default 1 = serial; results are identical)")
+    p.add_argument("--engine", choices=("auto", "event", "vector"), default="auto",
+                   help="execution engine: 'auto' (default) vectorizes "
+                   "eligible seed batches, 'event'/'vector' force one "
+                   "engine — results are bit-identical either way")
     p.add_argument("--csv", type=str, default=None,
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
@@ -167,18 +171,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             # The CSV replay is a single in-process run that bypasses
             # run_batch, so capture its observability directly.
             sink = MemorySink() if want_trace else NULL_SINK
-            observed = run_simulation_observed(cfg, sink=sink)
+            # A single replay has no batch to route; only a forced
+            # --engine vector changes the stack (results are identical).
+            one_engine = "vector" if args.engine == "vector" else "event"
+            observed = run_simulation_observed(cfg, sink=sink, engine=one_engine)
             results = [observed.result]
             scope.add_run(
                 observed.result.label,
                 cfg.seed,
                 events=tuple(e.to_dict() for e in sink.events) if want_trace else None,
                 metrics=observed.metrics.to_dict(),
+                engine=observed.engine_kind,
             )
         else:
             results = run_many(
                 cfg, args.seeds, jobs=args.jobs,
                 ledger=args.ledger, resume=args.resume,
+                engine=args.engine,
             )
     for r in results:
         t.add_row(

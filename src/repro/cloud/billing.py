@@ -26,13 +26,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import MarketError
 from repro.traces.trace import PriceTrace
 from repro.units import SECONDS_PER_HOUR
 
-__all__ = ["BillingRecord", "bill_spot_lease", "bill_on_demand_lease", "billing_boundaries"]
+__all__ = [
+    "BillingRecord",
+    "LeaseBilling",
+    "spot_lease_billing",
+    "on_demand_lease_billing",
+    "bill_spot_lease",
+    "bill_on_demand_lease",
+    "billing_boundaries",
+]
 
 #: Relative tolerance for hour-boundary comparisons.
 _REL_EPS = 1e-9
@@ -80,13 +90,79 @@ def billing_boundaries(start: float, end: float) -> List[float]:
     return out
 
 
-def bill_spot_lease(
+class LeaseBilling:
+    """One lease's billed hours, held as parallel arrays.
+
+    The array form exists because a month-long run bills ~720 hours and
+    materialising a :class:`BillingRecord` per hour dominated batch-sweep
+    profiles. Hour starts are ``start + k * 3600.0`` computed elementwise
+    (the identical float operation the per-hour loop performed), and
+    rates come from the trace's array ``price_at`` (the same
+    ``searchsorted`` indices the scalar bisect produces), so
+    :meth:`records` materialises byte-identical values on demand.
+
+    ``final_note`` annotates the last hour only (``"revoked-free"`` /
+    ``"voluntary-full"``), matching the scalar billing rules.
+    """
+
+    __slots__ = ("hour_starts", "rates", "amounts", "kind", "final_note", "_records")
+
+    def __init__(
+        self,
+        hour_starts: np.ndarray,
+        rates: np.ndarray,
+        amounts: np.ndarray,
+        kind: str,
+        final_note: str = "",
+    ) -> None:
+        self.hour_starts = hour_starts
+        self.rates = rates
+        self.amounts = amounts
+        self.kind = kind
+        self.final_note = final_note
+        self._records: Optional[List[BillingRecord]] = None
+
+    def __len__(self) -> int:
+        return len(self.hour_starts)
+
+    @property
+    def total(self) -> float:
+        """Total charged, summed left-to-right like ``sum`` over records."""
+        total = 0.0
+        for a in self.amounts.tolist():
+            total += a
+        return total
+
+    def records(self) -> List[BillingRecord]:
+        """Materialise (and cache) the per-hour :class:`BillingRecord` list."""
+        if self._records is None:
+            n = len(self.hour_starts)
+            hs = self.hour_starts.tolist()
+            rates = self.rates.tolist()
+            amounts = self.amounts.tolist()
+            self._records = [
+                BillingRecord(
+                    hs[i],
+                    rates[i],
+                    amounts[i],
+                    self.kind,
+                    note=self.final_note if i == n - 1 else "",
+                )
+                for i in range(n)
+            ]
+        return self._records
+
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+def spot_lease_billing(
     trace: PriceTrace,
     start: float,
     end: float,
     revoked: bool,
-) -> List[BillingRecord]:
-    """Bill a spot lease running on [start, end).
+) -> LeaseBilling:
+    """Bill a spot lease running on [start, end), as arrays.
 
     Full hours are charged at the spot price in force at the hour's start.
     The final partial hour (if any) is free when ``revoked``, and charged
@@ -94,41 +170,56 @@ def bill_spot_lease(
     """
     if end < start:
         raise MarketError(f"lease ends before it starts: [{start}, {end}]")
-    records: List[BillingRecord] = []
     if end == start:
-        return records
+        return LeaseBilling(_EMPTY, _EMPTY, _EMPTY, "spot")
     tol = _boundary_tolerance(start, end)
     # An N-hour lease with up-to-tolerance float noise on either side
     # counts exactly N full hours.
     n_full = int(math.floor((end - start + tol) / SECONDS_PER_HOUR))
-    for k in range(n_full):
-        hs = start + k * SECONDS_PER_HOUR
-        rate = float(trace.price_at(hs))
-        records.append(BillingRecord(hs, rate, rate, "spot"))
     last_start = start + n_full * SECONDS_PER_HOUR
-    if last_start < end - tol:
-        rate = float(trace.price_at(last_start))
-        if revoked:
-            records.append(BillingRecord(last_start, rate, 0.0, "spot", note="revoked-free"))
-        else:
-            records.append(BillingRecord(last_start, rate, rate, "spot", note="voluntary-full"))
-    return records
+    partial = last_start < end - tol
+    n = n_full + (1 if partial else 0)
+    # Identical floats to the scalar loop: k * 3600.0 then start + x.
+    hour_starts = start + np.arange(n, dtype=np.float64) * SECONDS_PER_HOUR
+    rates = trace.prices[trace._index_at(hour_starts)]
+    note = ""
+    amounts = rates
+    if partial and revoked:
+        note = "revoked-free"
+        amounts = rates.copy()
+        amounts[-1] = 0.0
+    elif partial:
+        note = "voluntary-full"
+    return LeaseBilling(hour_starts, rates, amounts, "spot", final_note=note)
 
 
-def bill_on_demand_lease(rate: float, start: float, end: float) -> List[BillingRecord]:
-    """Bill an on-demand lease: fixed rate, partial hours rounded up."""
+def on_demand_lease_billing(rate: float, start: float, end: float) -> LeaseBilling:
+    """Bill an on-demand lease as arrays: fixed rate, partials round up."""
     if end < start:
         raise MarketError(f"lease ends before it starts: [{start}, {end}]")
     if rate < 0:
         raise MarketError(f"negative on-demand rate {rate}")
-    records: List[BillingRecord] = []
     if end == start:
-        return records
+        return LeaseBilling(_EMPTY, _EMPTY, _EMPTY, "on_demand")
     tol = _boundary_tolerance(start, end)
     # Round up, but never on float noise alone: an N-hour lease plus a
     # sub-tolerance sliver is N hours, not N+1.
     n_hours = int(math.ceil((end - start - tol) / SECONDS_PER_HOUR))
-    for k in range(n_hours):
-        hs = start + k * SECONDS_PER_HOUR
-        records.append(BillingRecord(hs, rate, rate, "on_demand"))
-    return records
+    hour_starts = start + np.arange(n_hours, dtype=np.float64) * SECONDS_PER_HOUR
+    rates = np.full(n_hours, float(rate), dtype=np.float64)
+    return LeaseBilling(hour_starts, rates, rates, "on_demand")
+
+
+def bill_spot_lease(
+    trace: PriceTrace,
+    start: float,
+    end: float,
+    revoked: bool,
+) -> List[BillingRecord]:
+    """Record-list form of :func:`spot_lease_billing` (same values)."""
+    return spot_lease_billing(trace, start, end, revoked).records()
+
+
+def bill_on_demand_lease(rate: float, start: float, end: float) -> List[BillingRecord]:
+    """Record-list form of :func:`on_demand_lease_billing` (same values)."""
+    return on_demand_lease_billing(rate, start, end).records()

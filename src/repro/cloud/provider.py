@@ -19,7 +19,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cloud.billing import BillingRecord, bill_on_demand_lease, bill_spot_lease
+from repro.cloud.billing import (
+    BillingRecord,
+    LeaseBilling,
+    on_demand_lease_billing,
+    spot_lease_billing,
+)
 from repro.cloud.ebs import VolumeStore
 from repro.cloud.spot_market import REVOCATION_GRACE_S, SpotMarket
 from repro.cloud.startup import StartupSampler
@@ -55,15 +60,22 @@ class Lease:
     bid: Optional[float] = None  #: spot only
     ended_at: Optional[float] = None
     end_reason: str = ""
-    records: List[BillingRecord] = field(default_factory=list)
+    #: Billed hours in array form, set at termination (None while active
+    #: or when nothing was billed). ``records`` materialises it on demand.
+    billing: Optional[LeaseBilling] = None
 
     @property
     def active(self) -> bool:
         return self.ended_at is None
 
     @property
+    def records(self) -> List[BillingRecord]:
+        """Per-hour billing records, materialised lazily from ``billing``."""
+        return [] if self.billing is None else self.billing.records()
+
+    @property
     def total_cost(self) -> float:
-        return sum(r.amount for r in self.records)
+        return 0.0 if self.billing is None else self.billing.total
 
     def duration(self) -> float:
         if self.ended_at is None:
@@ -207,7 +219,7 @@ class CloudProvider:
             # Cancelled before it ever became ready: nothing billed.
             lease.ended_at = lease.ready_at
             lease.end_reason = reason or "cancelled"
-            lease.records = []
+            lease.billing = None
             del self._active[lease.lease_id]
             self._emit_terminated(lease, t, revoked=False)
             return lease
@@ -216,11 +228,11 @@ class CloudProvider:
         lease.ended_at = float(t)
         lease.end_reason = reason or ("revoked" if revoked else "terminated")
         if lease.kind is LeaseKind.SPOT:
-            lease.records = bill_spot_lease(
+            lease.billing = spot_lease_billing(
                 self.catalog.trace(lease.market), lease.ready_at, t, revoked
             )
         else:
-            lease.records = bill_on_demand_lease(
+            lease.billing = on_demand_lease_billing(
                 self.on_demand_price(lease.market), lease.ready_at, t
             )
         del self._active[lease.lease_id]

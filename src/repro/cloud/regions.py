@@ -10,6 +10,7 @@ EU-West.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 
@@ -87,11 +88,13 @@ _WAN_LINKS: dict[frozenset[str], RegionLink] = {
 }
 
 
+@lru_cache(maxsize=None)
 def link_between(a: str, b: str) -> RegionLink:
     """The link used to migrate between two availability zones.
 
     Same geo (including the same AZ) -> LAN link; different geo -> the
-    calibrated WAN link for that region pair.
+    calibrated WAN link for that region pair. Links are a small fixed
+    table over a small fixed zone set, so the lookup is memoized.
     """
     ra, rb = region_of(a), region_of(b)
     if ra.geo == rb.geo:

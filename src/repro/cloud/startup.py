@@ -19,7 +19,9 @@ with a modest dispersion, reflecting the paper's "multiple runs".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -53,18 +55,29 @@ class StartupModel:
         if self.cv < 0:
             raise ConfigurationError("startup cv must be >= 0")
 
+    @cached_property
+    def _lognormal_params(self) -> tuple[float, float]:
+        """(mu, sigma) of the underlying normal, derived from mean and cv."""
+        sigma2 = math.log(1.0 + self.cv**2)
+        mu = math.log(self.mean_s) - sigma2 / 2.0
+        return mu, math.sqrt(sigma2)
+
     def sample(self, rng: np.random.Generator, n: int | None = None) -> float | np.ndarray:
         """Draw startup latency samples (seconds)."""
-        if self.cv == 0:
-            out = np.full(n or 1, self.mean_s)
-        else:
-            sigma2 = np.log(1.0 + self.cv**2)
-            mu = np.log(self.mean_s) - sigma2 / 2.0
-            out = rng.lognormal(mu, np.sqrt(sigma2), size=n or 1)
-        out = np.maximum(out, self.min_s)
         if n is None:
-            return float(out[0])
-        return out
+            # Scalar fast path: one draw consumes the identical stream state
+            # (and produces the identical value) as ``size=1`` would.
+            if self.cv == 0:
+                return max(float(self.mean_s), self.min_s)
+            mu, sigma = self._lognormal_params
+            v = float(rng.lognormal(mu, sigma))
+            return v if v > self.min_s else self.min_s
+        if self.cv == 0:
+            out = np.full(n, self.mean_s)
+        else:
+            mu, sigma = self._lognormal_params
+            out = rng.lognormal(mu, sigma, size=n)
+        return np.maximum(out, self.min_s)
 
     @property
     def std_s(self) -> float:
@@ -84,11 +97,18 @@ class StartupSampler:
 
     def model(self, mode: str, zone: str) -> StartupModel:
         """The distribution for a mode ('on_demand'/'spot') in a zone."""
+        m = self._models.get((mode, zone))
+        if m is not None:
+            return m
         geo = region_of(zone).geo
         try:
-            return self._models[(mode, geo)]
+            m = self._models[(mode, geo)]
         except KeyError as exc:
             raise ConfigurationError(f"unknown startup mode {mode!r}") from exc
+        # Alias the zone spelling so repeat lookups skip region resolution
+        # (zone names never collide with geo names).
+        self._models[(mode, zone)] = m
+        return m
 
     def sample(self, mode: str, zone: str) -> float:
         """One startup latency draw in seconds."""

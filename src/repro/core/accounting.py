@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List
 
-from repro.cloud.billing import BillingRecord
+from repro.cloud.billing import BillingRecord, LeaseBilling
 from repro.errors import SchedulingError
 from repro.units import SECONDS_PER_HOUR, percent
 
@@ -35,33 +35,84 @@ class CostEntry:
 
 
 class CostLedger:
-    """Accumulates billing records across every lease of a run."""
+    """Accumulates billing records across every lease of a run.
+
+    Entries are materialised lazily: the hot path (:meth:`add_billing`)
+    folds a lease's billed hours in as arrays and keeps running totals —
+    accumulated in insertion order with the same left-to-right float
+    additions a ``sum`` over the entry list performs — while the
+    :class:`CostEntry` objects themselves are only built when ``entries``
+    is first read (oracles, tests, reports).
+    """
 
     def __init__(self) -> None:
-        self.entries: List[CostEntry] = []
+        self._items: List[tuple] = []  #: (LeaseBilling | records list, market)
+        self._entries: List[CostEntry] | None = []
+        self._total = 0.0
+        self._kind_totals: dict[str, float] = {}
+        self._count = 0
 
     def add_records(self, records: Iterable[BillingRecord], market: str) -> None:
         """Fold a terminated lease's billing records into the ledger."""
+        records = list(records)
+        self._items.append((records, market))
+        self._entries = None
+        total = self._total
+        kinds = self._kind_totals
         for r in records:
-            self.entries.append(
-                CostEntry(
-                    time=r.hour_start,
-                    amount=r.amount,
-                    rate=r.rate,
-                    kind=r.kind,
-                    market=market,
-                    note=r.note,
-                )
-            )
+            total += r.amount
+            kinds[r.kind] = kinds.get(r.kind, 0.0) + r.amount
+        self._total = total
+        self._count += len(records)
+
+    def add_billing(self, billing: LeaseBilling, market: str) -> None:
+        """Array fast path: fold a lease's billed hours without
+        materialising per-hour record objects."""
+        amounts = billing.amounts.tolist()
+        if not amounts:
+            return
+        self._items.append((billing, market))
+        self._entries = None
+        total = self._total
+        kind_total = self._kind_totals.get(billing.kind, 0.0)
+        # Left-to-right, one hour at a time: the exact additions a ``sum``
+        # over the materialised entry list would perform.
+        for amount in amounts:
+            total += amount
+            kind_total += amount
+        self._total = total
+        self._kind_totals[billing.kind] = kind_total
+        self._count += len(amounts)
+
+    @property
+    def entries(self) -> List[CostEntry]:
+        """Every billed hour as a :class:`CostEntry`, in billing order."""
+        if self._entries is None:
+            out: List[CostEntry] = []
+            for item, market in self._items:
+                records = item.records() if isinstance(item, LeaseBilling) else item
+                for r in records:
+                    out.append(
+                        CostEntry(
+                            time=r.hour_start,
+                            amount=r.amount,
+                            rate=r.rate,
+                            kind=r.kind,
+                            market=market,
+                            note=r.note,
+                        )
+                    )
+            self._entries = out
+        return self._entries
 
     @property
     def total(self) -> float:
         """Total spend in USD."""
-        return sum(e.amount for e in self.entries)
+        return self._total
 
     def total_by_kind(self, kind: str) -> float:
         """Spend attributed to one lease kind ('spot' / 'on_demand')."""
-        return sum(e.amount for e in self.entries if e.kind == kind)
+        return self._kind_totals.get(kind, 0.0)
 
     def normalized_cost_percent(self, baseline_rate: float, duration_s: float) -> float:
         """Spend as a percentage of an always-on-demand baseline.

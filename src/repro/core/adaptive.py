@@ -57,6 +57,11 @@ class AdaptiveBidding:
     name: str = "adaptive"
     _cache: Dict[Tuple[str, int], float] = field(default_factory=dict, repr=False)
 
+    #: Not batchable by the vector engine: the bid is recomputed per time
+    #: bucket from trailing history, so the revocation threshold (and with
+    #: it every crossing table) shifts over a tenure.
+    vectorizable = False
+
     def __post_init__(self) -> None:
         if self.max_revocations_per_month < 0:
             raise ConfigurationError("revocation budget must be >= 0")

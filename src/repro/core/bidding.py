@@ -31,7 +31,16 @@ __all__ = ["BiddingPolicy", "ReactiveBidding", "ProactiveBidding"]
 
 
 class BiddingPolicy(Protocol):
-    """What the scheduler needs from a bidding policy."""
+    """What the scheduler needs from a bidding policy.
+
+    Policies may additionally opt into the vectorized batch engine by
+    setting ``vectorizable = True`` and providing
+    ``planned_migration_mask(prices, od)`` / ``reverse_migration_mask``
+    array twins of the scalar predicates. The contract is strict: the
+    bid must be time-invariant within a run and each mask must perform
+    the *same float comparisons* as its scalar twin, elementwise. The
+    engine treats a missing flag as False and falls back per-event.
+    """
 
     name: str
 
@@ -55,12 +64,30 @@ class BiddingPolicy(Protocol):
         """One-line rationale for the bid (attached to trace events)."""
         ...
 
+    def dynamics_signature(self, od_prices) -> object | None:
+        """Optional: a hashable token identifying the policy's *dynamics*.
+
+        Two policies with equal signatures place the identical bid in
+        every market (given the per-market on-demand prices) and apply
+        identical migration predicates — so over the same trace catalog,
+        strategy, and seed they drive byte-identical runs. The batch
+        executor uses this to run one representative of a
+        dynamics-identical group and clone the rest. Return ``None`` (or
+        omit the method) for stateful or time-varying policies.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class ReactiveBidding:
     """Bid the on-demand price; let the provider's revocation do the work."""
 
     name: str = "reactive"
+
+    #: The vector engine may batch runs under this policy: the bid is
+    #: time-invariant and both ``wants_*`` predicates are pure functions
+    #: of their arguments (mirrored below as array masks).
+    vectorizable = True
 
     def bid_price(self, market: SpotMarket, t: float = 0.0) -> float:
         return market.on_demand_price
@@ -73,8 +100,25 @@ class ReactiveBidding:
     def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
         return spot_price <= on_demand_price
 
+    def planned_migration_mask(self, spot_prices, on_demand_price: float):
+        """Array form of :meth:`wants_planned_migration` (always False)."""
+        import numpy as np
+
+        return np.zeros(np.shape(spot_prices), dtype=bool)
+
+    def reverse_migration_mask(self, spot_prices, on_demand_price: float):
+        """Array form of :meth:`wants_reverse_migration` — identical
+        comparison, elementwise."""
+        return spot_prices <= on_demand_price
+
     def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
         return f"match on-demand ${market.on_demand_price:.4f}; platform revokes on crossing"
+
+    def dynamics_signature(self, od_prices) -> tuple:
+        """Reactive dynamics depend only on the on-demand prices (the bid
+        *is* the on-demand price); the name rides along so default result
+        labels stay distinct across differently-named instances."""
+        return (self.name, "reactive")
 
     @property
     def is_proactive(self) -> bool:
@@ -95,6 +139,9 @@ class ProactiveBidding:
     reverse_threshold_frac: float = 0.9
     name: str = "proactive"
 
+    #: Static bid, pure predicates: safe for the vector engine to batch.
+    vectorizable = True
+
     def __post_init__(self) -> None:
         if self.k <= 1.0:
             raise ConfigurationError(f"proactive bid multiplier must exceed 1, got {self.k}")
@@ -110,12 +157,41 @@ class ProactiveBidding:
     def wants_reverse_migration(self, spot_price: float, on_demand_price: float) -> bool:
         return spot_price <= on_demand_price * self.reverse_threshold_frac
 
+    def planned_migration_mask(self, spot_prices, on_demand_price: float):
+        """Array form of :meth:`wants_planned_migration`: same strict
+        comparison against the same scalar threshold, elementwise."""
+        return spot_prices > on_demand_price
+
+    def reverse_migration_mask(self, spot_prices, on_demand_price: float):
+        """Array form of :meth:`wants_reverse_migration`. The threshold
+        product is computed once as the identical scalar multiplication
+        the scalar predicate performs, so the comparisons are bit-equal."""
+        return spot_prices <= on_demand_price * self.reverse_threshold_frac
+
     def explain_bid(self, market: SpotMarket, t: float = 0.0) -> str:
         capped = self.k * market.on_demand_price > market.bid_cap
         return (
             f"{self.k:g} x on-demand ${market.on_demand_price:.4f}"
             + ("; clipped to provider cap" if capped else "; scheduler exits voluntarily")
         )
+
+    def dynamics_signature(self, od_prices) -> tuple:
+        """The *effective* bids plus the reverse threshold.
+
+        Bids are clamped at the provider cap (``BID_CAP_MULTIPLIER *
+        p_on``), so every ``k`` at or above the cap multiplier yields the
+        same bid — and therefore, with equal thresholds, byte-identical
+        dynamics. The signature exposes exactly that equivalence: the
+        clamped bid per market, computed with the same float ops as
+        :meth:`bid_price`.
+        """
+        from repro.cloud.spot_market import BID_CAP_MULTIPLIER
+
+        bids = tuple(
+            min(self.k * float(od), BID_CAP_MULTIPLIER * float(od))
+            for od in od_prices
+        )
+        return (self.name, "proactive", bids, self.reverse_threshold_frac)
 
     @property
     def is_proactive(self) -> bool:

@@ -145,7 +145,8 @@ class ReplicatedScheduler:
 
     def _release(self, node: _Node, t: float, *, revoked: bool, reason: str) -> None:
         done = self.provider.terminate(node.lease, t, revoked=revoked, reason=reason)
-        self.ledger.add_records(done.records, market=str(node.key))
+        if done.billing is not None:
+            self.ledger.add_billing(done.billing, market=str(node.key))
 
     def _warning(self, node: Optional[_Node], from_t: float) -> Optional[float]:
         if node is None or node.lease.kind is not LeaseKind.SPOT:

@@ -68,7 +68,34 @@ from repro.units import SECONDS_PER_HOUR
 from repro.vm.disk_copy import disk_copy_seconds_between
 from repro.vm.mechanisms import MigrationModel
 
-__all__ = ["MigrationRecord", "CloudScheduler"]
+__all__ = ["MigrationRecord", "BoundaryDecision", "CloudScheduler"]
+
+
+@dataclass(frozen=True)
+class BoundaryDecision:
+    """Outcome of one billing-boundary evaluation.
+
+    Produced by the side-effect-free decision functions
+    (:meth:`CloudScheduler.decide_spot_boundary` /
+    :meth:`CloudScheduler.decide_on_demand_boundary`) and *applied* by the
+    phase generators. Keeping policy evaluation separate from execution is
+    what lets the vectorized batch engine reuse the exact same decision
+    code: it predicts where the next non-``stay`` decision lands with
+    array scans, then calls these functions at that instant to act.
+    """
+
+    action: str  #: 'stay' | 'migrate'
+    target_key: Optional[MarketKey] = None
+    n_servers: int = 0
+    target_kind: Optional[LeaseKind] = None
+    kind: str = ""  #: migration kind label ('planned' | 'reverse' | 'spot-switch')
+
+    @property
+    def migrates(self) -> bool:
+        return self.action == "migrate"
+
+
+_STAY = BoundaryDecision(action="stay")
 
 
 @dataclass(frozen=True)
@@ -176,6 +203,14 @@ class CloudScheduler:
         self._process: Optional[Process] = None
         self._last_spot_switch = -float("inf")
         self._lead_cache: dict[MarketKey, float] = {}
+        #: Per market key: (str(key), its spend counter). Releases are the
+        #: hottest metrics site; formatting the key and re-resolving the
+        #: counter on each one is measurable across a month of churn.
+        self._spend_cache: dict[MarketKey, tuple] = {}
+        #: str(key) memo — placement records and migration records format
+        #: the same handful of keys hundreds of times per run.
+        self._keystr_cache: dict[MarketKey, str] = {}
+        self._disk_copy_cache: dict[tuple, float] = {}
         self.service: Optional[ServiceContext] = None
 
     # ------------------------------------------------------------- placement
@@ -195,7 +230,7 @@ class CloudScheduler:
                 )
             self._open_tenure = None
         if value is not None:
-            self._open_tenure = (now, value.kind.value, str(value.key))
+            self._open_tenure = (now, value.kind.value, self._key_str(value.key))
         self._placement = value
 
     def spot_time_fraction(self) -> float:
@@ -260,11 +295,17 @@ class CloudScheduler:
         return _Placement(kind=kind, key=key, leases=leases)
 
     def _release(self, placement: _Placement, t: float, *, revoked: bool, reason: str) -> None:
+        entry = self._spend_cache.get(placement.key)
+        if entry is None:
+            market_str = str(placement.key)
+            entry = (market_str, self.metrics.counter(f"spend_usd.{market_str}"))
+            self._spend_cache[placement.key] = entry
+        market_str, spend_counter = entry
         for lease in placement.leases:
             done = self.provider.terminate(lease, t, revoked=revoked, reason=reason)
-            self.ledger.add_records(done.records, market=str(placement.key))
-            if done.records:
-                self.metrics.counter(f"spend_usd.{placement.key}").inc(done.total_cost)
+            if done.billing is not None and len(done.billing):
+                self.ledger.add_billing(done.billing, market=market_str)
+                spend_counter.inc(done.total_cost)
 
     # ------------------------------------------------------- service identity
     def _provision_service(self, placement: _Placement, t: float) -> None:
@@ -318,6 +359,12 @@ class CloudScheduler:
                                       dst.leases[0].lease_id, dst.key.region)
 
     # -------------------------------------------------------------- helpers
+    def _key_str(self, key: MarketKey) -> str:
+        s = self._keystr_cache.get(key)
+        if s is None:
+            s = self._keystr_cache[key] = str(key)
+        return s
+
     def _market(self, key: MarketKey):
         return self.provider.market(key)
 
@@ -331,12 +378,17 @@ class CloudScheduler:
         )
 
     def _disk_copy_s(self, src: MarketKey, dst: MarketKey) -> float:
+        cached = self._disk_copy_cache.get((src, dst))
+        if cached is not None:
+            return cached
         # Fault injection may stretch WAN copies (testkit FaultPlan); a
         # plain provider has no such attribute and factors out to 1.
         factor = getattr(self.provider, "disk_copy_factor", 1.0)
-        return factor * disk_copy_seconds_between(
+        out = factor * disk_copy_seconds_between(
             self.service_disk_gib, src.region, dst.region
         )
+        self._disk_copy_cache[(src, dst)] = out
+        return out
 
     def _planned_lead(self, source: MarketKey) -> float:
         """Lead before a billing boundary at which to evaluate moves.
@@ -509,7 +561,13 @@ class CloudScheduler:
         else:
             yield from self._boundary_decision_on_spot(now)
 
-    def _boundary_decision_on_spot(self, now: float) -> Generator:
+    def decide_spot_boundary(self, now: float) -> BoundaryDecision:
+        """Evaluate the planned-migration step at a boundary check on spot.
+
+        Side-effect free except for narration to ``sink`` — no leases are
+        touched, no RNG is drawn, no metrics move. Both engines call this
+        with the same ``now`` and read the same answer.
+        """
         placement = self.placement
         assert placement is not None
         market = self._market(placement.key)
@@ -547,31 +605,41 @@ class CloudScheduler:
                 self.provider, self.bidding, now, exclude=placement.key
             )
             if alt is not None and (od is None or alt.rate < od.rate):
-                yield from self._voluntary_migration(now, alt.key, alt.n_servers,
-                                                     LeaseKind.SPOT, "planned")
-            elif od is not None:
-                yield from self._voluntary_migration(now, od.key, od.n_servers,
-                                                     LeaseKind.ON_DEMAND, "planned")
+                return BoundaryDecision("migrate", alt.key, alt.n_servers,
+                                        LeaseKind.SPOT, "planned")
+            if od is not None:
+                return BoundaryDecision("migrate", od.key, od.n_servers,
+                                        LeaseKind.ON_DEMAND, "planned")
             # Pure spot has no fallback: stay; a later boundary or the
             # revocation path (price > bid) handles it.
-            return
+            return _STAY
 
         # Price is fine here. The opportunistic-switching extension (off by
         # default — the paper's algorithm only changes markets inside the
         # planned step) may still chase a sufficiently cheaper sibling,
         # subject to rate hysteresis and a dwell time.
         if not self.strategy.opportunistic_switching:
-            return
+            return _STAY
         if now - self._last_spot_switch < self.strategy.min_dwell_s:
-            return
+            return _STAY
         alt = self.strategy.best_spot_target(
             self.provider, self.bidding, now, exclude=placement.key
         )
         if alt is None:
-            return
+            return _STAY
         if alt.rate < self._current_spot_rate(now) * self.strategy.improvement_factor:
-            yield from self._voluntary_migration(now, alt.key, alt.n_servers,
-                                                 LeaseKind.SPOT, "spot-switch")
+            return BoundaryDecision("migrate", alt.key, alt.n_servers,
+                                    LeaseKind.SPOT, "spot-switch")
+        return _STAY
+
+    def _boundary_decision_on_spot(self, now: float) -> Generator:
+        decision = self.decide_spot_boundary(now)
+        if decision.migrates:
+            assert decision.target_key is not None and decision.target_kind is not None
+            yield from self._voluntary_migration(
+                now, decision.target_key, decision.n_servers,
+                decision.target_kind, decision.kind,
+            )
 
     # ------------------------------------------------------- on-demand phase
     def _on_demand_phase(self) -> Generator:
@@ -584,7 +652,20 @@ class CloudScheduler:
         now = self.engine.now
         if now >= self.horizon:
             return
+        decision = self.decide_on_demand_boundary(now)
+        if decision.migrates:
+            assert decision.target_key is not None
+            yield from self._voluntary_migration(now, decision.target_key,
+                                                 decision.n_servers,
+                                                 LeaseKind.SPOT, "reverse")
+
+    def decide_on_demand_boundary(self, now: float) -> BoundaryDecision:
+        """Evaluate the reverse-migration step at a boundary check on
+        on-demand. Side-effect free except for narration to ``sink``."""
+        placement = self.placement
+        assert placement is not None
         if self.sink.enabled:
+            lead = self._planned_lead(placement.key)
             own = self._market(placement.key)
             self.sink.emit(
                 BillingTick(
@@ -598,7 +679,7 @@ class CloudScheduler:
         od_rate = self.strategy.on_demand_rate(self.provider, placement.key)
         spot = self.strategy.best_spot_target(self.provider, self.bidding, now)
         if spot is None:
-            return
+            return _STAY
         price = self._market(spot.key).price_at(now)
         od_single = self.provider.on_demand_price(spot.key)
         if spot.rate < od_rate and self.bidding.wants_reverse_migration(price, od_single):
@@ -613,8 +694,9 @@ class CloudScheduler:
                         direction="below-on-demand",
                     )
                 )
-            yield from self._voluntary_migration(now, spot.key, spot.n_servers,
-                                                 LeaseKind.SPOT, "reverse")
+            return BoundaryDecision("migrate", spot.key, spot.n_servers,
+                                    LeaseKind.SPOT, "reverse")
+        return _STAY
 
     # ------------------------------------------------------------ migrations
     def _voluntary_migration(
@@ -676,7 +758,7 @@ class CloudScheduler:
                 self._release(target, self.engine.now, revoked=False, reason="aborted-target")
                 self._record_migration(
                     f"aborted-{kind}", now, self.engine.now, 0.0,
-                    str(source_key), str(target_key),
+                    self._key_str(source_key), self._key_str(target_key),
                 )
                 if self.sink.enabled:
                     self.sink.emit(
@@ -716,7 +798,8 @@ class CloudScheduler:
             self._last_spot_switch = suspend_at
         self._blackout(suspend_at, resume_at, f"{kind}-migration", timing.degraded_s)
         self._record_migration(
-            kind, now, resume_at, timing.downtime_s + rebind, str(source_key), str(target_key)
+            kind, now, resume_at, timing.downtime_s + rebind,
+            self._key_str(source_key), self._key_str(target_key),
         )
         if self.sink.enabled:
             next_cross = None
@@ -817,7 +900,7 @@ class CloudScheduler:
         self._blackout(suspend_at, resume_at, "forced-migration", timing.degraded_s)
         self._record_migration(
             "forced", warning, resume_at, timing.downtime_s + rebind,
-            str(source_key), str(target.key),
+            self._key_str(source_key), self._key_str(target.key),
         )
         if self.sink.enabled:
             self.sink.emit(
@@ -872,7 +955,7 @@ class CloudScheduler:
         if grant is None or grant >= self.horizon:
             self._blackout(suspend_at, self.horizon, "waiting-spot", 0.0)
             self._record_migration(
-                "outage", warning, self.horizon, self.horizon - suspend_at, str(key), "-"
+                "outage", warning, self.horizon, self.horizon - suspend_at, self._key_str(key), "-"
             )
             yield Timeout(max(0.0, self.horizon - self.engine.now))
             return
@@ -893,7 +976,8 @@ class CloudScheduler:
         self.placement = target
         self._blackout(suspend_at, resume_at, "waiting-spot", timing.degraded_s)
         self._record_migration(
-            "outage", warning, resume_at, resume_at - suspend_at, str(key), str(key)
+            "outage", warning, resume_at, resume_at - suspend_at,
+            self._key_str(key), self._key_str(key),
         )
         if self.sink.enabled:
             self.sink.emit(

@@ -99,6 +99,14 @@ class ObservedRun:
     result: SimulationResult
     fired_events: int  #: discrete events the engine processed
     metrics: MetricsRegistry  #: the scheduler's per-run metric registry
+    #: Which engine actually executed the run: ``"event"`` (per-event
+    #: loop) or ``"vector"`` (batched boundary scans). A run *requested*
+    #: on the vector engine still reports ``"event"`` when its
+    #: configuration was not vectorizable and the scheduler fell back.
+    engine_kind: str = "event"
+    #: Boundary-check instants the vector engine evaluated as array scans
+    #: (0 on the event engine).
+    vector_checks: int = 0
 
 
 @dataclass
@@ -120,14 +128,26 @@ class SimStack:
     strategy: HostingStrategy
 
 
-def build_stack(config: SimulationConfig, sink: TraceSink = NULL_SINK) -> SimStack:
+def build_stack(
+    config: SimulationConfig, sink: TraceSink = NULL_SINK, engine: str = "event"
+) -> SimStack:
     """Assemble catalog, provider, engine and scheduler for one run.
 
     If ``config.faults`` is set, its spikes are overlaid on the catalog
     before the provider is constructed (so billing sees the spiked
     prices) and its provider-level faults are applied before the
     scheduler takes the provider.
+
+    ``engine="vector"`` builds a
+    :class:`~repro.runtime.vector.VectorScheduler` — bit-identical
+    results with no-action decision epochs batch-scanned as array ops.
+    Configurations the vector engine cannot batch (non-vectorizable
+    strategy or bidding policy, an enabled trace sink) transparently run
+    per-event; the scheduler's ``vectorized`` attribute says which
+    happened.
     """
+    if engine not in ("event", "vector"):
+        raise ConfigurationError(f"unknown engine {engine!r} (want 'event' or 'vector')")
     catalog = config.catalog
     if catalog is None:
         catalog = build_catalog(
@@ -150,9 +170,15 @@ def build_stack(config: SimulationConfig, sink: TraceSink = NULL_SINK) -> SimSta
     if faults is not None:
         provider = faults.wrap_provider(provider, run_seed=config.seed)
     strategy = config.strategy()
-    engine = Engine(sink=sink)
-    scheduler = CloudScheduler(
-        engine=engine,
+    scheduler_cls = CloudScheduler
+    if engine == "vector":
+        # Imported lazily: repro.runtime builds on this module.
+        from repro.runtime.vector import VectorScheduler
+
+        scheduler_cls = VectorScheduler
+    sim_engine = Engine(sink=sink)
+    scheduler = scheduler_cls(
+        engine=sim_engine,
         provider=provider,
         bidding=config.bidding,
         strategy=strategy,
@@ -166,7 +192,7 @@ def build_stack(config: SimulationConfig, sink: TraceSink = NULL_SINK) -> SimSta
         config=config,
         catalog=catalog,
         provider=provider,
-        engine=engine,
+        engine=sim_engine,
         scheduler=scheduler,
         strategy=strategy,
     )
@@ -237,7 +263,10 @@ def run_simulation_instrumented(
 
 
 def run_simulation_observed(
-    config: SimulationConfig, sink: TraceSink = NULL_SINK, verify: bool = False
+    config: SimulationConfig,
+    sink: TraceSink = NULL_SINK,
+    verify: bool = False,
+    engine: str = "event",
 ) -> ObservedRun:
     """Run one simulation with decision tracing and metrics attached.
 
@@ -248,8 +277,10 @@ def run_simulation_observed(
     metric registry alongside the usual summary. ``verify=True`` audits
     the completed stack with the invariant oracles and raises
     :class:`~repro.errors.InvariantViolation` on any red check.
+    ``engine`` selects the execution engine (see :func:`build_stack`);
+    the returned run's ``engine_kind`` reports which one actually ran.
     """
-    stack = build_stack(config, sink=sink)
+    stack = build_stack(config, sink=sink, engine=engine)
     stack.scheduler.run()
     result = summarize_stack(stack)
     if verify:
@@ -257,8 +288,13 @@ def run_simulation_observed(
         from repro.testkit.oracles import verify_stack
 
         verify_stack(stack, result).raise_on_failure()
+    kind = "vector" if getattr(stack.scheduler, "vectorized", False) else "event"
     return ObservedRun(
-        result=result, fired_events=stack.engine.fired_count, metrics=stack.scheduler.metrics
+        result=result,
+        fired_events=stack.engine.fired_count,
+        metrics=stack.scheduler.metrics,
+        engine_kind=kind,
+        vector_checks=int(getattr(stack.scheduler, "vector_checks", 0)),
     )
 
 
@@ -268,6 +304,7 @@ def run_many(
     jobs: int = 1,
     ledger: Optional[object] = None,
     resume: bool = False,
+    engine: str = "auto",
 ) -> List[SimulationResult]:
     """Run the same configuration over several trace samples.
 
@@ -285,4 +322,6 @@ def run_many(
     from repro.runtime import RunSpec, run_batch
 
     specs = [RunSpec.from_config(config, seed=s) for s in seeds]
-    return list(run_batch(specs, jobs=jobs, ledger=ledger, resume=resume).results)
+    return list(
+        run_batch(specs, jobs=jobs, ledger=ledger, resume=resume, engine=engine).results
+    )

@@ -81,6 +81,24 @@ class HostingStrategy(ABC):
     improvement_factor: float = 0.75
     #: Minimum seconds between voluntary opportunistic switches.
     min_dwell_s: float = 12 * SECONDS_PER_HOUR
+    #: May the vectorized batch engine pre-scan this strategy's boundary
+    #: decisions as array operations? Requires that the decision at a
+    #: boundary be a pure function of (prices at that instant, static
+    #: rates) with a zero :meth:`rate_adjustment` — i.e. no history
+    #: windows, no per-call state. The greedy built-ins set this True;
+    #: :class:`StabilityAwareStrategy` (windowed std adjustment) and any
+    #: subclass overriding a decision-affecting hook must leave it False.
+    _vector_decisions: bool = False
+
+    @property
+    def vectorizable(self) -> bool:
+        """True when the vector engine may batch this strategy's epochs.
+
+        Opportunistic switching consults ``_last_spot_switch`` dwell state
+        at every boundary, which the vector engine does not model — it
+        always disables vectorization regardless of ``_vector_decisions``.
+        """
+        return self._vector_decisions and not self.opportunistic_switching
 
     # ----------------------------------------------------------- candidates
     @abstractmethod
@@ -89,8 +107,12 @@ class HostingStrategy(ABC):
 
     def servers_needed(self, key: MarketKey) -> int:
         """Servers of ``key``'s size needed to host ``service_units``."""
-        cap = instance_type(key.size).capacity_units
-        return max(1, math.ceil(self.service_units / cap))
+        cache = self.__dict__.setdefault("_servers_memo", {})
+        n = cache.get(key)
+        if n is None:
+            cap = instance_type(key.size).capacity_units
+            n = cache[key] = max(1, math.ceil(self.service_units / cap))
+        return n
 
     # ----------------------------------------------------------------- rates
     def spot_rate(self, key: MarketKey, price: float) -> float:
@@ -130,9 +152,11 @@ class HostingStrategy(ABC):
                 continue
             market = provider.market(key)
             bid = bidding.bid_price(market, t)
-            if not market.grantable(bid, t):
+            market.validate_bid(bid)
+            price = market.price_at(t)
+            if price > bid:
                 continue
-            rate = self.spot_rate(key, market.price_at(t))
+            rate = self.spot_rate(key, price)
             ranked = rate + self.rate_adjustment(provider, key, t)
             if best is None or ranked < best.rate:
                 best = PlacementTarget(key=key, n_servers=self.servers_needed(key), rate=ranked)
@@ -172,7 +196,13 @@ class HostingStrategy(ABC):
         Fleet transfers run in parallel across server pairs, so wall-clock
         migration time is governed by one server's nested memory.
         """
-        return MemoryProfile(size_gib=instance_type(key.size).nested_memory_gib)
+        cache = self.__dict__.setdefault("_memory_memo", {})
+        mem = cache.get(key)
+        if mem is None:
+            mem = cache[key] = MemoryProfile(
+                size_gib=instance_type(key.size).nested_memory_gib
+            )
+        return mem
 
 
 @dataclass(frozen=True)
@@ -182,6 +212,8 @@ class _FixedUnits:
 
 class SingleMarketStrategy(HostingStrategy):
     """One size in one AZ, with on-demand fallback of the same size."""
+
+    _vector_decisions = True
 
     def __init__(self, key: MarketKey) -> None:
         self.key = key
@@ -200,6 +232,8 @@ class MultiMarketStrategy(HostingStrategy):
     The fleet packs onto whichever size is currently cheapest per unit
     of capacity."""
 
+    _vector_decisions = True
+
     def __init__(self, region: str, service_units: int = 8) -> None:
         if service_units <= 0:
             raise ConfigurationError("service_units must be positive")
@@ -215,6 +249,8 @@ class MultiMarketStrategy(HostingStrategy):
 
 class MultiRegionStrategy(HostingStrategy):
     """All sizes across several AZs; cross-region moves are allowed."""
+
+    _vector_decisions = True
 
     def __init__(self, regions: Sequence[str], service_units: int = 8) -> None:
         if not regions:
@@ -242,6 +278,7 @@ class PureSpotStrategy(HostingStrategy):
     """
 
     allows_on_demand = False
+    _vector_decisions = True
 
     def __init__(self, key: MarketKey) -> None:
         self.key = key
@@ -261,6 +298,7 @@ class OnDemandOnlyStrategy(HostingStrategy):
     """The cost baseline: on-demand servers only, normalized cost 100 %."""
 
     allows_spot = False
+    _vector_decisions = True
 
     def __init__(self, key: MarketKey) -> None:
         self.key = key
@@ -282,6 +320,10 @@ class StabilityAwareStrategy(MultiRegionStrategy):
     standard deviation over a trailing window, steering the scheduler away
     from cheap-but-volatile markets (the Fig 9c failure mode).
     """
+
+    # The trailing-window std adjustment re-ranks targets per instant;
+    # the vector engine's static-rate scans cannot reproduce it.
+    _vector_decisions = False
 
     def __init__(
         self,

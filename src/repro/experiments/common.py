@@ -33,6 +33,9 @@ class ExperimentConfig:
     directory (named by batch fingerprint); with ``resume`` set, batches
     already journaled there replay instead of re-executing, so an
     interrupted ``repro-experiments`` invocation picks up where it died.
+    ``engine`` selects the execution engine per batch: ``"auto"`` (the
+    default) routes eligible runs through the vectorized boundary-scan
+    engine and the rest per-event; results are bit-identical either way.
     """
 
     seeds: Sequence[int] = DEFAULT_SEEDS
@@ -41,12 +44,17 @@ class ExperimentConfig:
     jobs: int = 1
     ledger_dir: str | None = None
     resume: bool = False
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         if self.resume and self.ledger_dir is None:
             raise ConfigurationError("resume needs a ledger directory")
+        if self.engine not in ("auto", "event", "vector"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r} (want 'auto', 'event' or 'vector')"
+            )
 
     def effective_seeds(self) -> List[int]:
         return list(self.seeds[:2] if self.fast else self.seeds)
@@ -99,6 +107,7 @@ def simulate(
     )
     specs = [base.with_(seed=s) for s in cfg.effective_seeds()]
     batch = run_batch(
-        specs, jobs=cfg.jobs, ledger=cfg.effective_ledger(), resume=cfg.resume
+        specs, jobs=cfg.jobs, ledger=cfg.effective_ledger(), resume=cfg.resume,
+        engine=cfg.engine,
     )
     return aggregate(list(batch.results), label=label or None)

@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         "serial; results are identical at any worker count)",
     )
     p.add_argument(
+        "--engine", choices=("auto", "event", "vector"), default="auto",
+        help="execution engine: 'auto' (default) vectorizes eligible "
+        "batches, 'event'/'vector' force one engine — results are "
+        "bit-identical; the footer reports which engine ran each batch",
+    )
+    p.add_argument(
         "--ledger", metavar="DIR", default=None,
         help="journal every batch to crash-safe run ledgers under DIR "
         "(one JSONL file per batch, named by batch fingerprint)",
@@ -94,6 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cfg = ExperimentConfig(
         seeds=tuple(args.seeds), horizon_s=days(args.days), fast=args.fast,
         jobs=args.jobs, ledger_dir=args.ledger, resume=args.resume,
+        engine=args.engine,
     )
     md_dir = None
     if args.markdown is not None:

@@ -43,6 +43,8 @@ class RunObservation:
     seed: int
     events: Tuple[Dict[str, Any], ...] = ()
     metrics: Optional[Dict[str, Any]] = None
+    #: Which engine executed the run (``RunTelemetry.engine_kind``).
+    engine: str = "event"
 
 
 class ObservationScope:
@@ -61,10 +63,14 @@ class ObservationScope:
         seed: int,
         events: Optional[Tuple[Dict[str, Any], ...]] = None,
         metrics: Optional[Dict[str, Any]] = None,
+        engine: str = "event",
     ) -> None:
         """Record one finished run (called in submission order)."""
         self.runs.append(
-            RunObservation(label=label, seed=seed, events=tuple(events or ()), metrics=metrics)
+            RunObservation(
+                label=label, seed=seed, events=tuple(events or ()),
+                metrics=metrics, engine=engine,
+            )
         )
         if metrics:
             self.metrics.merge(MetricsRegistry.from_dict(metrics))
@@ -83,6 +89,7 @@ class ObservationScope:
                 record: Dict[str, Any] = dict(extra_tags or {})
                 record["run"] = run.label
                 record["seed"] = run.seed
+                record["engine"] = run.engine
                 record.update(event)
                 yield record
 
@@ -144,7 +151,8 @@ def notify_run(
     seed: int,
     events: Optional[Tuple[Dict[str, Any], ...]],
     metrics: Optional[Dict[str, Any]],
+    engine: str = "event",
 ) -> None:
     """Report one finished run to every active scope (executor hook)."""
     for scope in _ACTIVE.get():
-        scope.add_run(label, seed, events=events, metrics=metrics)
+        scope.add_run(label, seed, events=events, metrics=metrics, engine=engine)

@@ -74,7 +74,9 @@ def _summarize(args: argparse.Namespace) -> int:
     print(f"{args.path}: {len(records)} event(s) across {len(groups)} run(s)")
     for (experiment, run, seed), events in groups:
         heading = " / ".join(p for p in (experiment, run) if p) or "(untagged)"
-        print(f"\n== {heading} (seed {seed}) — {len(events)} event(s)")
+        engine = str(events[0].get("engine", "")) if events else ""
+        tag = f", {engine} engine" if engine else ""
+        print(f"\n== {heading} (seed {seed}{tag}) — {len(events)} event(s)")
         for etype, n in event_counts(events).items():
             print(f"  {etype:22s} {n}")
         print(f"  {migration_narrative(events)}")

@@ -7,11 +7,30 @@ fully determined by its spec (seed-derived RNG, deterministic catalog
 generation). Parallel execution groups runs by catalog key so each worker
 builds a given seed's catalog at most once, and non-portable runs (legacy
 closure factories) transparently fall back to in-process execution.
+
+Engine routing (``engine=``): ``"auto"`` runs a spec on the vectorized
+batch engine exactly when it is eligible — vectorizable strategy and
+bidding policy, no fault plan, no trace capture, no run ledger — and on
+the per-event engine otherwise; results are bit-identical either way, the
+vector engine just skips the no-action boundary machinery. ``"event"``
+forces the per-event engine; ``"vector"`` requests the vector engine for
+every run best-effort (a run whose configuration cannot be batched still
+degrades to per-event inside the scheduler). A batch with a ``ledger``
+always runs per-event so journal replays stay comparable across versions.
+Which engine actually ran each spec is reported as
+:attr:`~repro.runtime.telemetry.RunTelemetry.engine_kind`.
+
+On the serial path, vector-routed runs are additionally *deduplicated*:
+two specs whose catalogs, strategies, seeds and bidding **dynamics** are
+identical (e.g. proactive bids that all clamp at the provider's cap)
+drive byte-identical simulations, so the executor runs one representative
+and clones its result for the twins — reported as ``deduped_runs``.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -27,8 +46,15 @@ from repro.obs.sinks import NULL_SINK, MemorySink, TraceSink
 from repro.runtime.cache import TraceCatalogCache, shared_catalog_cache
 from repro.runtime.ledger import RunLedger, resolve_ledger_path
 from repro.runtime.shm import publish_catalog, release_segment, shm_available
-from repro.runtime.spec import BatchSpec, RunSpec, batch_fingerprint, spec_fingerprint
+from repro.runtime.spec import (
+    BatchSpec,
+    RunSpec,
+    StrategySpec,
+    batch_fingerprint,
+    spec_fingerprint,
+)
 from repro.runtime.telemetry import BatchTelemetry, RunTelemetry, notify_batch
+from repro.runtime.vector import ENGINE_KINDS, spec_vector_eligible
 
 __all__ = ["BatchResult", "run_batch"]
 
@@ -56,6 +82,7 @@ def _attempt_one(
     cache: Optional[TraceCatalogCache],
     attempt: int,
     prebuilt: Optional[Tuple[object, str]] = None,
+    engine: str = "event",
 ) -> Tuple[SimulationResult, RunTelemetry]:
     """One execution attempt of one spec (no retry handling).
 
@@ -85,7 +112,9 @@ def _attempt_one(
             catalog, cache_hit, catalog_wall = cache.get_or_build(key)
             source = "cache" if cache_hit else "build"
     sink: TraceSink = MemorySink() if spec.capture_trace else NULL_SINK
-    observed = run_simulation_observed(spec.to_config(catalog=catalog), sink=sink)
+    observed = run_simulation_observed(
+        spec.to_config(catalog=catalog), sink=sink, engine=engine
+    )
     result = observed.result
     wall = time.perf_counter() - start
     trace_events = None
@@ -104,6 +133,8 @@ def _attempt_one(
         attempts=attempt + 1,
         metrics=observed.metrics.to_dict(),
         trace_events=trace_events,
+        engine_kind=observed.engine_kind,
+        vector_checks=observed.vector_checks,
     )
     return result, telemetry
 
@@ -113,6 +144,7 @@ def _execute_one(
     cache: Optional[TraceCatalogCache],
     retries: int = DEFAULT_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    engine: str = "event",
 ) -> Tuple[SimulationResult, RunTelemetry]:
     """Run one spec with retry/backoff, resolving its catalog via ``cache``.
 
@@ -123,7 +155,7 @@ def _execute_one(
     """
     for attempt in range(retries + 1):
         try:
-            return _attempt_one(spec, cache, attempt)
+            return _attempt_one(spec, cache, attempt, engine=engine)
         except Exception:
             if attempt >= retries:
                 raise
@@ -136,10 +168,16 @@ def _execute_group(
     specs: Tuple[RunSpec, ...],
     retries: int = DEFAULT_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    engines: Optional[Tuple[str, ...]] = None,
 ) -> List[Tuple[SimulationResult, RunTelemetry]]:
     """Pool-worker entry point: run a catalog-sharing group serially."""
     cache = shared_catalog_cache()
-    return [_execute_one(spec, cache, retries, retry_backoff_s) for spec in specs]
+    if engines is None:
+        engines = ("event",) * len(specs)
+    return [
+        _execute_one(spec, cache, retries, retry_backoff_s, engine)
+        for spec, engine in zip(specs, engines)
+    ]
 
 
 def _execute_one_shm(
@@ -147,6 +185,7 @@ def _execute_one_shm(
     plan,
     retries: int = DEFAULT_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    engine: str = "event",
 ) -> List[Tuple[SimulationResult, RunTelemetry]]:
     """Pool-worker entry point: one run against a shared-memory catalog plan.
 
@@ -165,7 +204,7 @@ def _execute_one_shm(
     cache = None if prebuilt is not None else shared_catalog_cache()
     for attempt in range(retries + 1):
         try:
-            return [_attempt_one(spec, cache, attempt, prebuilt=prebuilt)]
+            return [_attempt_one(spec, cache, attempt, prebuilt=prebuilt, engine=engine)]
         except Exception:
             if attempt >= retries:
                 raise
@@ -200,6 +239,76 @@ def _publish_plans(
             release_segment(segment)
         return {}, []
     return plans, segments
+
+
+def _resolve_engine(spec: RunSpec, engine: str, ledgered: bool) -> str:
+    """Which engine one spec runs on, given the batch's ``engine`` selector.
+
+    A ledgered batch always runs per-event (journal replays must stay
+    comparable across package versions regardless of routing defaults).
+    ``"vector"`` is a best-effort force: the scheduler itself still
+    degrades to per-event when the configuration cannot be batched.
+    Under ``"auto"``, faulted and trace-capturing runs stay on the event
+    engine — fault overlays and narration want the per-boundary walk —
+    and everything else goes to the vector engine when eligible.
+    """
+    if engine == "event" or ledgered:
+        return "event"
+    if engine == "vector":
+        return "vector"
+    if spec.faults is not None or spec.capture_trace:
+        return "event"
+    return "vector" if spec_vector_eligible(spec) else "event"
+
+
+def _dedupe_key(spec: RunSpec) -> Optional[tuple]:
+    """Hashable dynamics identity of one vector-routed spec, or ``None``.
+
+    Two specs with equal keys configure byte-identical simulations up to
+    the result label: same catalog (seed, horizon, markets, calibration),
+    same declarative strategy, same mechanism timing, same startup
+    distribution — and a bidding policy whose
+    :meth:`~repro.core.bidding.BiddingPolicy.dynamics_signature` matches,
+    i.e. the *effective* bids and migration thresholds coincide (e.g.
+    proactive ``k`` values that all clamp at the provider's bid cap).
+    Anything the signature cannot vouch for (calibration overrides that
+    could move on-demand prices, stateful policies, legacy strategy
+    callables, faults, capture) disables deduplication for that spec.
+    """
+    if spec.capture_trace or spec.faults is not None or spec.calibrations is not None:
+        return None
+    if not isinstance(spec.strategy, StrategySpec):
+        return None
+    sig_fn = getattr(spec.bidding, "dynamics_signature", None)
+    if not callable(sig_fn):
+        return None
+    catalog_key = spec.catalog_key()
+    if catalog_key is None:
+        return None
+    try:
+        from repro.traces.calibration import on_demand_price
+
+        ods = tuple(
+            on_demand_price(region, size)
+            for region in spec.regions
+            for size in spec.sizes
+        )
+        sig = sig_fn(ods)
+        if sig is None:
+            return None
+        key = (
+            catalog_key,
+            spec.strategy,
+            spec.mechanism,
+            spec.params,
+            float(spec.startup_cv),
+            float(spec.service_disk_gib),
+            sig,
+        )
+        hash(key)
+    except Exception:
+        return None
+    return key
 
 
 # One persistent pool per worker count: reusing workers across batches keeps
@@ -288,6 +397,7 @@ def run_batch(
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ledger: Union[str, Path, None] = None,
     resume: bool = False,
+    engine: str = "auto",
 ) -> BatchResult:
     """Execute a batch of runs and return results in submission order.
 
@@ -295,6 +405,15 @@ def run_batch(
     ----------
     runs:
         A :class:`BatchSpec` or sequence of :class:`RunSpec`.
+    engine:
+        ``"auto"`` (default) routes each eligible run — vectorizable
+        policies, no faults, no trace capture, no ledger — through the
+        vectorized batch engine and the rest per-event; ``"event"`` and
+        ``"vector"`` force one engine batch-wide (``"vector"`` is
+        best-effort — non-batchable configurations still degrade to
+        per-event inside the scheduler). Results are bit-identical across
+        engines; each run's :class:`RunTelemetry.engine_kind` reports
+        which one executed it.
     jobs:
         Worker processes. ``1`` (the default) runs serially in-process;
         ``N > 1`` fans catalog-sharing groups of runs across ``N`` workers.
@@ -338,6 +457,10 @@ def run_batch(
         raise ConfigurationError("retries must be >= 0")
     if resume and ledger is None:
         raise ConfigurationError("resume=True needs a ledger path")
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"unknown engine {engine!r} (choices: {', '.join(ENGINE_KINDS)})"
+        )
     if cache is None:
         cache = shared_catalog_cache()
     if trace_capture_active():
@@ -376,11 +499,49 @@ def run_batch(
     pending = [i for i in range(len(specs)) if slots[i] is None]
     parallel_runs = 0
     shm_catalogs = 0
+    deduped_runs = 0
+    engines = tuple(_resolve_engine(s, engine, ledger is not None) for s in specs)
 
     try:
         if jobs == 1 or len(pending) <= 1:
+            # Serial path: dedupe vector-routed runs with identical
+            # dynamics. The first spec of each group (submission order) is
+            # its representative; twins complete as soon as it has, so the
+            # progress callback still fires in submission order.
+            twin_of: Dict[int, int] = {}
+            rep_of: Dict[tuple, int] = {}
             for i in pending:
-                _complete(i, _execute_one(specs[i], cache, retries, retry_backoff_s))
+                if engines[i] != "vector":
+                    continue
+                key = _dedupe_key(specs[i])
+                if key is None:
+                    continue
+                if key in rep_of:
+                    twin_of[i] = rep_of[key]
+                else:
+                    rep_of[key] = i
+            for i in pending:
+                rep = twin_of.get(i)
+                if rep is None:
+                    _complete(
+                        i, _execute_one(specs[i], cache, retries, retry_backoff_s, engines[i])
+                    )
+                    continue
+                rep_pair = slots[rep]
+                assert rep_pair is not None  # representative precedes its twins
+                rep_result, rep_telemetry = rep_pair
+                # The spec's own label when set; otherwise the default label
+                # is a pure function of the dynamics key (bidding name is in
+                # the signature), so the representative's label is the twin's.
+                label = specs[i].label or rep_result.label
+                _complete(
+                    i,
+                    (
+                        dataclasses.replace(rep_result, label=label),
+                        dataclasses.replace(rep_telemetry, label=label, deduped=True),
+                    ),
+                )
+                deduped_runs += 1
         elif pending:
             portable: List[Tuple[int, object]] = []
             local: List[int] = []
@@ -404,7 +565,12 @@ def run_batch(
                     (
                         [i],
                         pool.submit(
-                            _execute_one_shm, specs[i], plans[key], retries, retry_backoff_s
+                            _execute_one_shm,
+                            specs[i],
+                            plans[key],
+                            retries,
+                            retry_backoff_s,
+                            engines[i],
                         ),
                     )
                     for i, key in portable
@@ -423,13 +589,16 @@ def run_batch(
                             tuple(specs[i] for i in indices),
                             retries,
                             retry_backoff_s,
+                            tuple(engines[i] for i in indices),
                         ),
                     )
                     for indices in groups.values()
                 ]
             # Non-portable runs execute in-process while the pool churns.
             for i in local:
-                _complete(i, _execute_one(specs[i], cache, retries, retry_backoff_s))
+                _complete(
+                    i, _execute_one(specs[i], cache, retries, retry_backoff_s, engines[i])
+                )
             try:
                 for indices, future in futures:
                     try:
@@ -440,7 +609,7 @@ def run_batch(
                         # these runs — results are identical, only slower.
                         _discard_pool(jobs)
                         group_pairs = [
-                            _execute_one(specs[i], cache, retries, retry_backoff_s)
+                            _execute_one(specs[i], cache, retries, retry_backoff_s, engines[i])
                             for i in indices
                         ]
                     for i, pair in zip(indices, group_pairs):
@@ -460,7 +629,7 @@ def run_batch(
     # Report to observation scopes in submission order — this, not worker
     # completion order, is what keeps trace files identical at any --jobs.
     for t in run_telemetry:
-        notify_run(t.label, t.seed, t.trace_events, t.metrics)
+        notify_run(t.label, t.seed, t.trace_events, t.metrics, engine=t.engine_kind)
     telemetry = BatchTelemetry(
         runs=len(specs),
         wall_s=time.perf_counter() - batch_start,
@@ -472,6 +641,10 @@ def run_batch(
         shm_catalogs=shm_catalogs,
         resumed=resumed,
         replayed_runs=len(specs) - len(pending),
+        engine=engine,
+        vector_runs=sum(1 for t in run_telemetry if t.engine_kind == "vector"),
+        vector_checks=sum(t.vector_checks for t in run_telemetry),
+        deduped_runs=deduped_runs,
     )
     notify_batch(telemetry)
     return BatchResult(results=results, run_telemetry=run_telemetry, telemetry=telemetry)

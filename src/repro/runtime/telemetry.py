@@ -50,6 +50,19 @@ class RunTelemetry:
     #: journal instead of executed; every other field then reports the
     #: *original* execution (wall clock, worker pid, attempts).
     replayed: bool = False
+    #: Which engine actually executed the run: ``"event"`` (per-event
+    #: loop) or ``"vector"`` (batched boundary scans). Reports the engine
+    #: that *ran*, not the one requested — a forced-vector run whose
+    #: configuration was not vectorizable reports ``"event"``.
+    engine_kind: str = "event"
+    #: Boundary-check instants the vector engine evaluated as array scans
+    #: (its batch width for this run); 0 on the event engine.
+    vector_checks: int = 0
+    #: True when this run's result was cloned from a dynamics-identical
+    #: sibling in the same batch instead of executed; the execution fields
+    #: (wall clock, events, attempts) then report the *representative*
+    #: run, exactly as ledger replays report the original execution.
+    deduped: bool = False
 
 
 @dataclass(frozen=True)
@@ -66,6 +79,11 @@ class BatchTelemetry:
     shm_catalogs: int = 0  #: catalogs published as shared-memory plans
     resumed: bool = False  #: batch was resumed from a run ledger
     replayed_runs: int = 0  #: runs replayed from the ledger, not executed
+    engine: str = "auto"  #: the requested ``--engine`` selector
+    vector_runs: int = 0  #: runs the vector engine actually batched
+    #: total boundary-check instants the vector engine scanned as arrays
+    vector_checks: int = 0
+    deduped_runs: int = 0  #: runs cloned from dynamics-identical siblings
 
     def summary(self) -> str:
         """One-line human summary (the runner's footer ingredient)."""
@@ -77,6 +95,10 @@ class BatchTelemetry:
             base += f", {self.shm_catalogs} shm catalogs"
         if self.replayed_runs:
             base += f", {self.replayed_runs} replayed"
+        if self.vector_runs:
+            base += f", {self.vector_runs} vector ({self.vector_checks} checks)"
+        if self.deduped_runs:
+            base += f", {self.deduped_runs} deduped"
         return base
 
 
@@ -119,6 +141,14 @@ class TelemetryCollector:
         return sum(b.replayed_runs for b in self.batches)
 
     @property
+    def vector_runs(self) -> int:
+        return sum(b.vector_runs for b in self.batches)
+
+    @property
+    def deduped_runs(self) -> int:
+        return sum(b.deduped_runs for b in self.batches)
+
+    @property
     def wall_s(self) -> float:
         return sum(b.wall_s for b in self.batches)
 
@@ -131,6 +161,10 @@ class TelemetryCollector:
             base += f", {self.shm_catalogs} shm catalogs"
         if self.replayed_runs:
             base += f", {self.replayed_runs} replayed"
+        if self.vector_runs:
+            base += f", {self.vector_runs} vector"
+        if self.deduped_runs:
+            base += f", {self.deduped_runs} deduped"
         return base
 
 

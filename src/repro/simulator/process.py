@@ -3,6 +3,7 @@
 A :class:`Process` wraps a Python generator that ``yield``s command objects:
 
 * ``Timeout(dt)`` — sleep ``dt`` simulated seconds;
+* ``SleepUntil(t)`` — park until the absolute simulation instant ``t``;
 * ``WaitEvent(trigger)`` — park until another process calls
   ``trigger.succeed(value)``; the value is sent back into the generator.
 
@@ -23,7 +24,7 @@ from repro.errors import SimulationError
 from repro.simulator.engine import Engine, EventHandle
 from repro.simulator.events import EventKind
 
-__all__ = ["Timeout", "WaitEvent", "Interrupt", "Process"]
+__all__ = ["Timeout", "SleepUntil", "WaitEvent", "Interrupt", "Process"]
 
 
 class Timeout:
@@ -38,6 +39,24 @@ class Timeout:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Timeout({self.delay})"
+
+
+class SleepUntil:
+    """Yielded by a process to park until the absolute instant ``at``.
+
+    Unlike ``Timeout(at - now)``, the wake-up lands at *exactly* ``at``
+    (no ``now + delay`` rounding), which the vectorized batch engine
+    relies on to land on the same float instants the per-event engine
+    reaches by chaining relative timeouts.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SleepUntil({self.at})"
 
 
 class WaitEvent:
@@ -167,6 +186,19 @@ class Process:
                 lambda _e, _ev: self._advance(None),
                 kind=EventKind.TIMER,
                 label=f"{self.label}-timeout",
+            )
+        elif isinstance(command, SleepUntil):
+            at = command.at
+            if at < self.engine.now:
+                raise SimulationError(
+                    f"process {self.label!r} slept until t={at:.6f}, "
+                    f"before now={self.engine.now:.6f}"
+                )
+            self._pending_handle = self.engine.schedule(
+                at,
+                lambda _e, _ev: self._advance(None),
+                kind=EventKind.TIMER,
+                label=f"{self.label}-sleep-until",
             )
         elif isinstance(command, WaitEvent):
             self._waiting_on = command

@@ -33,6 +33,14 @@ class MarketKey:
     region: str
     size: str
 
+    def __post_init__(self) -> None:
+        # Keys index every hot-path memo (markets, leads, spend, strategy
+        # caches); precompute the hash once instead of per lookup.
+        object.__setattr__(self, "_hash", hash((self.region, self.size)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.region}/{self.size}"
 

@@ -132,9 +132,18 @@ class PriceTrace:
         )
 
     # ----------------------------------------------------------------- lookup
-    def _index_at(self, t: np.ndarray) -> np.ndarray:
-        idx = np.searchsorted(self.times, t, side="right") - 1
-        return np.clip(idx, 0, len(self.times) - 1)
+    def _index_at(self, t: np.ndarray) -> np.ndarray | int:
+        # ndarray method form: skips np.searchsorted's dispatch wrapper.
+        idx = self.times.searchsorted(t, side="right")
+        if isinstance(idx, np.ndarray):
+            idx -= 1
+            # Clamp in place with raw ufuncs: np.clip's dispatch (dtype
+            # introspection per call) measurably taxes the batch hot path.
+            np.maximum(idx, 0, out=idx)
+            np.minimum(idx, len(self.times) - 1, out=idx)
+            return idx
+        # Scalar / 0-d query: searchsorted returned a plain integer.
+        return min(max(int(idx) - 1, 0), len(self.times) - 1)
 
     def price_at(self, t: float | np.ndarray) -> float | np.ndarray:
         """Price in force at time(s) ``t``.

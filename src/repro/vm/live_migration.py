@@ -53,7 +53,19 @@ class LiveMigrationModel:
     activation_s: float = 0.35
 
     def migrate(self, memory: MemoryProfile, link: RegionLink) -> LiveMigrationResult:
-        """Model one migration of ``memory`` over ``link``."""
+        """Model one migration of ``memory`` over ``link``.
+
+        Pure in its (frozen, hashable) arguments, so results are memoized
+        per model instance — a month-long run re-migrates the same
+        (memory, link) pairs hundreds of times.
+        """
+        memo = self.__dict__.setdefault("_migrate_memo", {})
+        out = memo.get((memory, link))
+        if out is None:
+            out = memo[(memory, link)] = self._migrate(memory, link)
+        return out
+
+    def _migrate(self, memory: MemoryProfile, link: RegionLink) -> LiveMigrationResult:
         bw = link.memory_bandwidth_mbps
         if bw <= 0:
             raise MigrationError("link bandwidth must be positive")

@@ -209,13 +209,20 @@ class MigrationModel:
         """A voluntary migration (planned spot->on-demand, spot->spot, or
         reverse on-demand->spot). ``extra_prep_s`` folds in WAN disk copy."""
         if self.mechanism.uses_live:
-            lm = self.params.live.migrate(memory, link)
-            return MigrationTiming(
-                prep_s=lm.total_time_s - lm.downtime_s + extra_prep_s,
-                downtime_s=lm.downtime_s,
-                degraded_s=0.0,
-                description=f"live migration, {lm.rounds} pre-copy rounds",
-            )
+            # Live-path timings draw no randomness, so they are a pure
+            # function of (memory, link, extra_prep_s) — memoized: a
+            # month-long run re-plans the same few moves hundreds of times.
+            memo = self.__dict__.setdefault("_planned_memo", {})
+            timing = memo.get((memory, link, extra_prep_s))
+            if timing is None:
+                lm = self.params.live.migrate(memory, link)
+                timing = memo[(memory, link, extra_prep_s)] = MigrationTiming(
+                    prep_s=lm.total_time_s - lm.downtime_s + extra_prep_s,
+                    downtime_s=lm.downtime_s,
+                    degraded_s=0.0,
+                    description=f"live migration, {lm.rounds} pre-copy rounds",
+                )
+            return timing
         p = self.params
         ckpt = p.checkpointer(memory)
         inc = self._final_increment_s(memory, rng, planned=True)

@@ -48,7 +48,9 @@ class TestTraceSummarize:
         out = capsys.readouterr().out
         assert "event(s) across 2 run(s)" in out
         assert out.count("== ") == 2
-        assert "(seed 11)" in out and "(seed 23)" in out
+        # Headings carry the seed plus the engine that executed the run
+        # (traced runs always route to the event engine).
+        assert "(seed 11, event engine)" in out and "(seed 23, event engine)" in out
         assert "voluntary migration(s)" in out
         assert "bid-placed" in out
 
