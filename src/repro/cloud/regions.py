@@ -35,6 +35,7 @@ REGION_TABLE: dict[str, Region] = {
     "us-east-1a": Region("us-east-1a", "us-east", "US East 1a"),
     "us-east-1b": Region("us-east-1b", "us-east", "US East 1b"),
     "us-west-1a": Region("us-west-1a", "us-west", "US West 1a"),
+    "us-west-1b": Region("us-west-1b", "us-west", "US West 1b"),
     "eu-west-1a": Region("eu-west-1a", "eu-west", "EU West 1a"),
 }
 

@@ -8,7 +8,7 @@ reduction and also exposes the spread, which EXPERIMENTS.md records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,16 @@ class SimulationResult:
     on_demand_cost: float
     spot_time_fraction: float = 0.0  #: share of tenure spent on spot leases
     downtime_by_cause: Dict[str, float] = field(default_factory=dict)
+    #: Start instants (simulation seconds) of every forced migration, in
+    #: event order. The fleet layer sizes shared warm-spare pools from the
+    #: cross-service concurrency of these instants (:mod:`repro.fleet`).
+    forced_times: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON/ledger round-trips deliver lists; normalise so replayed
+        # results compare equal to freshly computed ones.
+        if not isinstance(self.forced_times, tuple):
+            object.__setattr__(self, "forced_times", tuple(self.forced_times))
 
     @property
     def forced_per_hour(self) -> float:

@@ -234,6 +234,9 @@ def summarize_stack(stack: SimStack) -> SimulationResult:
         on_demand_cost=ledger.total_by_kind("on_demand"),
         spot_time_fraction=scheduler.spot_time_fraction(),
         downtime_by_cause=by_cause,
+        forced_times=tuple(
+            m.started_at for m in scheduler.migrations if m.kind == "forced"
+        ),
     )
     metrics = scheduler.metrics
     metrics.gauge("total_cost_usd").set(result.total_cost)

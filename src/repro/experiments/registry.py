@@ -14,6 +14,7 @@ from repro.experiments import (
     abl_stability,
     abl_tau,
     ext_elastic,
+    ext_fleet,
     ext_frontier,
     ext_pool,
     ext_sensitivity,
@@ -58,6 +59,7 @@ _MODULES = (
     ext_frontier,
     ext_pool,
     ext_elastic,
+    ext_fleet,
 )
 
 #: Experiment id -> driver module (each exposes EXPERIMENT_ID, TITLE, run).

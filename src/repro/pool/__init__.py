@@ -16,7 +16,11 @@ absorbing revocations. This package layers that on the reproduction:
 """
 
 from repro.pool.pool import PoolConfig, PoolResult, ServiceOutcome, SpotPool
-from repro.pool.spares import concurrent_events, spare_requirement
+from repro.pool.spares import (
+    concurrent_events,
+    service_demand_profile,
+    spare_requirement,
+)
 
 __all__ = [
     "PoolConfig",
@@ -24,5 +28,6 @@ __all__ = [
     "ServiceOutcome",
     "SpotPool",
     "concurrent_events",
+    "service_demand_profile",
     "spare_requirement",
 ]

@@ -7,17 +7,41 @@ overlap if they start within each other's handover window (grace +
 startup + restore, a few minutes). Diversified placements make
 co-revocations rare, so the spare pool can be far smaller than the fleet —
 concentrated placements need spares for everyone at once.
+
+Multi-consumer semantics
+------------------------
+:func:`spare_requirement` originally assumed one homogeneous consumer: a
+single handover window shared by every tenant, and no bound on how many
+spares one tenant could hold at once. Neither survives a real fleet
+(:mod:`repro.fleet`):
+
+* tenants using different migration mechanisms occupy a spare for
+  *different* lengths of time — ``window_s`` therefore accepts one window
+  per service;
+* a tenant fails over as a unit: even if three of its servers are revoked
+  in the same storm it claims at most its quota of spares —
+  ``per_service_cap`` clamps each service's own concurrent demand before
+  demands are summed across services.
+
+Both parameters default to the legacy behaviour (one global window, no
+cap), so single-consumer callers are unchanged. The sweep is half-open:
+a spare returned at instant *t* is available to a claim arriving at *t*.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import SchedulingError
 
-__all__ = ["concurrent_events", "spare_requirement", "DEFAULT_HANDOVER_WINDOW_S"]
+__all__ = [
+    "concurrent_events",
+    "service_demand_profile",
+    "spare_requirement",
+    "DEFAULT_HANDOVER_WINDOW_S",
+]
 
 #: Grace window + on-demand startup + restore, rounded up.
 DEFAULT_HANDOVER_WINDOW_S = 360.0
@@ -46,12 +70,90 @@ def concurrent_events(times: Sequence[float], window_s: float) -> int:
     return int(running.max())
 
 
+def service_demand_profile(
+    times: Sequence[float],
+    window_s: float,
+    cap: Optional[int] = None,
+) -> List[Tuple[float, int]]:
+    """One service's spare demand as ``(instant, delta)`` step changes.
+
+    Each forced migration occupies a spare for ``window_s`` seconds; the
+    service's concurrent demand is clamped to ``cap`` when given (a tenant
+    never holds more spares than its quota, however many of its servers
+    are revoked at once). Deltas at equal instants are merged, releases
+    processed before claims (half-open windows).
+    """
+    if window_s <= 0:
+        raise SchedulingError("window must be positive")
+    if cap is not None and cap < 0:
+        raise SchedulingError("per-service cap must be >= 0")
+    events: List[Tuple[float, int]] = []
+    for t in times:
+        t = float(t)
+        events.append((t, 1))
+        events.append((t + window_s, -1))
+    # releases (-1) before claims (+1) at the same instant
+    events.sort(key=lambda e: (e[0], e[1]))
+    profile: List[Tuple[float, int]] = []
+    active = 0
+    held = 0
+    for t, delta in events:
+        active += delta
+        want = active if cap is None else min(active, cap)
+        if want != held:
+            if profile and profile[-1][0] == t:
+                merged = profile[-1][1] + (want - held)
+                profile[-1] = (t, merged)
+                if merged == 0:
+                    profile.pop()
+            else:
+                profile.append((t, want - held))
+            held = want
+    return profile
+
+
 def spare_requirement(
     forced_times_per_service: Iterable[Sequence[float]],
-    window_s: float = DEFAULT_HANDOVER_WINDOW_S,
+    window_s: Union[float, Sequence[float]] = DEFAULT_HANDOVER_WINDOW_S,
+    *,
+    per_service_cap: Union[None, int, Sequence[Optional[int]]] = None,
 ) -> int:
-    """Warm on-demand spares needed for a set of tenants' forced migrations."""
-    merged: List[float] = []
-    for times in forced_times_per_service:
-        merged.extend(float(t) for t in times)
-    return concurrent_events(merged, window_s)
+    """Warm on-demand spares needed for a set of tenants' forced migrations.
+
+    ``window_s`` is either one handover window shared by all services or a
+    sequence with one window per service (heterogeneous mechanisms hold a
+    spare for different lengths of time). ``per_service_cap`` likewise
+    accepts a single cap or one per service; each service's concurrent
+    demand is clamped to its cap *before* demands are summed, so one
+    tenant's storm cannot claim the whole pool on its own.
+    """
+    services = [list(map(float, times)) for times in forced_times_per_service]
+    n = len(services)
+    if isinstance(window_s, (int, float)):
+        windows = [float(window_s)] * n
+    else:
+        windows = [float(w) for w in window_s]
+        if len(windows) != n:
+            raise SchedulingError(
+                f"got {len(windows)} windows for {n} services"
+            )
+    if per_service_cap is None or isinstance(per_service_cap, int):
+        caps: List[Optional[int]] = [per_service_cap] * n
+    else:
+        caps = list(per_service_cap)
+        if len(caps) != n:
+            raise SchedulingError(f"got {len(caps)} caps for {n} services")
+    merged: List[Tuple[float, int]] = []
+    for times, window, cap in zip(services, windows, caps):
+        merged.extend(service_demand_profile(times, window, cap))
+    if not merged:
+        return 0
+    # negative deltas (releases) before positive ones at equal instants
+    merged.sort(key=lambda e: (e[0], e[1]))
+    peak = 0
+    level = 0
+    for _, delta in merged:
+        level += delta
+        if level > peak:
+            peak = level
+    return peak

@@ -40,10 +40,13 @@ from repro.testkit.faults import (
     kill_orchestrator_after_n_runs,
 )
 from repro.testkit.golden import (
+    FLEET_SCENARIOS,
     SCENARIOS,
+    GoldenFleetScenario,
     GoldenScenario,
     check_scenarios,
     default_golden_dir,
+    run_fleet_scenario,
     run_scenario,
     scenario_by_name,
     update_golden,
@@ -53,7 +56,9 @@ from repro.testkit.oracles import (
     OracleReport,
     check_jobs_determinism,
     check_rerun_determinism,
+    check_spare_pool,
     run_verified,
+    verify_fleet,
     verify_stack,
 )
 
@@ -68,10 +73,15 @@ __all__ = [
     "run_verified",
     "check_rerun_determinism",
     "check_jobs_determinism",
+    "check_spare_pool",
+    "verify_fleet",
     "GoldenScenario",
+    "GoldenFleetScenario",
     "SCENARIOS",
+    "FLEET_SCENARIOS",
     "scenario_by_name",
     "run_scenario",
+    "run_fleet_scenario",
     "check_scenarios",
     "update_golden",
     "default_golden_dir",

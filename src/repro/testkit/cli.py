@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.testkit.golden import (
+    FLEET_SCENARIOS,
     SCENARIOS,
     check_scenarios,
     update_golden,
@@ -71,8 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    width = max(len(s.name) for s in SCENARIOS)
-    for s in SCENARIOS:
+    corpus = [*SCENARIOS, *FLEET_SCENARIOS]
+    width = max(len(s.name) for s in corpus)
+    for s in corpus:
         print(f"  {s.name:<{width}}  {s.description}")
     return 0
 

@@ -12,6 +12,9 @@ The corpus deliberately spans the regimes the paper's claims hang on:
 calm markets, seeded revocation storms, a correlated spike straddling a
 billing boundary, a pure-spot outage, slow checkpoints during a storm,
 multi-market and multi-region escapes, and the all-on-demand baseline.
+:data:`FLEET_SCENARIOS` extends it with a pinned multi-tenant
+:class:`~repro.fleet.report.FleetReport` (shared market, shared spare
+pool, churn) checked by the same machinery.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.simulation import SimulationConfig, run_simulation_observed
 from repro.errors import ConfigurationError
+from repro.fleet.spec import FleetSpec, synthesize_fleet
 from repro.runtime.spec import StrategySpec
 from repro.testkit.faults import FaultPlan
 from repro.traces.catalog import MarketKey
@@ -33,9 +37,12 @@ from repro.units import days, hours
 
 __all__ = [
     "GoldenScenario",
+    "GoldenFleetScenario",
     "SCENARIOS",
+    "FLEET_SCENARIOS",
     "scenario_by_name",
     "run_scenario",
+    "run_fleet_scenario",
     "check_scenarios",
     "update_golden",
     "default_golden_dir",
@@ -244,13 +251,49 @@ SCENARIOS: Tuple[GoldenScenario, ...] = (
 )
 
 
-def scenario_by_name(name: str) -> GoldenScenario:
-    for s in SCENARIOS:
+@dataclass(frozen=True)
+class GoldenFleetScenario:
+    """One committed fleet scenario: a seeded :class:`FleetSpec` whose
+    :class:`~repro.fleet.report.FleetReport` is pinned as JSON."""
+
+    name: str
+    description: str
+    build: Callable[[], FleetSpec]
+
+    def spec(self) -> FleetSpec:
+        return self.build()
+
+
+def _fleet_small() -> FleetSpec:
+    # Eight heterogeneous tenants plus seeded churn over a 2-region,
+    # 2-size market grid: small enough for seconds, rich enough to
+    # exercise the shared spare pool and the churn proration path.
+    return synthesize_fleet(
+        8,
+        seed=5,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        churn_per_week=4.0,
+        spare_capacity=2,
+    )
+
+
+FLEET_SCENARIOS: Tuple[GoldenFleetScenario, ...] = (
+    GoldenFleetScenario(
+        "fleet-small",
+        "8-service fleet with churn on a shared 4-market grid",
+        _fleet_small,
+    ),
+)
+
+
+def scenario_by_name(name: str):
+    for s in (*SCENARIOS, *FLEET_SCENARIOS):
         if s.name == name:
             return s
-    raise ConfigurationError(
-        f"unknown golden scenario {name!r}; known: {[s.name for s in SCENARIOS]}"
-    )
+    known = [s.name for s in SCENARIOS] + [s.name for s in FLEET_SCENARIOS]
+    raise ConfigurationError(f"unknown golden scenario {name!r}; known: {known}")
 
 
 # ------------------------------------------------------------------- execution
@@ -261,33 +304,59 @@ def run_scenario(scenario: GoldenScenario, verify: bool = True) -> Dict[str, obj
     return dataclasses.asdict(observed.result)
 
 
-def _expected_path(golden_dir: Path, scenario: GoldenScenario) -> Path:
+def run_fleet_scenario(
+    scenario: GoldenFleetScenario, verify: bool = True
+) -> Dict[str, object]:
+    """Run one fleet scenario (with the fleet invariant oracles by
+    default) and return its :class:`~repro.fleet.report.FleetReport` as a
+    JSON-ready dict."""
+    from repro.fleet.runner import run_fleet
+
+    return run_fleet(scenario.spec(), verify=verify).to_dict()
+
+
+def _run_any(scenario, verify: bool) -> Dict[str, object]:
+    if isinstance(scenario, GoldenFleetScenario):
+        return run_fleet_scenario(scenario, verify=verify)
+    return run_scenario(scenario, verify=verify)
+
+
+def _expected_path(golden_dir: Path, scenario) -> Path:
     return golden_dir / f"{scenario.name}.json"
 
 
+def _diff_value(path: str, e: object, a: object, out: List[str]) -> None:
+    """Recursive comparison; problems are appended as ``path: detail``."""
+    if isinstance(e, bool) or isinstance(a, bool):
+        # bool is an int subclass — compare exactly, before the float branch.
+        if e != a:
+            out.append(f"{path}: expected {e!r}, got {a!r}")
+    elif isinstance(e, float) and isinstance(a, (int, float)):
+        if not math.isclose(e, float(a), rel_tol=REL_TOL, abs_tol=REL_TOL):
+            out.append(f"{path}: expected {e!r}, got {a!r}")
+    elif isinstance(e, dict) and isinstance(a, dict):
+        for key in sorted(set(e) | set(a)):
+            sub = f"{path}[{key!r}]" if path else str(key)
+            if key not in e:
+                out.append(f"{sub}: unexpected new field = {a[key]!r}")
+            elif key not in a:
+                out.append(f"{sub}: field missing (expected {e[key]!r})")
+            else:
+                _diff_value(sub, e[key], a[key], out)
+    elif isinstance(e, (list, tuple)) and isinstance(a, (list, tuple)):
+        if len(e) != len(a):
+            out.append(f"{path}: expected {len(e)} item(s), got {len(a)}")
+            return
+        for i, (ev, av) in enumerate(zip(e, a)):
+            _diff_value(f"{path}[{i}]", ev, av, out)
+    elif e != a:
+        out.append(f"{path}: expected {e!r}, got {a!r}")
+
+
 def _diff(expected: Dict[str, object], actual: Dict[str, object]) -> List[str]:
-    """Field-level differences between two report dicts."""
+    """Field-level differences between two (possibly nested) report dicts."""
     out: List[str] = []
-    for key in sorted(set(expected) | set(actual)):
-        if key not in expected:
-            out.append(f"{key}: unexpected new field = {actual[key]!r}")
-            continue
-        if key not in actual:
-            out.append(f"{key}: field missing (expected {expected[key]!r})")
-            continue
-        e, a = expected[key], actual[key]
-        if isinstance(e, float) and isinstance(a, (int, float)):
-            if not math.isclose(e, float(a), rel_tol=REL_TOL, abs_tol=REL_TOL):
-                out.append(f"{key}: expected {e!r}, got {a!r}")
-        elif isinstance(e, dict) and isinstance(a, dict):
-            for sub in sorted(set(e) | set(a)):
-                ev, av = e.get(sub), a.get(sub)
-                if ev is None or av is None or not math.isclose(
-                    float(ev), float(av), rel_tol=REL_TOL, abs_tol=REL_TOL
-                ):
-                    out.append(f"{key}[{sub!r}]: expected {ev!r}, got {av!r}")
-        elif e != a:
-            out.append(f"{key}: expected {e!r}, got {a!r}")
+    _diff_value("", expected, actual, out)
     return out
 
 
@@ -302,7 +371,11 @@ def check_scenarios(
     match; a missing expected file reports as one difference.
     """
     golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
-    chosen = [scenario_by_name(n) for n in names] if names else list(SCENARIOS)
+    chosen = (
+        [scenario_by_name(n) for n in names]
+        if names
+        else [*SCENARIOS, *FLEET_SCENARIOS]
+    )
     out: Dict[str, List[str]] = {}
     for scenario in chosen:
         path = _expected_path(golden_dir, scenario)
@@ -312,7 +385,7 @@ def check_scenarios(
             ]
             continue
         expected = json.loads(path.read_text())
-        actual = run_scenario(scenario, verify=verify)
+        actual = _run_any(scenario, verify=verify)
         out[scenario.name] = _diff(expected, actual)
     return out
 
@@ -323,10 +396,14 @@ def update_golden(
     """(Re)write the expected reports; returns ``{name: path written}``."""
     golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
     golden_dir.mkdir(parents=True, exist_ok=True)
-    chosen = [scenario_by_name(n) for n in names] if names else list(SCENARIOS)
+    chosen = (
+        [scenario_by_name(n) for n in names]
+        if names
+        else [*SCENARIOS, *FLEET_SCENARIOS]
+    )
     written: Dict[str, Path] = {}
     for scenario in chosen:
-        actual = run_scenario(scenario, verify=True)
+        actual = _run_any(scenario, verify=True)
         path = _expected_path(golden_dir, scenario)
         path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
         written[scenario.name] = path

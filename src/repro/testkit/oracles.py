@@ -25,6 +25,7 @@ or the ``repro-verify`` CLI.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -40,6 +41,8 @@ __all__ = [
     "run_verified",
     "check_rerun_determinism",
     "check_jobs_determinism",
+    "check_spare_pool",
+    "verify_fleet",
 ]
 
 #: Tolerance for comparing recomputed sums of floats (order-of-addition
@@ -348,4 +351,162 @@ def check_jobs_determinism(
         f"jobs=1 vs jobs={jobs} over {len(list(seeds))} seeds"
         + (f"; mismatched: {', '.join(mismatches)}" if mismatches else ""),
     )
+    return report
+
+
+# ------------------------------------------------------------- fleet oracles
+def check_spare_pool(outcome, quotas, default_quota: int = 1) -> OracleReport:
+    """Conservation invariants of one shared spare pool's event log.
+
+    Independently replays the :class:`~repro.fleet.spares.SparePoolOutcome`
+    event log and checks: spares in use never exceed the pool capacity, no
+    service ever holds more than its quota (no double-grant past the cap),
+    claim accounting balances (hits + misses == claims, per-service stats
+    sum to the totals), and the recorded peak matches the replay.
+    """
+    report = OracleReport()
+    capacity = outcome.capacity
+    window = outcome.handover_window_s
+    held: dict = {}
+    releases: List[Tuple[float, str]] = []
+    in_use = 0
+    peak = 0
+    bad_capacity: List[str] = []
+    bad_quota: List[str] = []
+    bad_log: List[str] = []
+    last_t = None
+    for ev in outcome.events:
+        if last_t is not None and ev.t < last_t:
+            bad_log.append(f"event log goes backwards at t={ev.t:.0f}")
+        last_t = ev.t
+        while releases and releases[0][0] <= ev.t:
+            _, done = heapq.heappop(releases)
+            held[done] -= 1
+            in_use -= 1
+        if ev.granted:
+            quota = quotas.get(ev.service, default_quota)
+            if held.get(ev.service, 0) >= quota:
+                bad_quota.append(
+                    f"{ev.service} granted a {held.get(ev.service, 0) + 1}th "
+                    f"spare at t={ev.t:.0f} over quota {quota}"
+                )
+            if in_use >= capacity:
+                bad_capacity.append(
+                    f"grant at t={ev.t:.0f} with {in_use}/{capacity} already in use"
+                )
+            held[ev.service] = held.get(ev.service, 0) + 1
+            in_use += 1
+            peak = max(peak, in_use)
+            heapq.heappush(releases, (ev.t + window, ev.service))
+        if ev.in_use_after != in_use:
+            bad_log.append(
+                f"t={ev.t:.0f}: log says {ev.in_use_after} in use, replay says {in_use}"
+            )
+    report.add(
+        "spare-pool.capacity", not bad_capacity, "; ".join(bad_capacity[:3])
+    )
+    report.add("spare-pool.quota", not bad_quota, "; ".join(bad_quota[:3]))
+    report.add("spare-pool.log-consistent", not bad_log, "; ".join(bad_log[:3]))
+    hits = sum(1 for ev in outcome.events if ev.granted)
+    misses = len(outcome.events) - hits
+    report.add(
+        "spare-pool.accounting",
+        hits == outcome.hits
+        and misses == outcome.misses
+        and outcome.hits + outcome.misses == outcome.claims
+        and outcome.quota_misses + outcome.exhausted_misses == outcome.misses
+        and peak == outcome.peak_in_use,
+        f"hits {outcome.hits} + misses {outcome.misses} vs claims "
+        f"{outcome.claims}; peak {outcome.peak_in_use} vs replay {peak}",
+    )
+    per_claims = sum(s.claims for s in outcome.per_service.values())
+    per_hits = sum(s.hits for s in outcome.per_service.values())
+    report.add(
+        "spare-pool.per-service-split",
+        per_claims == outcome.claims and per_hits == outcome.hits,
+        f"per-service claims {per_claims}/{outcome.claims}, "
+        f"hits {per_hits}/{outcome.hits}",
+    )
+    return report
+
+
+def verify_fleet(spec, fleet_report, results=None) -> OracleReport:
+    """Audit a :class:`~repro.fleet.report.FleetReport` against its spec.
+
+    Checks report-internal accounting (service rows sum to the fleet
+    totals, cohort counts add up, target bookkeeping matches) and — when
+    the per-service ``results`` are provided — replays the shared spare
+    pool from the raw forced-migration instants and runs
+    :func:`check_spare_pool` on its event log, then cross-checks the
+    report's spare-pool numbers against the independent replay.
+    """
+    report = OracleReport()
+    services = fleet_report.services
+    report.add(
+        "fleet.cohort-counts",
+        fleet_report.n_services == len(spec.services) == len(services)
+        and fleet_report.n_initial + fleet_report.n_arrived == fleet_report.n_services,
+        f"{fleet_report.n_initial} initial + {fleet_report.n_arrived} arrived "
+        f"vs {fleet_report.n_services} services",
+    )
+    cost_sum = sum(s.cost for s in services)
+    base_sum = sum(s.baseline_cost for s in services)
+    report.add(
+        "fleet.cost-rollup",
+        _close(cost_sum, fleet_report.total_cost)
+        and _close(base_sum, fleet_report.baseline_cost),
+        f"service costs sum to {cost_sum:.6f} vs total {fleet_report.total_cost:.6f}",
+    )
+    norm = 100.0 * fleet_report.total_cost / fleet_report.baseline_cost \
+        if fleet_report.baseline_cost else 0.0
+    report.add(
+        "fleet.normalized-cost",
+        _close(norm, fleet_report.normalized_cost_percent)
+        and _close(
+            fleet_report.savings_percent, 100.0 - fleet_report.normalized_cost_percent
+        ),
+        f"recomputed {norm:.6f}% vs {fleet_report.normalized_cost_percent:.6f}%",
+    )
+    met = sum(1 for s in services if s.target_met)
+    report.add(
+        "fleet.targets",
+        met == fleet_report.services_meeting_target,
+        f"{met} rows marked met vs {fleet_report.services_meeting_target}",
+    )
+    claims = sum(s.spare_claims for s in services)
+    hits = sum(s.spare_hits for s in services)
+    sp = fleet_report.spare_pool
+    report.add(
+        "fleet.spare-rollup",
+        claims == sp.claims and hits == sp.hits,
+        f"service rows: {claims} claims / {hits} hits vs pool "
+        f"{sp.claims} / {sp.hits}",
+    )
+    if results is not None:
+        from repro.fleet.spares import SharedSparePool
+
+        claims_seq: List[Tuple[float, str]] = []
+        for svc, res in zip(spec.services, results):
+            a, d = spec.active_window(svc)
+            claims_seq.extend(
+                (t, svc.name) for t in res.forced_times if a <= t < d
+            )
+        pool = SharedSparePool(
+            capacity=spec.spare_capacity,
+            handover_window_s=spec.handover_window_s,
+            quotas={svc.name: svc.spare_quota for svc in spec.services},
+        )
+        outcome = pool.replay(claims_seq)
+        quotas = {svc.name: svc.spare_quota for svc in spec.services}
+        for check in check_spare_pool(outcome, quotas).checks:
+            report.checks.append(check)
+        report.add(
+            "fleet.spare-replay",
+            outcome.claims == sp.claims
+            and outcome.hits == sp.hits
+            and outcome.misses == sp.misses
+            and outcome.peak_in_use == sp.peak_in_use,
+            f"replay {outcome.claims}/{outcome.hits}/{outcome.misses} "
+            f"vs report {sp.claims}/{sp.hits}/{sp.misses}",
+        )
     return report

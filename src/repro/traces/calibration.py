@@ -34,6 +34,7 @@ __all__ = [
     "MarketCalibration",
     "SIZES",
     "REGIONS",
+    "ALL_REGIONS",
     "ON_DEMAND_PRICES",
     "REGION_OD_MULTIPLIER",
     "on_demand_price",
@@ -46,6 +47,12 @@ SIZES = ("small", "medium", "large", "xlarge")
 
 #: Availability zones studied in the paper's evaluation (Section 4.1).
 REGIONS = ("us-east-1a", "us-east-1b", "us-west-1a", "eu-west-1a")
+
+#: All calibrated availability zones: the paper's four plus extension AZs
+#: (us-west-1b) added for fleet-scale runs that want wider market sets.
+#: Single-run defaults stay pinned to the paper's :data:`REGIONS`; only
+#: callers that opt in (``repro-fleet``) see the extras.
+ALL_REGIONS = ("us-east-1a", "us-east-1b", "us-west-1a", "us-west-1b", "eu-west-1a")
 
 #: On-demand hourly prices (USD). The paper quotes "6 cents per hour for the
 #: small configuration" (Section 2.1); the remaining sizes follow EC2's
@@ -63,6 +70,7 @@ REGION_OD_MULTIPLIER = {
     "us-east-1a": 1.00,
     "us-east-1b": 1.00,
     "us-west-1a": 1.06,
+    "us-west-1b": 1.06,
     "eu-west-1a": 1.12,
 }
 
@@ -216,6 +224,7 @@ _REGION_PERSONALITY: dict[str, dict[str, float]] = {
     "us-east-1a": dict(calm=0.21, blip=0.012, spike=0.010, sharp=0.0022, dur=4200.0, sig=0.22, peak=1.00),
     "us-east-1b": dict(calm=0.19, blip=0.015, spike=0.012, sharp=0.0026, dur=4600.0, sig=0.25, peak=1.05),
     "us-west-1a": dict(calm=0.28, blip=0.007, spike=0.006, sharp=0.0012, dur=3000.0, sig=0.14, peak=0.62),
+    "us-west-1b": dict(calm=0.26, blip=0.008, spike=0.007, sharp=0.0014, dur=3200.0, sig=0.16, peak=0.70),
     "eu-west-1a": dict(calm=0.33, blip=0.004, spike=0.0035, sharp=0.0008, dur=2200.0, sig=0.10, peak=0.42),
 }
 
@@ -277,10 +286,11 @@ def _build_calibration(region: str, size: str) -> MarketCalibration:
     )
 
 
-#: Calibrations for every (region, size) market in the paper's evaluation.
+#: Calibrations for every (region, size) market: the paper's evaluation
+#: zones plus the extension zones in :data:`ALL_REGIONS`.
 DEFAULT_CALIBRATIONS: dict[tuple[str, str], MarketCalibration] = {
     (region, size): _build_calibration(region, size)
-    for region in REGIONS
+    for region in ALL_REGIONS
     for size in SIZES
 }
 

@@ -33,8 +33,9 @@ class TestInstanceTypes:
 
 
 class TestRegions:
-    def test_four_azs(self):
-        assert len(REGION_TABLE) == 4
+    def test_all_calibrated_azs_present(self):
+        assert len(REGION_TABLE) == 5
+        assert REGION_TABLE["us-west-1b"].geo == "us-west"
 
     def test_geo_grouping(self):
         assert region_of("us-east-1a").geo == region_of("us-east-1b").geo

@@ -17,7 +17,7 @@ def test_registry_contains_every_paper_artifact():
         "fig1", "tab1", "tab2", "fig6", "fig7", "fig8", "fig9", "fig10",
         "fig11", "tab3", "tab4", "fig12", "sec62",
     }
-    ablations = {"abl-bid", "abl-tau", "abl-stability", "abl-adaptive", "ext-frontier", "ext-pool", "ext-elastic", "ext-sensitivity", "abl-grace"}
+    ablations = {"abl-bid", "abl-tau", "abl-stability", "abl-adaptive", "ext-frontier", "ext-pool", "ext-elastic", "ext-sensitivity", "abl-grace", "ext-fleet"}
     assert set(ALL_IDS) == paper_artifacts | ablations
 
 

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.simulator",
     "repro.analysis",
     "repro.pool",
+    "repro.fleet",
     "repro.experiments",
 ]
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import CalibrationError
 from repro.traces.calibration import (
+    ALL_REGIONS,
     DEFAULT_CALIBRATIONS,
     REGIONS,
     SIZES,
@@ -15,7 +16,14 @@ from repro.traces.calibration import (
 
 
 def test_all_markets_calibrated():
-    assert set(DEFAULT_CALIBRATIONS) == {(r, s) for r in REGIONS for s in SIZES}
+    assert set(DEFAULT_CALIBRATIONS) == {(r, s) for r in ALL_REGIONS for s in SIZES}
+
+
+def test_paper_regions_are_a_strict_subset_of_calibrated_zones():
+    # The paper's four evaluation AZs stay the single-run defaults;
+    # ALL_REGIONS adds the extension zones fleet runs opt into.
+    assert set(REGIONS) < set(ALL_REGIONS)
+    assert "us-west-1b" in ALL_REGIONS and "us-west-1b" not in REGIONS
 
 
 def test_on_demand_prices_follow_size_ladder():
