@@ -8,17 +8,25 @@ Examples::
     repro-simulate --strategy multi-region --region us-east-1a eu-west-1a
     repro-simulate --mechanism ckpt+lr --pessimistic --seeds 1 2 3
     repro-simulate --strategy pure-spot --days 60
+    repro-simulate --strategy index-tracking --region us-east-1a us-west-1a
+    repro-simulate --strategy portfolio-bid --risk-cap 0.02 --region us-east-1a
     repro-simulate --csv history.csv --size small --region us-east-1a
     repro-simulate --fast --trace /tmp/t.jsonl --metrics
+    repro-simulate --list-strategies
+
+Strategy choices are enumerated from :mod:`repro.core.registry`, so
+out-of-tree families registered through the ``repro.strategies`` entry
+point show up here automatically.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.tables import Table
+from repro.core import registry
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.results import aggregate
 from repro.core.simulation import SimulationConfig, run_many, run_simulation_observed
@@ -32,7 +40,6 @@ from repro.vm.mechanisms import Mechanism, PESSIMISTIC_PARAMS, TYPICAL_PARAMS
 
 __all__ = ["main", "build_parser"]
 
-STRATEGIES = ("single", "multi-market", "multi-region", "pure-spot", "on-demand", "stability")
 MECHANISMS = {m.value: m for m in Mechanism}
 
 
@@ -41,7 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-simulate",
         description="Host an always-on service on the simulated spot market.",
     )
-    p.add_argument("--strategy", choices=STRATEGIES, default="single")
+    p.add_argument("--strategy", choices=registry.strategy_kinds(), default="single")
+    p.add_argument("--list-strategies", action="store_true",
+                   help="print every registered hosting strategy and exit")
     p.add_argument("--bidding", choices=("proactive", "reactive"), default="proactive")
     p.add_argument("--k", type=float, default=4.0, help="proactive bid multiplier")
     p.add_argument("--mechanism", choices=sorted(MECHANISMS), default="ckpt+lr+live")
@@ -71,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --ledger: replay seeds already journaled and "
                    "run only the remainder (byte-identical results)")
     p.add_argument("--stability-weight", type=float, default=2.0)
+    p.add_argument("--band", type=float, default=0.15,
+                   help="index-tracking: tracking-error band above the index")
+    p.add_argument("--risk-cap", type=float, default=0.05,
+                   help="portfolio-bid: max predicted revocation risk")
     p.add_argument("--fast", action="store_true",
                    help="smoke run: horizon capped at 10 days, first two seeds")
     p.add_argument("--trace", metavar="PATH", default=None,
@@ -81,34 +94,51 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _make_strategy(args) -> tuple:
-    """Returns (strategy spec, regions tuple)."""
-    key = MarketKey(args.region[0], args.size)
-    if args.strategy == "single":
-        return StrategySpec.single(key), (args.region[0],)
-    if args.strategy == "pure-spot":
-        return StrategySpec.pure_spot(key), (args.region[0],)
-    if args.strategy == "on-demand":
-        return StrategySpec.on_demand(key), (args.region[0],)
-    if args.strategy == "multi-market":
-        return (
-            StrategySpec.multi_market(args.region[0], service_units=args.units),
-            (args.region[0],),
+def _single_market_kind(kind: str) -> bool:
+    """Does this strategy pin itself to one market (a ``"market"`` arg)?"""
+    info = registry.strategy_info(kind)
+    return any(a.kind == "market" for a in info.arg_schema)
+
+
+def _make_strategy(args) -> Tuple[StrategySpec, tuple]:
+    """Returns (strategy spec, regions tuple), built from the registered
+    arg schema — no per-strategy branching."""
+    info = registry.strategy_info(args.strategy)
+    wants_regions = any(a.kind == "regions" for a in info.arg_schema)
+    regions = tuple(args.region) if wants_regions else (args.region[0],)
+    spec_args: List[object] = []
+    options = {}
+    for spec in info.arg_schema:
+        if spec.kind == "market":
+            spec_args.append(MarketKey(args.region[0], args.size))
+        elif spec.kind == "region":
+            spec_args.append(args.region[0])
+        elif spec.kind == "regions":
+            spec_args.append(regions)
+        elif spec.cli is not None:
+            # Scalar knob surfaced as a flag; others keep their defaults.
+            options[spec.name] = getattr(args, spec.cli)
+    return StrategySpec.of(args.strategy, *spec_args, **options), regions
+
+
+def _render_strategy_list() -> str:
+    t = Table(
+        headers=("kind", "name", "vector", "synth w", "summary"),
+        title="registered hosting strategies (repro.core.registry)",
+    )
+    for info in registry.strategy_infos():
+        t.add_row(
+            info.kind,
+            info.display_name,
+            "yes" if info.vectorizable else "no",
+            info.synthesis_weight,
+            info.summary,
         )
-    if args.strategy == "multi-region":
-        return (
-            StrategySpec.multi_region(tuple(args.region), service_units=args.units),
-            tuple(args.region),
-        )
-    if args.strategy == "stability":
-        return (
-            StrategySpec.stability(
-                tuple(args.region), service_units=args.units,
-                stability_weight=args.stability_weight,
-            ),
-            tuple(args.region),
-        )
-    raise AssertionError(args.strategy)  # pragma: no cover
+    lines = [t.render(), ""]
+    for info in registry.strategy_infos():
+        if info.citation:
+            lines.append(f"  {info.kind}: {info.citation}")
+    return "\n".join(lines)
 
 
 def _csv_catalog(args) -> TraceCatalog:
@@ -120,6 +150,9 @@ def _csv_catalog(args) -> TraceCatalog:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_strategies:
+        print(_render_strategy_list())
+        return 0
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
@@ -141,7 +174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     catalog = None
     horizon = days(args.days)
     if args.csv is not None:
-        if args.strategy not in ("single", "pure-spot", "on-demand"):
+        if not _single_market_kind(args.strategy):
             print("--csv supports single-market strategies only", file=sys.stderr)
             return 2
         catalog = _csv_catalog(args)

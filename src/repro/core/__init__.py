@@ -4,8 +4,11 @@ A :class:`~repro.core.scheduler.CloudScheduler` hosts an always-on service
 on a mix of spot and on-demand servers, combining a bidding policy
 (:mod:`repro.core.bidding`: reactive vs proactive), a hosting strategy
 (:mod:`repro.core.strategies`: single-market, multi-market, multi-region,
-pure-spot, on-demand-only) and a migration mechanism
-(:mod:`repro.vm.mechanisms`). Costs and downtime are tracked by
+pure-spot, on-demand-only; :mod:`repro.core.policies`: index-tracking,
+no-fault-tolerance, LP portfolio bid) and a migration mechanism
+(:mod:`repro.vm.mechanisms`). Strategy families register themselves with
+:mod:`repro.core.registry`, which every consumer (CLIs, specs, fleet
+synthesis) enumerates. Costs and downtime are tracked by
 :mod:`repro.core.accounting`; :func:`repro.core.simulation.run_simulation`
 is the one-call facade the experiments use.
 """
@@ -21,6 +24,20 @@ from repro.core.strategies import (
     PureSpotStrategy,
     OnDemandOnlyStrategy,
     StabilityAwareStrategy,
+)
+from repro.core.policies import (
+    IndexTrackingStrategy,
+    NoFaultToleranceStrategy,
+    PortfolioBidStrategy,
+    solve_portfolio_lp,
+)
+from repro.core.registry import (
+    ArgSpec,
+    StrategyInfo,
+    register_strategy,
+    strategy_info,
+    strategy_infos,
+    strategy_kinds,
 )
 from repro.core.scheduler import CloudScheduler, MigrationRecord, PlacementRecord, ServiceContext
 from repro.core.replication import ReplicatedScheduler
@@ -50,6 +67,16 @@ __all__ = [
     "PureSpotStrategy",
     "OnDemandOnlyStrategy",
     "StabilityAwareStrategy",
+    "IndexTrackingStrategy",
+    "NoFaultToleranceStrategy",
+    "PortfolioBidStrategy",
+    "solve_portfolio_lp",
+    "ArgSpec",
+    "StrategyInfo",
+    "register_strategy",
+    "strategy_info",
+    "strategy_infos",
+    "strategy_kinds",
     "CloudScheduler",
     "MigrationRecord",
     "PlacementRecord",

@@ -920,7 +920,14 @@ class CloudScheduler:
         yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))
 
     def _pure_spot_outage(self, warning: float) -> Generator:
-        """Pure-spot revocation: checkpoint, go dark, return when cheap."""
+        """Pure-spot revocation: checkpoint, go dark, return when cheap.
+
+        When the strategy is not ``fault_tolerant`` there is no
+        checkpoint to write: the service rides the (free) revoked
+        partial hour right up to termination, and on re-grant it
+        *recomputes* its in-memory state from the durable volume instead
+        of restoring (Alourani & Kshemkalyani).
+        """
         placement = self.placement
         assert placement is not None
         key = placement.key
@@ -928,13 +935,18 @@ class CloudScheduler:
         grace = self.provider.grace_s
         bid = placement.leases[0].bid
         assert bid is not None
-        ckpt = self.model.params.checkpointer(mem)
-        inc = min(ckpt.final_increment(self.rng).suspend_write_s, grace)
+        fault_tolerant = self.strategy.fault_tolerant
+        if fault_tolerant:
+            ckpt = self.model.params.checkpointer(mem)
+            inc = min(ckpt.final_increment(self.rng).suspend_write_s, grace)
+        else:
+            inc = 0.0
         suspend_at = warning + grace - inc
         terminate_at = warning + grace
 
         yield Timeout(max(0.0, min(terminate_at, self.horizon) - self.engine.now))
-        self._write_checkpoint(min(suspend_at, self.horizon))
+        if fault_tolerant:
+            self._write_checkpoint(min(suspend_at, self.horizon))
         self._release(placement, min(terminate_at, self.horizon), revoked=True, reason="revoked")
         if self.sink.enabled:
             self.sink.emit(
@@ -968,19 +980,31 @@ class CloudScheduler:
                                          target.leases[0].lease_id, key.region)
             self.provider.vpc.bind(self.service.address,
                                    target.leases[0].lease_id, key.region)
-        link = link_between(key.region, key.region)
-        # Restore once the replacement fleet boots; reuse the forced-path
-        # restore arithmetic with the grace window already behind us.
-        timing = self.model.forced(mem, link, 0.0, max(0.0, target.ready_at - grant), self.rng)
-        resume_at = grant + timing.downtime_s
+        if fault_tolerant:
+            link = link_between(key.region, key.region)
+            # Restore once the replacement fleet boots; reuse the forced-path
+            # restore arithmetic with the grace window already behind us.
+            timing = self.model.forced(
+                mem, link, 0.0, max(0.0, target.ready_at - grant), self.rng
+            )
+            downtime_s = timing.downtime_s
+            degraded_s = timing.degraded_s
+        else:
+            # No checkpoint exists: boot, then rebuild in-memory state
+            # from the durable volume at a flat recompute cost.
+            downtime_s = max(0.0, target.ready_at - grant) + float(
+                getattr(self.strategy, "recompute_s", 0.0)
+            )
+            degraded_s = 0.0
+        resume_at = grant + downtime_s
         self.placement = target
-        self._blackout(suspend_at, resume_at, "waiting-spot", timing.degraded_s)
+        self._blackout(suspend_at, resume_at, "waiting-spot", degraded_s)
         self._record_migration(
             "outage", warning, resume_at, resume_at - suspend_at,
             self._key_str(key), self._key_str(key),
         )
-        if self.sink.enabled:
+        if fault_tolerant and self.sink.enabled:
             self.sink.emit(
-                CheckpointRestore(t=resume_at, market=str(key), downtime_s=timing.downtime_s)
+                CheckpointRestore(t=resume_at, market=str(key), downtime_s=downtime_s)
             )
         yield Timeout(max(0.0, min(resume_at, self.horizon) - self.engine.now))

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cloud.instance_types import instance_type
 from repro.cloud.provider import CloudProvider
 from repro.core.bidding import BiddingPolicy
+from repro.core.registry import ArgSpec, register_strategy
 from repro.errors import ConfigurationError
 from repro.traces.catalog import MarketKey
 from repro.units import SECONDS_PER_HOUR
@@ -70,6 +71,12 @@ class HostingStrategy(ABC):
     allows_on_demand: bool = True
     #: May the scheduler use spot servers at all?
     allows_spot: bool = True
+    #: Does the service checkpoint/restore its in-memory state? When
+    #: False the scheduler skips checkpoint writes and restores: a
+    #: revoked service rides the free partial hour, goes dark, and
+    #: *recomputes* its state from the durable volume on re-grant
+    #: (:class:`~repro.core.policies.NoFaultToleranceStrategy`).
+    fault_tolerant: bool = True
     #: Opportunistic spot->spot switching while the current price is still
     #: below on-demand. The paper's multi-market algorithm only changes
     #: market inside the *planned* step (when the price has risen above
@@ -205,11 +212,56 @@ class HostingStrategy(ABC):
         return mem
 
 
-@dataclass(frozen=True)
-class _FixedUnits:
-    pass
+#: The standard 2-region test grid the registry's example specs live on.
+_EXAMPLE_KEY = MarketKey("us-east-1a", "small")
+_EXAMPLE_REGIONS = ("us-east-1a", "us-west-1a")
+
+#: Units argument shared by the fleet-of-nested-VMs families.
+_UNITS_ARG = ArgSpec(
+    "service_units", "int", required=False, default=8, cli="units",
+    help="fleet size in small-equivalents",
+)
 
 
+# Cohort-draw callables for :func:`repro.fleet.spec.synthesize_fleet`.
+# Each consumes RNG draws in a fixed order (determinism) and imports
+# StrategySpec lazily — runtime.spec imports this module, not vice versa.
+def _synth_single(rng, market, regions):
+    from repro.runtime.spec import StrategySpec
+
+    return StrategySpec.single(market)
+
+
+def _synth_on_demand(rng, market, regions):
+    from repro.runtime.spec import StrategySpec
+
+    return StrategySpec.on_demand(market)
+
+
+def _synth_multi_market(rng, market, regions):
+    from repro.runtime.spec import StrategySpec
+
+    return StrategySpec.multi_market(market.region)
+
+
+def _synth_multi_region(rng, market, regions):
+    from repro.runtime.spec import StrategySpec
+
+    k = min(len(regions), 2)
+    idx = sorted(rng.choice(len(regions), size=k, replace=False).tolist())
+    return StrategySpec.multi_region(tuple(regions[j] for j in idx))
+
+
+@register_strategy(
+    "single",
+    display_name="Single market",
+    citation="HPDC 2015 source paper, §4.1 (Figs 6, 7, 11)",
+    arg_schema=(ArgSpec("key", "market"),),
+    example_args=(_EXAMPLE_KEY,),
+    synthesis_weight=0.50,
+    synthesize=_synth_single,
+    summary="one size in one AZ, alternating with same-size on-demand",
+)
 class SingleMarketStrategy(HostingStrategy):
     """One size in one AZ, with on-demand fallback of the same size."""
 
@@ -226,6 +278,16 @@ class SingleMarketStrategy(HostingStrategy):
         return f"SingleMarket({self.key})"
 
 
+@register_strategy(
+    "multi-market",
+    display_name="Multi market",
+    citation="HPDC 2015 source paper, §4.2 (Fig 8)",
+    arg_schema=(ArgSpec("region", "region"), _UNITS_ARG),
+    example_args=("us-east-1a",),
+    synthesis_weight=0.18,
+    synthesize=_synth_multi_market,
+    summary="any size within one AZ, packed onto the cheapest per unit",
+)
 class MultiMarketStrategy(HostingStrategy):
     """All sizes within one AZ, packed onto the cheapest size.
 
@@ -247,6 +309,16 @@ class MultiMarketStrategy(HostingStrategy):
         return f"MultiMarket({self.region}, units={self.service_units})"
 
 
+@register_strategy(
+    "multi-region",
+    display_name="Multi region",
+    citation="HPDC 2015 source paper, §4.3 (Fig 9)",
+    arg_schema=(ArgSpec("regions", "regions"), _UNITS_ARG),
+    example_args=(_EXAMPLE_REGIONS,),
+    synthesis_weight=0.13,
+    synthesize=_synth_multi_region,
+    summary="any size in any allowed AZ; cross-region moves pay WAN costs",
+)
 class MultiRegionStrategy(HostingStrategy):
     """All sizes across several AZs; cross-region moves are allowed."""
 
@@ -270,6 +342,14 @@ class MultiRegionStrategy(HostingStrategy):
         return f"MultiRegion({','.join(self.regions)}, units={self.service_units})"
 
 
+@register_strategy(
+    "pure-spot",
+    display_name="Pure spot",
+    citation="HPDC 2015 source paper, §5 (Fig 11)",
+    arg_schema=(ArgSpec("key", "market"),),
+    example_args=(_EXAMPLE_KEY,),
+    summary="spot only, no fallback: down whenever price exceeds bid",
+)
 class PureSpotStrategy(HostingStrategy):
     """Spot only — the Section 5 comparison showing why migration matters.
 
@@ -294,6 +374,16 @@ class PureSpotStrategy(HostingStrategy):
         return f"PureSpot({self.key})"
 
 
+@register_strategy(
+    "on-demand",
+    display_name="On-demand only",
+    citation="HPDC 2015 source paper, §5 (cost baseline)",
+    arg_schema=(ArgSpec("key", "market"),),
+    example_args=(_EXAMPLE_KEY,),
+    synthesis_weight=0.09,
+    synthesize=_synth_on_demand,
+    summary="non-revocable servers only: the 100% cost baseline",
+)
 class OnDemandOnlyStrategy(HostingStrategy):
     """The cost baseline: on-demand servers only, normalized cost 100 %."""
 
@@ -311,6 +401,22 @@ class OnDemandOnlyStrategy(HostingStrategy):
         return f"OnDemandOnly({self.key})"
 
 
+@register_strategy(
+    "stability",
+    display_name="Stability aware",
+    citation="HPDC 2015 source paper, §7 (future work: stability-aware bidding)",
+    arg_schema=(
+        ArgSpec("regions", "regions"),
+        _UNITS_ARG,
+        ArgSpec(
+            "stability_weight", "float", required=False, default=1.0,
+            cli="stability_weight", help="penalty per unit of trailing price std",
+        ),
+    ),
+    example_args=(_EXAMPLE_REGIONS,),
+    example_options=(("stability_weight", 2.0),),
+    summary="multi-region ranking that penalizes volatile markets",
+)
 class StabilityAwareStrategy(MultiRegionStrategy):
     """Multi-region bidding that also weighs price *stability*.
 

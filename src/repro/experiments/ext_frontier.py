@@ -2,11 +2,14 @@
 
 Places every hosting policy in this library on one cost/unavailability
 chart — the two baselines the paper compares (on-demand-only, pure spot),
-its reactive and proactive schedulers, and the Remus hot-standby extension
-(:mod:`repro.core.replication`). The frontier makes the paper's argument
-visually: migration turns spot servers from cheap-but-down into
-cheap-and-up, and a standing replica buys another order of magnitude of
-availability for roughly one more spot price.
+its reactive and proactive schedulers, the Remus hot-standby extension
+(:mod:`repro.core.replication`), and the three related-work families from
+:mod:`repro.core.policies`: index tracking (Shastri & Irwin), no fault
+tolerance (Alourani & Kshemkalyani), and the LP portfolio bid. The
+frontier makes the paper's argument visually: migration turns spot
+servers from cheap-but-down into cheap-and-up, and a standing replica
+buys another order of magnitude of availability for roughly one more
+spot price.
 """
 
 from __future__ import annotations
@@ -81,6 +84,23 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         pro.normalized_cost_percent, pro.unavailability_percent
     )
 
+    idx = simulate(cfg, StrategySpec.index_tracking(PAIR_REGIONS),
+                   regions=PAIR_REGIONS, sizes=("small", "medium"),
+                   label="index-tracking")
+    points["index tracking"] = (idx.normalized_cost_percent, idx.unavailability_percent)
+
+    noft = simulate(cfg, StrategySpec.no_fault_tolerance(KEY),
+                    bidding=ReactiveBidding(),
+                    regions=("us-east-1a",), sizes=("small",), label="no-ft")
+    points["no fault tolerance"] = (
+        noft.normalized_cost_percent, noft.unavailability_percent
+    )
+
+    lp = simulate(cfg, StrategySpec.portfolio_bid(PAIR_REGIONS),
+                  regions=PAIR_REGIONS, sizes=("small", "medium"),
+                  label="portfolio-bid")
+    points["LP portfolio bid"] = (lp.normalized_cost_percent, lp.unavailability_percent)
+
     points["Remus dual-spot pair"] = _run_replicated(cfg)
 
     t = Table(headers=("policy", "norm cost %", "unavail %"),
@@ -115,14 +135,30 @@ def run(cfg: ExperimentConfig) -> ExperimentReport:
         expectation="the price of the second replica",
         holds=1.3 < remus_cost / max(pro_cost, 1e-9) < 3.5,
     )
+    # No fault tolerance shares pure spot's dark periods (no on-demand
+    # fallback) plus a recompute penalty, so both sit outside the
+    # availability bar every fallback-capable policy must clear.
+    spot_only = ("pure spot", "no fault tolerance")
+    fallback_unav = max(
+        u for label, (c, u) in points.items() if label not in spot_only
+    )
     report.compare(
-        "every policy except pure spot meets 0.1 %",
-        max(u for label, (c, u) in points.items() if label != "pure spot"),
+        "every fallback-capable policy meets 0.1 %",
+        fallback_unav,
         unit="%",
-        expectation="pure spot is the only unusable point",
-        holds=(
-            max(u for label, (c, u) in points.items() if label != "pure spot") < 0.1
-            and points["pure spot"][1] > 0.5
-        ),
+        expectation="only the spot-only points (pure spot, no-FT) miss the bar",
+        holds=fallback_unav < 0.1 and points["pure spot"][1] > 0.5,
+    )
+    new_costs = {
+        label: points[label][0]
+        for label in ("index tracking", "no fault tolerance", "LP portfolio bid")
+    }
+    report.compare(
+        "related-work policies stay below on-demand cost",
+        max(new_costs.values()),
+        unit="%",
+        expectation="index tracking, no-FT, and the LP bid all ride the "
+        "spot discount",
+        holds=max(new_costs.values()) < 100.0,
     )
     return report

@@ -201,10 +201,14 @@ def synthesize_fleet(
     horizon; ``churn_per_week`` adds a Poisson stream of mid-horizon
     arrivals (uniform arrival instant, exponential lifetime with mean a
     quarter of the horizon) so the fleet grows and shrinks over time.
-    Heterogeneity is drawn per tenant: strategy family (single-market
-    round-robin over the market grid, multi-market, multi-region,
-    all-on-demand), proactive bid multipliers from ``2.5-4.0`` or reactive
-    bidding, mechanism, availability-target tier, and spare quota.
+    Heterogeneity is drawn per tenant: the strategy family comes from the
+    :func:`repro.core.registry.synthesis_cohort` — every registered family
+    with a positive ``synthesis_weight``, normalized into a cumulative
+    distribution in sorted-kind order — then proactive bid multipliers
+    from ``2.5-4.0`` or reactive bidding, mechanism, availability-target
+    tier, and spare quota. Registering a new strategy family with a
+    weight (see :func:`repro.core.registry.register_strategy`) makes it
+    appear in synthesized fleets with no change here.
 
     ``spare_capacity=None`` sizes the shared pool at 10 % of the initial
     cohort (at least 2) — the derivative-cloud rule of thumb the ext-pool
@@ -249,6 +253,43 @@ def synthesize_fleet(
     )
 
 
+def _draw_strategy(
+    rng: np.random.Generator, market: MarketKey, regions: tuple
+) -> StrategySpec:
+    """Draw one strategy family from the registry's synthesis cohort.
+
+    The cohort is every registered family with a positive
+    ``synthesis_weight``, walked in sorted-kind order so the cumulative
+    distribution — and therefore the whole fleet — is a pure function of
+    the seed and the registered weight table. Exactly one uniform draw
+    selects the family; any further draws belong to the family's own
+    ``synthesize`` callable.
+    """
+    from repro.core.registry import synthesis_cohort
+
+    cohort = synthesis_cohort()
+    if not cohort:
+        raise ConfigurationError(
+            "no registered strategy has a positive synthesis weight"
+        )
+    total = sum(info.synthesis_weight for info in cohort)
+    roll = float(rng.random()) * total
+    acc = 0.0
+    chosen = cohort[-1]
+    for info in cohort:
+        acc += info.synthesis_weight
+        if roll < acc:
+            chosen = info
+            break
+    spec = chosen.synthesize(rng, market, tuple(regions))
+    if not isinstance(spec, StrategySpec):
+        raise ConfigurationError(
+            f"{chosen.kind}: synthesize must return a StrategySpec, "
+            f"got {type(spec).__name__}"
+        )
+    return spec
+
+
 def _draw_service(
     rng: np.random.Generator,
     name: str,
@@ -260,17 +301,7 @@ def _draw_service(
 ) -> ServiceSpec:
     """One tenant's heterogeneity draws, in a fixed order (determinism)."""
     market = markets[int(rng.integers(len(markets)))]
-    kind_roll = float(rng.random())
-    if kind_roll < 0.55:
-        strategy = StrategySpec.single(market)
-    elif kind_roll < 0.75:
-        strategy = StrategySpec.multi_market(market.region)
-    elif kind_roll < 0.90:
-        k = min(len(regions), 2)
-        idx = sorted(rng.choice(len(regions), size=k, replace=False).tolist())
-        strategy = StrategySpec.multi_region(tuple(regions[j] for j in idx))
-    else:
-        strategy = StrategySpec.on_demand(market)
+    strategy = _draw_strategy(rng, market, regions)
     if float(rng.random()) < 0.8:
         bidding: BiddingPolicy = ProactiveBidding(
             k=_BID_KS[int(rng.integers(len(_BID_KS)))]

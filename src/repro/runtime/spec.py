@@ -20,16 +20,9 @@ import pickle
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core import registry as _registry
 from repro.core.bidding import BiddingPolicy, ProactiveBidding
-from repro.core.strategies import (
-    HostingStrategy,
-    MultiMarketStrategy,
-    MultiRegionStrategy,
-    OnDemandOnlyStrategy,
-    PureSpotStrategy,
-    SingleMarketStrategy,
-    StabilityAwareStrategy,
-)
+from repro.core.strategies import HostingStrategy
 from repro.errors import ConfigurationError
 from repro.traces.calibration import REGIONS, SIZES
 from repro.traces.catalog import MarketKey
@@ -135,29 +128,26 @@ def batch_fingerprint(specs: Sequence["RunSpec"]) -> str:
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-#: Strategy kind -> constructor. Extensions register theirs via
-#: :func:`register_strategy_kind`; the names mirror ``repro-simulate
-#: --strategy`` choices.
-_STRATEGY_BUILDERS: dict[str, Callable[..., HostingStrategy]] = {
-    "single": SingleMarketStrategy,
-    "pure-spot": PureSpotStrategy,
-    "on-demand": OnDemandOnlyStrategy,
-    "multi-market": MultiMarketStrategy,
-    "multi-region": MultiRegionStrategy,
-    "stability": StabilityAwareStrategy,
-}
+def register_strategy_kind(
+    kind: str,
+    builder: Callable[..., HostingStrategy],
+    *,
+    override: bool = False,
+    **metadata: Any,
+) -> None:
+    """Register a strategy constructor under ``kind`` for spec building.
 
-
-def register_strategy_kind(kind: str, builder: Callable[..., HostingStrategy]) -> None:
-    """Register a strategy constructor under ``kind`` for spec building."""
-    if not kind:
-        raise ConfigurationError("strategy kind must be non-empty")
-    _STRATEGY_BUILDERS[kind] = builder
+    Thin wrapper over :func:`repro.core.registry.register_strategy_kind`
+    — the decorator registry is the single source of truth. Duplicate
+    registration raises :class:`~repro.errors.ConfigurationError` unless
+    ``override=True`` (it used to silently clobber the existing entry).
+    """
+    _registry.register_strategy_kind(kind, builder, override=override, **metadata)
 
 
 def strategy_kinds() -> list[str]:
-    """All registered strategy kinds, sorted."""
-    return sorted(_STRATEGY_BUILDERS)
+    """All registered strategy kinds, sorted (built-ins plus plugins)."""
+    return _registry.strategy_kinds()
 
 
 @dataclass(frozen=True)
@@ -174,10 +164,9 @@ class StrategySpec:
     options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in _STRATEGY_BUILDERS:
-            raise ConfigurationError(
-                f"unknown strategy kind {self.kind!r}; registered: {strategy_kinds()}"
-            )
+        # Raises ConfigurationError for unknown kinds (after giving the
+        # registry a chance to load built-ins and entry-point plugins).
+        _registry.strategy_info(self.kind)
 
     # -------------------------------------------------------------- builders
     @classmethod
@@ -223,10 +212,48 @@ class StrategySpec:
             **kwargs,
         )
 
+    @classmethod
+    def index_tracking(
+        cls,
+        regions: Sequence[str],
+        service_units: int = 8,
+        n_markets: int = 3,
+        band: float = 0.15,
+        **kwargs: Any,
+    ) -> "StrategySpec":
+        return cls.of(
+            "index-tracking",
+            tuple(regions),
+            service_units=service_units,
+            n_markets=n_markets,
+            band=band,
+            **kwargs,
+        )
+
+    @classmethod
+    def no_fault_tolerance(cls, key: MarketKey, **kwargs: Any) -> "StrategySpec":
+        return cls.of("no-ft", key, **kwargs)
+
+    @classmethod
+    def portfolio_bid(
+        cls,
+        regions: Sequence[str],
+        service_units: int = 8,
+        risk_cap: float = 0.05,
+        **kwargs: Any,
+    ) -> "StrategySpec":
+        return cls.of(
+            "portfolio-bid",
+            tuple(regions),
+            service_units=service_units,
+            risk_cap=risk_cap,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------- execution
     def build(self) -> HostingStrategy:
         """Construct a fresh strategy instance."""
-        return _STRATEGY_BUILDERS[self.kind](*self.args, **dict(self.options))
+        return _registry.strategy_builder(self.kind)(*self.args, **dict(self.options))
 
     def __call__(self) -> HostingStrategy:
         return self.build()

@@ -15,6 +15,9 @@ makes the hostile regimes first-class:
   availability, metrics/results agreement, lease hygiene) runnable after
   any simulation via ``run_simulation(..., verify=True)`` or the
   ``repro-verify`` CLI;
+* :mod:`repro.testkit.conformance` — the policy conformance suite:
+  :func:`conformance_check` audits any registered hosting strategy
+  against the registry contract (``pytest -m conformance``);
 * :mod:`repro.testkit.builders` — deterministic trace/catalog builders
   shared by the unit tests and downstream users;
 * :mod:`repro.testkit.strategies` — the shared Hypothesis generator set
@@ -33,6 +36,7 @@ from repro.testkit.builders import (
     make_step_trace,
     single_market_catalog,
 )
+from repro.testkit.conformance import GRID_REGIONS, GRID_SIZES, conformance_check
 from repro.testkit.faults import (
     FaultPlan,
     FaultStats,
@@ -67,6 +71,9 @@ __all__ = [
     "FaultStats",
     "PriceSpike",
     "kill_orchestrator_after_n_runs",
+    "conformance_check",
+    "GRID_REGIONS",
+    "GRID_SIZES",
     "OracleCheck",
     "OracleReport",
     "verify_stack",

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.simulation import SimulationConfig, run_simulation_observed
 from repro.errors import ConfigurationError
-from repro.fleet.spec import FleetSpec, synthesize_fleet
+from repro.fleet.spec import FleetSpec, ServiceSpec, synthesize_fleet
 from repro.runtime.spec import StrategySpec
 from repro.testkit.faults import FaultPlan
 from repro.traces.catalog import MarketKey
@@ -219,6 +219,45 @@ def _slow_checkpoint_storm() -> SimulationConfig:
     )
 
 
+def _index_tracking_basket() -> SimulationConfig:
+    # The Shastri & Irwin index tracker: a 3-market basket across two
+    # regions, rebalanced within a 15 % band of the on-demand index.
+    return SimulationConfig(
+        strategy=StrategySpec.index_tracking(("us-east-1a", "us-west-1a")),
+        seed=113,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        label="golden/index-tracking-basket",
+    )
+
+
+def _no_ft_storm() -> SimulationConfig:
+    # No checkpoints: the correlated spike revokes the tenant, the
+    # partial hour rides free, and recovery recomputes from the volume.
+    return SimulationConfig(
+        strategy=StrategySpec.no_fault_tolerance(_EAST),
+        seed=127,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.correlated_spike(hours(30), hours(4)),
+        label="golden/no-ft-storm",
+    )
+
+
+def _portfolio_bid_lp() -> SimulationConfig:
+    # The LP bid family: per-epoch risk/cost program over four markets.
+    return SimulationConfig(
+        strategy=StrategySpec.portfolio_bid(("us-east-1a", "us-west-1a")),
+        seed=131,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        label="golden/portfolio-bid-lp",
+    )
+
+
 SCENARIOS: Tuple[GoldenScenario, ...] = (
     GoldenScenario("calm-single", "single market, calm generated trace", _calm_single),
     GoldenScenario("calm-large", "large instance, calm generated trace", _calm_large),
@@ -248,6 +287,18 @@ SCENARIOS: Tuple[GoldenScenario, ...] = (
         "slow-checkpoint-storm", "storm with failing checkpoints and slow copies",
         _slow_checkpoint_storm,
     ),
+    GoldenScenario(
+        "index-tracking-basket", "spot basket tracking the on-demand index",
+        _index_tracking_basket,
+    ),
+    GoldenScenario(
+        "no-ft-storm", "no-checkpoint tenant revoked by a correlated spike",
+        _no_ft_storm,
+    ),
+    GoldenScenario(
+        "portfolio-bid-lp", "LP risk/cost market selection over four markets",
+        _portfolio_bid_lp,
+    ),
 )
 
 
@@ -267,8 +318,10 @@ class GoldenFleetScenario:
 def _fleet_small() -> FleetSpec:
     # Eight heterogeneous tenants plus seeded churn over a 2-region,
     # 2-size market grid: small enough for seconds, rich enough to
-    # exercise the shared spare pool and the churn proration path.
-    return synthesize_fleet(
+    # exercise the shared spare pool and the churn proration path. One
+    # explicit index-tracking tenant pins the basket family in the fleet
+    # corpus regardless of what the seeded cohort draw happens to pick.
+    fleet = synthesize_fleet(
         8,
         seed=5,
         horizon_s=days(3),
@@ -277,6 +330,11 @@ def _fleet_small() -> FleetSpec:
         churn_per_week=4.0,
         spare_capacity=2,
     )
+    tracker = ServiceSpec(
+        name="svc-index-tracker",
+        strategy=StrategySpec.index_tracking(("us-east-1a", "us-west-1a")),
+    )
+    return fleet.with_(services=fleet.services + (tracker,))
 
 
 FLEET_SCENARIOS: Tuple[GoldenFleetScenario, ...] = (

@@ -10,7 +10,11 @@ downstream users (requires the ``test`` extra for ``hypothesis``):
 * :func:`calibrations` — random-but-valid market calibrations;
 * :func:`worlds` — a full random market world plus a policy selection;
 * :func:`fault_plans` — random :class:`~repro.testkit.faults.FaultPlan`
-  instances for chaos-mode testing.
+  instances for chaos-mode testing;
+* :func:`portfolio_weights` / :func:`tracking_bands` /
+  :func:`risk_estimates` — inputs for the related-work policy families
+  (:mod:`repro.core.policies`): simplex weight vectors, index-tracking
+  band configurations, and LP risk/cost problem instances.
 """
 
 from __future__ import annotations
@@ -34,6 +38,9 @@ __all__ = [
     "calibrations",
     "worlds",
     "fault_plans",
+    "portfolio_weights",
+    "tracking_bands",
+    "risk_estimates",
 ]
 
 
@@ -183,3 +190,61 @@ def fault_plans(draw, horizon_s: float = 7 * 24 * SECONDS_PER_HOUR) -> FaultPlan
         disk_copy_factor=disk,
         startup_factor=startup,
     )
+
+
+@st.composite
+def portfolio_weights(draw, max_markets: int = 6) -> np.ndarray:
+    """A random portfolio weight vector on the probability simplex —
+    the feasible-point shape :func:`~repro.core.policies.solve_portfolio_lp`
+    optimizes over (``w >= 0``, ``sum(w) == 1``)."""
+    n = draw(st.integers(min_value=1, max_value=max_markets))
+    raw = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return raw / raw.sum()
+
+
+@st.composite
+def tracking_bands(draw):
+    """An index-tracking configuration ``(band, n_markets)`` spanning the
+    tight-to-loose range :class:`~repro.core.policies.IndexTrackingStrategy`
+    accepts."""
+    band = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    n_markets = draw(st.integers(min_value=1, max_value=4))
+    return band, n_markets
+
+
+@st.composite
+def risk_estimates(draw, max_markets: int = 6):
+    """An LP problem instance ``(costs, risks, risk_cap)`` for
+    :func:`~repro.core.policies.solve_portfolio_lp`: per-market fleet
+    rates, trailing-window revocation-risk estimates in ``[0, 1]``, and a
+    risk cap. Infeasible instances (every market over the cap) are drawn
+    on purpose — the solver must return ``None`` for them."""
+    n = draw(st.integers(min_value=1, max_value=max_markets))
+    costs = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=5.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    risks = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    risk_cap = draw(st.floats(min_value=0.0, max_value=0.6, allow_nan=False))
+    return costs, risks, risk_cap

@@ -7,6 +7,12 @@ import pytest
 from repro.core.adaptive import AdaptiveBidding
 from repro.core.bidding import ProactiveBidding, ReactiveBidding
 from repro.core.simulation import SimulationConfig, run_simulation
+from repro.core.policies import (
+    IndexTrackingStrategy,
+    NoFaultToleranceStrategy,
+    PortfolioBidStrategy,
+)
+from repro.core.registry import unregister_strategy
 from repro.core.strategies import (
     HostingStrategy,
     MultiMarketStrategy,
@@ -38,6 +44,15 @@ SPEC_CASES = {
     "stability": (
         StrategySpec.stability(REGION_PAIR, stability_weight=2.0),
         StabilityAwareStrategy,
+    ),
+    "index-tracking": (
+        StrategySpec.index_tracking(REGION_PAIR, band=0.2),
+        IndexTrackingStrategy,
+    ),
+    "no-ft": (StrategySpec.no_fault_tolerance(KEY), NoFaultToleranceStrategy),
+    "portfolio-bid": (
+        StrategySpec.portfolio_bid(REGION_PAIR, risk_cap=0.1),
+        PortfolioBidStrategy,
     ),
 }
 
@@ -121,9 +136,28 @@ def test_register_strategy_kind_extends_registry():
         spec = StrategySpec.of("null-test", KEY)
         assert isinstance(spec.build(), NullStrategy)
     finally:
-        from repro.runtime.spec import _STRATEGY_BUILDERS
+        unregister_strategy("null-test")
 
-        del _STRATEGY_BUILDERS["null-test"]
+
+def test_duplicate_registration_via_runtime_facade_raises():
+    """Regression: a second registration used to clobber the first."""
+
+    class FirstStrategy(SingleMarketStrategy):
+        pass
+
+    class SecondStrategy(SingleMarketStrategy):
+        pass
+
+    register_strategy_kind("dup-facade-test", FirstStrategy)
+    try:
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_strategy_kind("dup-facade-test", SecondStrategy)
+        register_strategy_kind("dup-facade-test", SecondStrategy, override=True)
+        assert isinstance(
+            StrategySpec.of("dup-facade-test", KEY).build(), SecondStrategy
+        )
+    finally:
+        unregister_strategy("dup-facade-test")
 
 
 def test_run_spec_from_config_drops_catalog(month_catalog):

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Keep ``docs/STRATEGIES.md`` honest about the strategy registry.
+
+Checks, in both directions:
+
+* every family in the overview table is registered, and every
+  registered kind appears in the overview with the right display name,
+  vectorizable flag, and synthesis weight;
+* every ``### `kind` — Display Name`` catalog section names a
+  registered kind with its registry display name, and every registered
+  kind has a section;
+* every spec-argument row in a catalog section matches the registry's
+  ``arg_schema`` (name, kind, required, CLI flag), and every schema
+  argument is documented.
+
+Exits non-zero with a per-problem report when the doc and the registry
+drift. Run from the repository root (CI does):
+``python tools/check_strategy_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import registry  # noqa: E402
+
+DOC = REPO / "docs" / "STRATEGIES.md"
+
+#: ``## Section`` headings split the doc.
+SECTION = re.compile(r"^##\s+(?P<title>.+?)\s*$")
+#: ``### `kind` — Display Name`` headings in the strategy catalog.
+KIND_HEADING = re.compile(r"^###\s+`(?P<kind>[\w-]+)`\s+—\s+(?P<display>.+?)\s*$")
+#: ``| `kind` | name | yes/no | weight |`` rows in the overview table.
+OVERVIEW_ROW = re.compile(
+    r"^\|\s*`(?P<kind>[\w-]+)`\s*\|\s*(?P<display>[^|]+?)\s*\|"
+    r"\s*(?P<vec>yes|no)\s*\|\s*(?P<weight>[\d.]+)\s*\|"
+)
+#: ``| `name` | kind | yes/no | default | flag |`` rows in arg tables.
+ARG_ROW = re.compile(
+    r"^\|\s*`(?P<name>\w+)`\s*\|\s*(?P<kind>\w+)\s*\|\s*(?P<required>yes|no)\s*\|"
+    r"\s*[^|]+?\s*\|\s*(?P<cli>`--[\w-]+`|—)\s*\|"
+)
+
+
+def parse_doc(text):
+    """(overview rows, catalog kind -> (display, [arg rows]))."""
+    overview = {}
+    catalog = {}
+    section = None
+    current = None
+    for line in text.splitlines():
+        s = SECTION.match(line)
+        if s:
+            section = s.group("title")
+            current = None
+            continue
+        if section == "Family overview":
+            m = OVERVIEW_ROW.match(line)
+            if m:
+                overview[m.group("kind")] = (
+                    m.group("display"),
+                    m.group("vec") == "yes",
+                    float(m.group("weight")),
+                )
+        elif section == "Strategy catalog":
+            h = KIND_HEADING.match(line)
+            if h:
+                current = h.group("kind")
+                catalog[current] = (h.group("display"), [])
+                continue
+            if current is not None:
+                a = ARG_ROW.match(line)
+                if a:
+                    catalog[current][1].append(
+                        (
+                            a.group("name"),
+                            a.group("kind"),
+                            a.group("required") == "yes",
+                            a.group("cli").strip("`"),
+                        )
+                    )
+    return overview, catalog
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"missing {DOC}")
+        return 1
+    overview, catalog = parse_doc(DOC.read_text(encoding="utf-8"))
+    problems = []
+
+    infos = {info.kind: info for info in registry.strategy_infos()}
+
+    for kind, (display, vec, weight) in overview.items():
+        info = infos.get(kind)
+        if info is None:
+            problems.append(f"overview lists unknown kind `{kind}`")
+            continue
+        if display != info.display_name:
+            problems.append(
+                f"{kind}: overview display name {display!r} != {info.display_name!r}"
+            )
+        if vec != info.vectorizable:
+            problems.append(
+                f"{kind}: overview says vectorizable={vec}, "
+                f"registry says {info.vectorizable}"
+            )
+        if abs(weight - info.synthesis_weight) > 1e-9:
+            problems.append(
+                f"{kind}: overview weight {weight} != {info.synthesis_weight}"
+            )
+    for kind in infos:
+        if kind not in overview:
+            problems.append(f"kind `{kind}` missing from the overview table")
+
+    for kind, (display, doc_args) in catalog.items():
+        info = infos.get(kind)
+        if info is None:
+            problems.append(f"catalog documents unknown kind `{kind}`")
+            continue
+        if display != info.display_name:
+            problems.append(
+                f"{kind}: catalog heading {display!r} != {info.display_name!r}"
+            )
+        schema = {a.name: a for a in info.arg_schema}
+        if [a[0] for a in doc_args] != [a.name for a in info.arg_schema]:
+            problems.append(
+                f"{kind}: documented args {[a[0] for a in doc_args]} != "
+                f"schema order {[a.name for a in info.arg_schema]}"
+            )
+        for name, doc_kind, required, cli in doc_args:
+            spec = schema.get(name)
+            if spec is None:
+                continue  # already reported by the order check
+            if doc_kind != spec.kind:
+                problems.append(
+                    f"{kind}.{name}: documented kind {doc_kind!r} != {spec.kind!r}"
+                )
+            if required != spec.required:
+                problems.append(
+                    f"{kind}.{name}: documented required={required}, "
+                    f"schema says {spec.required}"
+                )
+            real_cli = (
+                "--" + spec.cli.replace("_", "-") if spec.cli is not None else "—"
+            )
+            if cli != real_cli:
+                problems.append(
+                    f"{kind}.{name}: documented CLI flag {cli!r} != {real_cli!r}"
+                )
+    for kind in infos:
+        if kind not in catalog:
+            problems.append(f"kind `{kind}` has no catalog section")
+
+    if problems:
+        print(
+            "STRATEGIES.md is out of sync with the registry "
+            f"({len(problems)} problem(s)):"
+        )
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        f"STRATEGIES.md OK: {len(catalog)} families documented with "
+        f"{sum(len(v[1]) for v in catalog.values())} spec arguments, "
+        "all match the registry"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
