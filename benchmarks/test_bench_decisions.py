@@ -235,13 +235,17 @@ def test_bench_batch_sweep_64_vector_vs_event():
 @pytest.mark.benchmark(group="batch-sweep")
 @pytest.mark.slow
 def test_bench_frontier_sweep_10k():
-    """A 10k-run cost-availability frontier sweep finishes under a minute.
+    """A 10k-run frontier sweep: fused must beat the unfused reference 3x.
 
     10 catalog seeds x 1000 policy variants (100 bid multipliers x 5
-    reverse thresholds x 2 strategies), all vector-routed. Bid caps make
-    many high-k variants dynamics-identical, so the engine executes the
-    unique frontier and clones the twins — the telemetry decomposition is
-    printed so the dedupe share stays visible rather than implied.
+    reverse thresholds x 2 strategies), all vector-routed, timed through
+    both selectors: forced ``vector`` is the per-run unfused reference
+    (comparable to the entry-2 baseline, which predates fusion), and
+    ``fused`` layers capability/rank-projected dedupe, reverse-band
+    cloning and shared scan contexts on top. The telemetry decomposition
+    (executed vs deduped vs fused) is printed so the dedupe share stays
+    visible rather than implied, and both wall-clocks are recorded —
+    ``batch_sweep_10k_fused_s`` is the gated headline number.
     """
     key = MarketKey(REGION, "small")
     runs = []
@@ -266,14 +270,51 @@ def test_bench_frontier_sweep_10k():
     cache = TraceCatalogCache()
     run_batch(runs[:20], engine="auto", cache=cache)  # warm one catalog + code
     t0 = time.perf_counter()
-    batch = run_batch(runs, engine="auto", cache=cache)
-    wall = time.perf_counter() - t0
+    vector_batch = run_batch(runs, engine="vector", cache=cache)
+    vector_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch = run_batch(runs, engine="fused", cache=cache)
+    fused_s = time.perf_counter() - t0
+    assert list(batch.results) == list(vector_batch.results)
     tel = batch.telemetry
     executed = tel.runs - tel.deduped_runs
-    record(batch_sweep_10k_vector_s={"value": wall, "unit": "s"})
+    speedup = vector_s / fused_s
+    record(
+        batch_sweep_10k_vector_s={"value": vector_s, "unit": "s"},
+        batch_sweep_10k_fused_s={"value": fused_s, "unit": "s"},
+        batch_sweep_10k_fused_speedup_x={"value": speedup, "unit": "x"},
+    )
     print(
-        f"\n10k frontier sweep: {wall:.1f}s ({tel.vector_runs} vector, "
-        f"{executed} executed + {tel.deduped_runs} deduped clones)"
+        f"\n10k frontier sweep: vector {vector_s:.1f}s, fused {fused_s:.1f}s "
+        f"({speedup:.1f}x; {executed} executed + {tel.deduped_runs} deduped "
+        f"clones, {tel.fused_runs} fused in {tel.fused_groups} groups)"
     )
     assert tel.vector_runs == 10_000
-    assert wall < 60.0, f"10k frontier sweep took {wall:.1f}s (budget 60s)"
+    assert tel.deduped_runs + tel.fused_runs <= tel.runs  # never double-counted
+    assert fused_s < 2.5, f"fused 10k sweep took {fused_s:.1f}s (budget 2.5s)"
+    assert speedup >= 3.0, f"fused sweep only {speedup:.2f}x over unfused vector"
+
+
+@pytest.mark.benchmark(group="fleet")
+@pytest.mark.slow
+def test_bench_fleet_100_auto():
+    """The 100-service fleet default (``--engine auto``) stays fast.
+
+    The synthesized fleet is the heterogeneous counter-case to the sweep:
+    ~100 distinct strategies over one shared market catalog, so fusion's
+    dedupe tiers find only a handful of clones and the win here comes
+    from the newly vector-routed dwell-state families (stability,
+    index-tracking, portfolio-bid) that previously fell back to per-event
+    execution. Auto must stay within noise of the best engine choice.
+    """
+    from repro.fleet.runner import run_fleet
+    from repro.fleet.spec import synthesize_fleet
+
+    spec = synthesize_fleet(n_services=100, seed=0, horizon_s=days(30))
+    event = run_fleet(spec, engine="event")  # warms every catalog
+    auto = run_fleet(spec, engine="auto")
+    assert auto.to_json() == event.to_json()
+    auto_s = best_of(lambda: run_fleet(spec, engine="auto"))
+    record(fleet_100_auto_s={"value": auto_s, "unit": "s"})
+    print(f"\n100-service fleet, auto engine: {auto_s:.3f}s")
+    assert auto_s < 5.0, f"100-service fleet took {auto_s:.2f}s (budget 5s)"

@@ -66,10 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the per-seed fan-out "
                    "(default 1 = serial; results are identical)")
-    p.add_argument("--engine", choices=("auto", "event", "vector"), default="auto",
-                   help="execution engine: 'auto' (default) vectorizes "
-                   "eligible seed batches, 'event'/'vector' force one "
-                   "engine — results are bit-identical either way")
+    p.add_argument("--engine", choices=("auto", "event", "vector", "fused"),
+                   default="auto",
+                   help="execution engine: 'auto' (default) vectorizes and "
+                   "fuses eligible seed batches, 'event'/'vector' force one "
+                   "per-run engine, 'fused' forces cross-run fusion — "
+                   "results are bit-identical every way")
     p.add_argument("--csv", type=str, default=None,
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
@@ -204,9 +206,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             # The CSV replay is a single in-process run that bypasses
             # run_batch, so capture its observability directly.
             sink = MemorySink() if want_trace else NULL_SINK
-            # A single replay has no batch to route; only a forced
-            # --engine vector changes the stack (results are identical).
-            one_engine = "vector" if args.engine == "vector" else "event"
+            # A single replay has no batch to route; a forced --engine
+            # vector (or fused — one run has nothing to fuse with) changes
+            # the stack (results are identical).
+            one_engine = "vector" if args.engine in ("vector", "fused") else "event"
             observed = run_simulation_observed(cfg, sink=sink, engine=one_engine)
             results = [observed.result]
             scope.add_run(

@@ -120,6 +120,26 @@ class ReactiveBidding:
         labels stay distinct across differently-named instances."""
         return (self.name, "reactive")
 
+    def dynamics_components(self, od_prices) -> dict:
+        """Structured split of :meth:`dynamics_signature` by which part of
+        the scheduler consumes each parameter, so capability-aware dedupe
+        (:func:`repro.runtime.fused.fused_dedupe_key`) can project out
+        components a strategy never evaluates. ``planned`` is ``None``:
+        the reactive planned predicate is constant-False. The
+        ``*_thresholds`` entries are the numeric per-market thresholds
+        each predicate compares trace prices against (``None`` for a
+        constant predicate), computed with the same float expressions
+        the scalar predicates use."""
+        ods = tuple(float(od) for od in od_prices)
+        return {
+            "name": self.name,
+            "bids": ods,
+            "planned": None,
+            "planned_thresholds": None,
+            "reverse": ("od",),
+            "reverse_thresholds": ods,
+        }
+
     @property
     def is_proactive(self) -> bool:
         return False
@@ -192,6 +212,31 @@ class ProactiveBidding:
             for od in od_prices
         )
         return (self.name, "proactive", bids, self.reverse_threshold_frac)
+
+    def dynamics_components(self, od_prices) -> dict:
+        """Structured split of :meth:`dynamics_signature` (see
+        :meth:`ReactiveBidding.dynamics_components`). The planned
+        threshold is the per-market on-demand price — parameter-free —
+        while the reverse threshold carries ``reverse_threshold_frac``,
+        which strategies that never leave spot never evaluate."""
+        from repro.cloud.spot_market import BID_CAP_MULTIPLIER
+
+        bids = tuple(
+            min(self.k * float(od), BID_CAP_MULTIPLIER * float(od))
+            for od in od_prices
+        )
+        return {
+            "name": self.name,
+            "bids": bids,
+            "planned": ("od",),
+            "planned_thresholds": tuple(float(od) for od in od_prices),
+            "reverse": ("od-frac", self.reverse_threshold_frac),
+            # The scalar predicate computes `od * frac`; same expression here
+            # so equal thresholds are bit-equal.
+            "reverse_thresholds": tuple(
+                float(od) * self.reverse_threshold_frac for od in od_prices
+            ),
+        }
 
     @property
     def is_proactive(self) -> bool:

@@ -118,7 +118,14 @@ class IndexTrackingStrategy(HostingStrategy):
     """
 
     opportunistic_switching = True
-    _vector_decisions = False
+    # The rebalance decision has a closed-form dwell model: within one
+    # tenure ``_last_spot_switch`` is constant, the dwell gate is a
+    # subtraction-and-compare per boundary, and the in-band ranking is
+    # raw ``servers x price`` filtered by the (static) band cap — all
+    # exact array ops, so the vector engine reproduces every rebalance
+    # decision bit-for-bit rather than over-approximating.
+    _vector_decisions = True
+    _vector_dwell = True
 
     def __init__(
         self,
@@ -177,6 +184,10 @@ class IndexTrackingStrategy(HostingStrategy):
     def band_cap(self, provider: CloudProvider) -> float:
         """The highest spot rate the tracking band admits (USD/hour)."""
         return (1.0 + self.band) * self.index_rate(provider)
+
+    def spot_rate_cap(self, provider: CloudProvider) -> float:
+        """The vector engine's candidate filter is the tracking band."""
+        return self.band_cap(provider)
 
     # ---------------------------------------------------- strategy contract
     def candidate_markets(self, provider: CloudProvider) -> List[MarketKey]:
@@ -402,7 +413,13 @@ class PortfolioBidStrategy(HostingStrategy):
     to the minimum-risk grantable market.
     """
 
-    _vector_decisions = False
+    # The LP re-ranks candidates per epoch, which the vector engine does
+    # not model — but it doesn't need to: the epoch grid is scannable
+    # with the sound any-candidate over-approximation (stop wherever
+    # *some* grantable market beats on-demand), and the scalar LP
+    # decides exactly at the boundaries the scan selects.
+    _vector_decisions = True
+    _vector_exact_od_ranking = False
 
     def __init__(
         self,

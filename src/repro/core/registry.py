@@ -164,10 +164,18 @@ def _ensure_loaded() -> None:
 
 
 def _derived_vectorizable(builder: Callable[..., Any]) -> bool:
-    """Best-effort vectorizable flag from class attributes (legacy path)."""
+    """Best-effort vectorizable flag from class attributes (legacy path).
+
+    Mirrors ``HostingStrategy.vectorizable``: opportunistic switching
+    only blocks vectorization when the family lacks a closed-form dwell
+    model (``_vector_dwell``).
+    """
     return bool(
         getattr(builder, "_vector_decisions", False)
-        and not getattr(builder, "opportunistic_switching", False)
+        and (
+            not getattr(builder, "opportunistic_switching", False)
+            or getattr(builder, "_vector_dwell", False)
+        )
     )
 
 

@@ -659,6 +659,16 @@ class CloudScheduler:
                                                  decision.n_servers,
                                                  LeaseKind.SPOT, "reverse")
 
+    def _reverse_wanted(self, key, price: float, od_single: float) -> bool:
+        """Evaluate the reverse predicate for the winning spot candidate.
+
+        A hook so :class:`~repro.runtime.vector.VectorScheduler` can record
+        the compared price into its per-market reverse band (cross-run
+        fusion); the comparison itself is the policy's unchanged scalar
+        predicate.
+        """
+        return self.bidding.wants_reverse_migration(price, od_single)
+
     def decide_on_demand_boundary(self, now: float) -> BoundaryDecision:
         """Evaluate the reverse-migration step at a boundary check on
         on-demand. Side-effect free except for narration to ``sink``."""
@@ -682,7 +692,7 @@ class CloudScheduler:
             return _STAY
         price = self._market(spot.key).price_at(now)
         od_single = self.provider.on_demand_price(spot.key)
-        if spot.rate < od_rate and self.bidding.wants_reverse_migration(price, od_single):
+        if spot.rate < od_rate and self._reverse_wanted(spot.key, price, od_single):
             if self.sink.enabled:
                 fell = self._market(spot.key).last_fall_below(od_single, now)
                 self.sink.emit(

@@ -10,7 +10,7 @@ run" methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.bidding import BiddingPolicy, ProactiveBidding
 from repro.core.results import SimulationResult
@@ -107,6 +107,11 @@ class ObservedRun:
     #: Boundary-check instants the vector engine evaluated as array scans
     #: (0 on the event engine).
     vector_checks: int = 0
+    #: Per-market ``(lo, hi)`` envelope of every price the run compared
+    #: against its reverse-migration threshold (``None`` off the vector
+    #: scheduler). The batch executor's fusion tier uses it to clone runs
+    #: whose reverse thresholds this trajectory provably never told apart.
+    reverse_band: Optional[Dict[object, Tuple[float, float]]] = None
 
 
 @dataclass
@@ -129,7 +134,10 @@ class SimStack:
 
 
 def build_stack(
-    config: SimulationConfig, sink: TraceSink = NULL_SINK, engine: str = "event"
+    config: SimulationConfig,
+    sink: TraceSink = NULL_SINK,
+    engine: str = "event",
+    fused: Optional[object] = None,
 ) -> SimStack:
     """Assemble catalog, provider, engine and scheduler for one run.
 
@@ -144,10 +152,17 @@ def build_stack(
     Configurations the vector engine cannot batch (non-vectorizable
     strategy or bidding policy, an enabled trace sink) transparently run
     per-event; the scheduler's ``vectorized`` attribute says which
-    happened.
+    happened. ``engine="fused"`` is the same scheduler; the name exists
+    so single-run entry points accept every batch engine name. ``fused``
+    optionally attaches a shared
+    :class:`~repro.runtime.fused.FusedScanContext` so boundary-scan rows
+    are reused across the runs of a fusion group (ignored by the event
+    engine).
     """
-    if engine not in ("event", "vector"):
-        raise ConfigurationError(f"unknown engine {engine!r} (want 'event' or 'vector')")
+    if engine not in ("event", "vector", "fused"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r} (want 'event', 'vector' or 'fused')"
+        )
     catalog = config.catalog
     if catalog is None:
         catalog = build_catalog(
@@ -171,11 +186,14 @@ def build_stack(
         provider = faults.wrap_provider(provider, run_seed=config.seed)
     strategy = config.strategy()
     scheduler_cls = CloudScheduler
-    if engine == "vector":
+    extra = {}
+    if engine in ("vector", "fused"):
         # Imported lazily: repro.runtime builds on this module.
         from repro.runtime.vector import VectorScheduler
 
         scheduler_cls = VectorScheduler
+        if fused is not None:
+            extra["fused"] = fused
     sim_engine = Engine(sink=sink)
     scheduler = scheduler_cls(
         engine=sim_engine,
@@ -187,6 +205,7 @@ def build_stack(
         horizon=config.horizon_s,
         service_disk_gib=config.service_disk_gib,
         sink=sink,
+        **extra,
     )
     return SimStack(
         config=config,
@@ -270,6 +289,7 @@ def run_simulation_observed(
     sink: TraceSink = NULL_SINK,
     verify: bool = False,
     engine: str = "event",
+    fused: Optional[object] = None,
 ) -> ObservedRun:
     """Run one simulation with decision tracing and metrics attached.
 
@@ -283,7 +303,7 @@ def run_simulation_observed(
     ``engine`` selects the execution engine (see :func:`build_stack`);
     the returned run's ``engine_kind`` reports which one actually ran.
     """
-    stack = build_stack(config, sink=sink, engine=engine)
+    stack = build_stack(config, sink=sink, engine=engine, fused=fused)
     stack.scheduler.run()
     result = summarize_stack(stack)
     if verify:
@@ -298,6 +318,7 @@ def run_simulation_observed(
         metrics=stack.scheduler.metrics,
         engine_kind=kind,
         vector_checks=int(getattr(stack.scheduler, "vector_checks", 0)),
+        reverse_band=getattr(stack.scheduler, "reverse_band", None),
     )
 
 

@@ -28,6 +28,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.cloud.instance_types import instance_type
 from repro.cloud.provider import CloudProvider
 from repro.core.bidding import BiddingPolicy
@@ -89,23 +91,68 @@ class HostingStrategy(ABC):
     #: Minimum seconds between voluntary opportunistic switches.
     min_dwell_s: float = 12 * SECONDS_PER_HOUR
     #: May the vectorized batch engine pre-scan this strategy's boundary
-    #: decisions as array operations? Requires that the decision at a
-    #: boundary be a pure function of (prices at that instant, static
-    #: rates) with a zero :meth:`rate_adjustment` — i.e. no history
-    #: windows, no per-call state. The greedy built-ins set this True;
-    #: :class:`StabilityAwareStrategy` (windowed std adjustment) and any
-    #: subclass overriding a decision-affecting hook must leave it False.
+    #: decisions as array operations? Requires that the vector engine's
+    #: scan predicates never *under*-approximate the scalar decision at a
+    #: boundary: either the decision is a pure function of (prices at
+    #: that instant, static rates) with a zero :meth:`rate_adjustment`
+    #: (the greedy built-ins), or the family supplies the closed-form
+    #: dwell-model hooks below (:meth:`spot_rate_cap`,
+    #: :meth:`vector_od_adjustment_floor`, ``_vector_dwell``,
+    #: ``_vector_exact_od_ranking``) that let the scans err towards
+    #: stopping. Subclasses overriding a decision-affecting hook without
+    #: a matching vector model must leave this False.
     _vector_decisions: bool = False
+    #: Does the vector engine model this strategy's opportunistic-switch
+    #: dwell state in closed form? Requires that
+    #: :meth:`best_spot_target` rank candidates by the raw fleet rate
+    #: (zero :meth:`rate_adjustment`) filtered only by grantability and
+    #: :meth:`spot_rate_cap` — then the dwell gate
+    #: ``now - _last_spot_switch >= min_dwell_s`` and the hysteresis
+    #: comparison are exact array ops over a tenure's boundary checks
+    #: (``_last_spot_switch`` is constant within one tenure).
+    _vector_dwell: bool = False
+    #: Does :meth:`best_spot_target` rank by exactly ``servers x price``
+    #: (optionally capped)? When False the vector engine's on-demand scan
+    #: falls back to a sound any-candidate over-approximation: it stops
+    #: at every boundary where *some* candidate could win, and the scalar
+    #: decision (LP, windowed adjustment, ...) re-evaluates there.
+    _vector_exact_od_ranking: bool = True
 
     @property
     def vectorizable(self) -> bool:
         """True when the vector engine may batch this strategy's epochs.
 
-        Opportunistic switching consults ``_last_spot_switch`` dwell state
-        at every boundary, which the vector engine does not model — it
-        always disables vectorization regardless of ``_vector_decisions``.
+        Opportunistic switching consults ``_last_spot_switch`` dwell
+        state at every boundary; it disables vectorization unless the
+        family declares a closed-form dwell model via ``_vector_dwell``.
         """
-        return self._vector_decisions and not self.opportunistic_switching
+        return self._vector_decisions and (
+            not self.opportunistic_switching or self._vector_dwell
+        )
+
+    # ---------------------------------------------------- vector dwell hooks
+    def spot_rate_cap(self, provider: CloudProvider) -> Optional[float]:
+        """Highest fleet spot rate :meth:`best_spot_target` admits, or
+        ``None`` when uncapped. The vector engine masks candidates whose
+        rate exceeds the cap out of its scans with the same ``rate >
+        cap`` comparison the scalar ranking applies
+        (:class:`~repro.core.policies.IndexTrackingStrategy`'s tracking
+        band)."""
+        return None
+
+    def vector_od_adjustment_floor(
+        self, provider: CloudProvider, key: MarketKey, checks: "np.ndarray"
+    ) -> Optional["np.ndarray"]:
+        """A sound per-check lower bound on :meth:`rate_adjustment`.
+
+        ``None`` (the default) means the adjustment is identically zero.
+        Families with a nonzero adjustment return an array ``floor`` with
+        ``floor[i] <= rate_adjustment(provider, key, checks[i])`` exactly
+        — the vector engine adds it before comparing against the
+        on-demand rate, so its scan can only *over*-approximate the
+        scalar act set (IEEE addition and multiplication are monotonic).
+        """
+        return None
 
     # ----------------------------------------------------------- candidates
     @abstractmethod
@@ -427,9 +474,14 @@ class StabilityAwareStrategy(MultiRegionStrategy):
     from cheap-but-volatile markets (the Fig 9c failure mode).
     """
 
-    # The trailing-window std adjustment re-ranks targets per instant;
-    # the vector engine's static-rate scans cannot reproduce it.
-    _vector_decisions = False
+    # The trailing-window std adjustment re-ranks targets per instant.
+    # The vector engine cannot reproduce the ranking exactly, but it does
+    # not need to: vector_od_adjustment_floor() gives a sound lower bound
+    # on the adjustment from the compiled rolling-std table, so the
+    # on-demand scan stops at (a superset of) the acting boundaries and
+    # the scalar decision re-evaluates the exact ranking there.
+    _vector_decisions = True
+    _vector_exact_od_ranking = False
 
     def __init__(
         self,
@@ -453,6 +505,27 @@ class StabilityAwareStrategy(MultiRegionStrategy):
             return 0.0
         std = trace.price_std(t0, max(t, t0 + SECONDS_PER_HOUR))
         return self.stability_weight * self.servers_needed(key) * std
+
+    def vector_od_adjustment_floor(
+        self, provider: CloudProvider, key: MarketKey, checks: np.ndarray
+    ) -> np.ndarray:
+        """Sound per-check lower bound on :meth:`rate_adjustment`.
+
+        Uses the compiled trace's approximate rolling-std table with a
+        slack proportional to the trace's price scale subtracted, so the
+        bound stays below the exact windowed std despite the prefix-sum
+        form's rounding (see ``CompiledTrace.rolling_std``); windows
+        shorter than an hour floor to the scalar's exact 0.
+        """
+        trace = provider.catalog.trace(key)
+        t0 = np.maximum(trace.start, checks - self.lookback_s)
+        std = trace.compiled.rolling_std(t0, checks)
+        slack = 1e-3 * (1.0 + float(trace.prices.max()))
+        floor = (self.stability_weight * self.servers_needed(key)) * np.maximum(
+            std - slack, 0.0
+        )
+        floor[checks - t0 < SECONDS_PER_HOUR] = 0.0
+        return floor
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

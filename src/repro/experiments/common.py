@@ -10,7 +10,7 @@ from repro.core.bidding import BiddingPolicy, ProactiveBidding
 from repro.core.results import AggregateResult, aggregate
 from repro.core.strategies import HostingStrategy
 from repro.errors import ConfigurationError
-from repro.runtime import RunSpec, StrategySpec, run_batch
+from repro.runtime import ENGINE_KINDS, RunSpec, StrategySpec, run_batch
 from repro.traces.calibration import REGIONS, SIZES
 from repro.units import days
 from repro.vm.mechanisms import Mechanism, MechanismParams, TYPICAL_PARAMS
@@ -51,9 +51,10 @@ class ExperimentConfig:
             raise ConfigurationError("jobs must be >= 1")
         if self.resume and self.ledger_dir is None:
             raise ConfigurationError("resume needs a ledger directory")
-        if self.engine not in ("auto", "event", "vector"):
+        if self.engine not in ENGINE_KINDS:
             raise ConfigurationError(
-                f"unknown engine {self.engine!r} (want 'auto', 'event' or 'vector')"
+                f"unknown engine {self.engine!r} "
+                f"(choices: {', '.join(ENGINE_KINDS)})"
             )
 
     def effective_seeds(self) -> List[int]:

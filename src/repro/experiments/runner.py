@@ -47,10 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serial; results are identical at any worker count)",
     )
     p.add_argument(
-        "--engine", choices=("auto", "event", "vector"), default="auto",
-        help="execution engine: 'auto' (default) vectorizes eligible "
-        "batches, 'event'/'vector' force one engine — results are "
-        "bit-identical; the footer reports which engine ran each batch",
+        "--engine", choices=("auto", "event", "vector", "fused"), default="auto",
+        help="execution engine: 'auto' (default) vectorizes and fuses "
+        "eligible batches, 'event'/'vector' force one per-run engine, "
+        "'fused' forces cross-run fusion — results are bit-identical; "
+        "the footer reports which engine ran each batch",
     )
     p.add_argument(
         "--ledger", metavar="DIR", default=None,

@@ -12,7 +12,8 @@ Examples::
 
 The fleet is synthesized deterministically from ``--seed`` (see
 :func:`repro.fleet.spec.synthesize_fleet`); the report is byte-identical
-at any ``--jobs`` value and across ``--engine event``/``vector``. See
+at any ``--jobs`` value and across ``--engine event``/``vector``/
+``fused``. See
 ``docs/FLEET.md`` for the model and the metrics glossary.
 """
 
@@ -26,6 +27,7 @@ from typing import List, Optional
 from repro.analysis.tables import Table
 from repro.fleet.runner import run_fleet
 from repro.fleet.spec import synthesize_fleet
+from repro.runtime import collect_telemetry
 from repro.traces.calibration import ALL_REGIONS, SIZES
 from repro.units import days
 
@@ -60,9 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the per-service fan-out "
                    "(default 1 = serial; the report is byte-identical)")
-    p.add_argument("--engine", choices=("auto", "event", "vector"), default="auto",
-                   help="execution engine: 'auto' (default) vectorizes "
-                   "eligible runs, 'event'/'vector' force one engine — "
+    p.add_argument("--engine", choices=("auto", "event", "vector", "fused"),
+                   default="auto",
+                   help="execution engine: 'auto' (default) vectorizes and "
+                   "fuses eligible runs, 'event'/'vector' force one "
+                   "per-run engine, 'fused' forces cross-run fusion — "
                    "the report is bit-identical either way")
     p.add_argument("--ledger", metavar="PATH", default=None,
                    help="journal each completed service run to a crash-safe "
@@ -108,15 +112,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default_spare_quota=args.spare_quota,
         handover_window_s=args.handover_s,
     )
-    report = run_fleet(
-        spec,
-        jobs=args.jobs,
-        engine=args.engine,
-        ledger=args.ledger,
-        resume=args.resume,
-        verify=args.verify,
-    )
+    with collect_telemetry() as tel:
+        report = run_fleet(
+            spec,
+            jobs=args.jobs,
+            engine=args.engine,
+            ledger=args.ledger,
+            resume=args.resume,
+            verify=args.verify,
+        )
     print(report.summary())
+    # Execution telemetry is a footer, not part of the report: the report
+    # itself stays byte-identical across engines and worker counts.
+    if tel.batches:
+        print(f"[runtime: {tel.summary()}]")
     if args.top > 0:
         worst = sorted(
             report.services, key=lambda s: (-s.downtime_s, s.name)

@@ -16,6 +16,7 @@ events-processed, and cache-hit counters in experiment reports.
 
 from repro.runtime.cache import CatalogKey, TraceCatalogCache, shared_catalog_cache
 from repro.runtime.executor import BatchResult, run_batch
+from repro.runtime.vector import ENGINE_KINDS
 from repro.runtime.ledger import (
     LEDGER_VERSION,
     LedgerRecord,
@@ -50,6 +51,7 @@ __all__ = [
     "BatchResult",
     "BatchSpec",
     "BatchTelemetry",
+    "ENGINE_KINDS",
     "CatalogKey",
     "CatalogPlan",
     "LEDGER_VERSION",

@@ -25,6 +25,17 @@ two specs whose catalogs, strategies, seeds and bidding **dynamics** are
 identical (e.g. proactive bids that all clamp at the provider's cap)
 drive byte-identical simulations, so the executor runs one representative
 and clones its result for the twins — reported as ``deduped_runs``.
+
+Under ``"auto"`` (and the explicit ``"fused"`` selector) the serial path
+goes one step further and *fuses* the runs that do execute: dedupe keys
+are capability-projected (:func:`repro.runtime.fused.fused_dedupe_key` —
+parameters a strategy provably never reads are dropped, collapsing more
+twins), and the surviving vector-routed runs of each catalog group share
+one :class:`~repro.runtime.fused.FusedScanContext`, so every boundary
+scan window over a given trace timeline is materialised once for the
+whole group instead of once per run. ``"vector"`` deliberately skips
+both — it is the unfused per-run reference path the fused engine is
+tested against. Fusion is reported as ``fused_groups``/``fused_runs``.
 """
 
 from __future__ import annotations
@@ -83,12 +94,19 @@ def _attempt_one(
     attempt: int,
     prebuilt: Optional[Tuple[object, str]] = None,
     engine: str = "event",
+    fused: Optional[object] = None,
+    notes: Optional[dict] = None,
 ) -> Tuple[SimulationResult, RunTelemetry]:
     """One execution attempt of one spec (no retry handling).
 
     ``prebuilt`` is ``(catalog, source)`` when the caller already resolved
     the catalog (the shared-memory worker path); otherwise the catalog is
-    resolved through ``cache``.
+    resolved through ``cache``. ``fused`` is the run's fusion group's
+    shared :class:`~repro.runtime.fused.FusedScanContext`, if any.
+    ``notes``, when given, receives execution by-products that don't
+    belong in the result pair — currently ``"reverse_band"``, the
+    scheduler's observed reverse-threshold envelope the serial fusion
+    tier matches later specs against.
     """
     from repro.core.simulation import run_simulation_observed
 
@@ -113,9 +131,11 @@ def _attempt_one(
             source = "cache" if cache_hit else "build"
     sink: TraceSink = MemorySink() if spec.capture_trace else NULL_SINK
     observed = run_simulation_observed(
-        spec.to_config(catalog=catalog), sink=sink, engine=engine
+        spec.to_config(catalog=catalog), sink=sink, engine=engine, fused=fused
     )
     result = observed.result
+    if notes is not None:
+        notes["reverse_band"] = observed.reverse_band
     wall = time.perf_counter() - start
     trace_events = None
     if spec.capture_trace:
@@ -135,6 +155,9 @@ def _attempt_one(
         trace_events=trace_events,
         engine_kind=observed.engine_kind,
         vector_checks=observed.vector_checks,
+        # A run is "fused" only if the shared context could actually be
+        # consulted — i.e. the scheduler really ran vectorized.
+        fused=fused is not None and observed.engine_kind == "vector",
     )
     return result, telemetry
 
@@ -145,17 +168,22 @@ def _execute_one(
     retries: int = DEFAULT_RETRIES,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     engine: str = "event",
+    fused: Optional[object] = None,
+    notes: Optional[dict] = None,
 ) -> Tuple[SimulationResult, RunTelemetry]:
     """Run one spec with retry/backoff, resolving its catalog via ``cache``.
 
     A crashed attempt (injected :class:`~repro.errors.WorkerCrashError` or
     any organic exception) is retried up to ``retries`` times with
     exponential backoff; the final failure propagates. Retries cannot
-    change results — a run is a pure function of its spec.
+    change results — a run is a pure function of its spec (a shared fused
+    scan context only caches rows the run would compute anyway).
     """
     for attempt in range(retries + 1):
         try:
-            return _attempt_one(spec, cache, attempt, engine=engine)
+            return _attempt_one(
+                spec, cache, attempt, engine=engine, fused=fused, notes=notes
+            )
         except Exception:
             if attempt >= retries:
                 raise
@@ -246,15 +274,18 @@ def _resolve_engine(spec: RunSpec, engine: str, ledgered: bool) -> str:
 
     A ledgered batch always runs per-event (journal replays must stay
     comparable across package versions regardless of routing defaults).
-    ``"vector"`` is a best-effort force: the scheduler itself still
-    degrades to per-event when the configuration cannot be batched.
+    ``"vector"`` and ``"fused"`` are best-effort forces: every run is
+    routed to the vector engine, which itself still degrades to
+    per-event when the configuration cannot be batched (the two differ
+    only at the batch level — ``"fused"`` additionally shares scan work
+    across the group, ``"vector"`` keeps runs independent).
     Under ``"auto"``, faulted and trace-capturing runs stay on the event
     engine — fault overlays and narration want the per-boundary walk —
     and everything else goes to the vector engine when eligible.
     """
     if engine == "event" or ledgered:
         return "event"
-    if engine == "vector":
+    if engine in ("vector", "fused"):
         return "vector"
     if spec.faults is not None or spec.capture_trace:
         return "event"
@@ -408,12 +439,14 @@ def run_batch(
     engine:
         ``"auto"`` (default) routes each eligible run — vectorizable
         policies, no faults, no trace capture, no ledger — through the
-        vectorized batch engine and the rest per-event; ``"event"`` and
-        ``"vector"`` force one engine batch-wide (``"vector"`` is
-        best-effort — non-batchable configurations still degrade to
-        per-event inside the scheduler). Results are bit-identical across
-        engines; each run's :class:`RunTelemetry.engine_kind` reports
-        which one executed it.
+        vectorized batch engine (with serial-path cross-run fusion) and
+        the rest per-event; ``"event"`` and ``"vector"`` force one
+        engine batch-wide (``"vector"`` is best-effort — non-batchable
+        configurations still degrade to per-event inside the scheduler —
+        and stays unfused, as the per-run reference path); ``"fused"``
+        is ``"vector"`` routing plus the cross-run fusion layer.
+        Results are bit-identical across engines; each run's
+        :class:`RunTelemetry.engine_kind` reports which one executed it.
     jobs:
         Worker processes. ``1`` (the default) runs serially in-process;
         ``N > 1`` fans catalog-sharing groups of runs across ``N`` workers.
@@ -500,6 +533,7 @@ def run_batch(
     parallel_runs = 0
     shm_catalogs = 0
     deduped_runs = 0
+    fused_groups = 0
     engines = tuple(_resolve_engine(s, engine, ledger is not None) for s in specs)
 
     try:
@@ -509,23 +543,102 @@ def run_batch(
             # its representative; twins complete as soon as it has, so the
             # progress callback still fires in submission order.
             twin_of: Dict[int, int] = {}
-            rep_of: Dict[tuple, int] = {}
-            for i in pending:
-                if engines[i] != "vector":
-                    continue
-                key = _dedupe_key(specs[i])
-                if key is None:
-                    continue
-                if key in rep_of:
-                    twin_of[i] = rep_of[key]
-                else:
-                    rep_of[key] = i
+            context_of: Dict[int, object] = {}
+            fusion_active = engine in ("auto", "fused")
+            if fusion_active:
+                # Cross-run fusion: capability-projected dedupe plus shared
+                # boundary-scan contexts per catalog group. Forced
+                # ``"vector"`` keeps the plain unfused reference path.
+                from repro.runtime.fused import band_matches, plan_fusion, rank_projection
+
+                plan = plan_fusion(specs, pending, engines)
+                twin_of = plan.twin_of
+                context_of = dict(plan.context_of)
+                fused_groups = plan.groups
+            else:
+                rep_of: Dict[tuple, int] = {}
+                for i in pending:
+                    if engines[i] != "vector":
+                        continue
+                    key = _dedupe_key(specs[i])
+                    if key is None:
+                        continue
+                    if key in rep_of:
+                        twin_of[i] = rep_of[key]
+                    else:
+                        rep_of[key] = i
+            # Second dedupe tier, catalog-aware: once a run's catalog is in
+            # the cache, bidding thresholds can be *rank-projected* against
+            # the trace's price ladder — thresholds in the same gap between
+            # trace prices configure provably identical runs. Reverse
+            # thresholds get a sharper test still: each executed
+            # representative records the envelope of prices its trajectory
+            # actually compared against the reverse predicate
+            # (``reverse_band``), and any later spec whose thresholds fall
+            # inside that envelope would have made the identical call at
+            # every comparison — so it clones. The first run of each
+            # catalog executes (and builds the catalog); everyone after it
+            # gets the refinement.
+            rank_rep: Dict[tuple, int] = {}
+            band_reps: Dict[tuple, List[Tuple[dict, int]]] = {}
+            ladders: Dict[tuple, object] = {}
             for i in pending:
                 rep = twin_of.get(i)
+                if rep is not None:
+                    # Static twins expand strictly after their
+                    # representative's (fused) evaluation and never join a
+                    # fusion group themselves, so `deduped_runs` and
+                    # `fused_runs` can never double-count.
+                    assert i not in context_of
+                rkey = reverse = None
+                if rep is None and fusion_active and engines[i] == "vector":
+                    ck = specs[i].catalog_key()
+                    catalog = cache.peek(ck) if ck is not None else None
+                    if catalog is not None:
+                        proj = rank_projection(specs[i], catalog, ladders)
+                        if proj is not None:
+                            rkey, reverse = proj
+                            if reverse is None:
+                                rep = rank_rep.get(rkey)
+                            else:
+                                for band, j in band_reps.get(rkey, ()):
+                                    if band_matches(band, reverse):
+                                        rep = j
+                                        break
+                        if rep is not None:
+                            # The twin consumed the cached catalog to prove
+                            # its equivalence; account the lookup as a hit.
+                            cache.get_or_build(ck)
                 if rep is None:
+                    notes: dict = {}
                     _complete(
-                        i, _execute_one(specs[i], cache, retries, retry_backoff_s, engines[i])
+                        i,
+                        _execute_one(
+                            specs[i],
+                            cache,
+                            retries,
+                            retry_backoff_s,
+                            engines[i],
+                            fused=context_of.get(i),
+                            notes=notes,
+                        ),
                     )
+                    if fusion_active and engines[i] == "vector" and rkey is None:
+                        # This run built its catalog: project its key now
+                        # so later threshold-equivalent specs clone it.
+                        ck = specs[i].catalog_key()
+                        catalog = cache.peek(ck) if ck is not None else None
+                        if catalog is not None:
+                            proj = rank_projection(specs[i], catalog, ladders)
+                            if proj is not None:
+                                rkey, reverse = proj
+                    if rkey is not None:
+                        if reverse is None:
+                            rank_rep.setdefault(rkey, i)
+                        else:
+                            band = notes.get("reverse_band")
+                            if band is not None:
+                                band_reps.setdefault(rkey, []).append((band, i))
                     continue
                 rep_pair = slots[rep]
                 assert rep_pair is not None  # representative precedes its twins
@@ -538,7 +651,17 @@ def run_batch(
                     i,
                     (
                         dataclasses.replace(rep_result, label=label),
-                        dataclasses.replace(rep_telemetry, label=label, deduped=True),
+                        dataclasses.replace(
+                            rep_telemetry,
+                            label=label,
+                            deduped=True,
+                            fused=False,
+                            # The clone resolved no catalog of its own; keep
+                            # the batch's build/hit accounting honest.
+                            catalog_cache_hit=True,
+                            catalog_wall_s=0.0,
+                            catalog_source="cache",
+                        ),
                     ),
                 )
                 deduped_runs += 1
@@ -629,7 +752,10 @@ def run_batch(
     # Report to observation scopes in submission order — this, not worker
     # completion order, is what keeps trace files identical at any --jobs.
     for t in run_telemetry:
-        notify_run(t.label, t.seed, t.trace_events, t.metrics, engine=t.engine_kind)
+        notify_run(
+            t.label, t.seed, t.trace_events, t.metrics,
+            engine=t.engine_kind, fused=t.fused, deduped=t.deduped,
+        )
     telemetry = BatchTelemetry(
         runs=len(specs),
         wall_s=time.perf_counter() - batch_start,
@@ -645,6 +771,8 @@ def run_batch(
         vector_runs=sum(1 for t in run_telemetry if t.engine_kind == "vector"),
         vector_checks=sum(t.vector_checks for t in run_telemetry),
         deduped_runs=deduped_runs,
+        fused_groups=fused_groups,
+        fused_runs=sum(1 for t in run_telemetry if t.fused),
     )
     notify_batch(telemetry)
     return BatchResult(results=results, run_telemetry=run_telemetry, telemetry=telemetry)

@@ -63,6 +63,12 @@ class RunTelemetry:
     #: (wall clock, events, attempts) then report the *representative*
     #: run, exactly as ledger replays report the original execution.
     deduped: bool = False
+    #: True when the run executed on the vector engine with a shared
+    #: cross-run scan context (:mod:`repro.runtime.fused`) attached —
+    #: boundary-window price rows were served from the fusion group's
+    #: cache instead of recomputed per run. Always False for dedupe
+    #: twins: a run is cloned or fused, never both.
+    fused: bool = False
 
 
 @dataclass(frozen=True)
@@ -84,6 +90,10 @@ class BatchTelemetry:
     #: total boundary-check instants the vector engine scanned as arrays
     vector_checks: int = 0
     deduped_runs: int = 0  #: runs cloned from dynamics-identical siblings
+    #: fusion groups that shared one cross-run scan context
+    fused_groups: int = 0
+    #: runs executed inside a fusion group (disjoint from deduped_runs)
+    fused_runs: int = 0
 
     def summary(self) -> str:
         """One-line human summary (the runner's footer ingredient)."""
@@ -99,6 +109,8 @@ class BatchTelemetry:
             base += f", {self.vector_runs} vector ({self.vector_checks} checks)"
         if self.deduped_runs:
             base += f", {self.deduped_runs} deduped"
+        if self.fused_runs:
+            base += f", {self.fused_runs} fused in {self.fused_groups} groups"
         return base
 
 
@@ -149,6 +161,14 @@ class TelemetryCollector:
         return sum(b.deduped_runs for b in self.batches)
 
     @property
+    def fused_groups(self) -> int:
+        return sum(b.fused_groups for b in self.batches)
+
+    @property
+    def fused_runs(self) -> int:
+        return sum(b.fused_runs for b in self.batches)
+
+    @property
     def wall_s(self) -> float:
         return sum(b.wall_s for b in self.batches)
 
@@ -165,6 +185,8 @@ class TelemetryCollector:
             base += f", {self.vector_runs} vector"
         if self.deduped_runs:
             base += f", {self.deduped_runs} deduped"
+        if self.fused_runs:
+            base += f", {self.fused_runs} fused in {self.fused_groups} groups"
         return base
 
 

@@ -42,8 +42,11 @@ scan resumes. It must never under-approximate — every rule here either
 reproduces the scalar comparison exactly or errs towards stopping.
 
 Eligibility is strict (see :func:`policies_vectorizable`): the strategy
-and bidding policy must both declare ``vectorizable`` (static bids, pure
-predicates, zero rate adjustment) and the run must not be narrating to a
+and bidding policy must both declare ``vectorizable`` — static bids and
+pure predicates, plus either a zero rate adjustment or the closed-form
+dwell-model hooks (``spot_rate_cap``, ``vector_od_adjustment_floor``,
+``_vector_dwell``, ``_vector_exact_od_ranking``) that keep the scans
+sound over-approximations — and the run must not be narrating to a
 trace sink (the event engine emits a ``BillingTick`` per visited
 boundary; skipping boundaries would change the narration). Ineligible
 configurations transparently degrade: the scheduler simply behaves as a
@@ -70,7 +73,7 @@ __all__ = [
 ]
 
 #: Valid values of the ``--engine`` selector.
-ENGINE_KINDS = ("auto", "event", "vector")
+ENGINE_KINDS = ("auto", "event", "vector", "fused")
 
 
 def policies_vectorizable(strategy: object, bidding: object) -> bool:
@@ -121,7 +124,7 @@ class VectorScheduler(CloudScheduler):
     per-event run.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, fused=None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.vectorized = (
             not self.sink.enabled
@@ -130,6 +133,62 @@ class VectorScheduler(CloudScheduler):
         #: Boundary-check instants evaluated as array scans (telemetry:
         #: how much per-event machinery the run batched away).
         self.vector_checks = 0
+        #: Optional :class:`~repro.runtime.fused.FusedScanContext` shared
+        #: with the other runs of a fusion group: boundary-window price
+        #: rows are computed once per (trace, anchor, lead) and served to
+        #: every aligned run. ``None`` keeps all lookups run-local.
+        self._fused = fused if self.vectorized else None
+        self._scan_span = None
+        #: Per-market envelope of every price the run compared against its
+        #: reverse-migration threshold: ``key -> (lo, hi)`` where ``lo`` is
+        #: the largest compared price the predicate accepted and ``hi`` the
+        #: smallest it rejected. Any threshold in ``[lo, hi)`` makes the
+        #: identical accept/reject call at every comparison this run
+        #: performed — the batch executor uses that to clone runs that
+        #: differ only in a reverse threshold the trajectory never
+        #: discriminated (:mod:`repro.runtime.fused`).
+        self.reverse_band: dict = {}
+
+    # ------------------------------------------------- reverse-band recording
+    def _reverse_wanted(self, key, price: float, od_single: float) -> bool:
+        """Scalar reverse predicate, recorded (overrides the base hook)."""
+        wanted = self.bidding.wants_reverse_migration(price, od_single)
+        lo, hi = self.reverse_band.get(key, (-math.inf, math.inf))
+        if wanted:
+            if price > lo:
+                lo = price
+        elif price < hi:
+            hi = price
+        self.reverse_band[key] = (lo, hi)
+        return wanted
+
+    def _note_reverse(self, key, prices: np.ndarray, mask: np.ndarray) -> None:
+        """Fold one window of mask comparisons into the market's band."""
+        lo, hi = self.reverse_band.get(key, (-math.inf, math.inf))
+        if mask.any():
+            accepted = float(prices[mask].max())
+            if accepted > lo:
+                lo = accepted
+        if not mask.all():
+            rejected = float(prices[~mask].min())
+            if rejected < hi:
+                hi = rejected
+        self.reverse_band[key] = (lo, hi)
+
+    def _scan_prices(self, trace, checks: np.ndarray) -> np.ndarray:
+        """Prices at a scan window's boundary checks.
+
+        Delegates to the fusion group's shared boundary table when one is
+        attached and a scan is in flight; otherwise (or when the table
+        declines) a run-local compiled-trace lookup. Either path returns
+        the bit-identical elementwise ``trace.price_at(checks)`` floats.
+        """
+        if self._fused is not None and self._scan_span is not None:
+            anchor, lead, lo = self._scan_span
+            prices = self._fused.prices(trace, anchor, lead, lo, checks)
+            if prices is not None:
+                return prices
+        return np.asarray(trace.price_at(checks), dtype=np.float64)
 
     # ------------------------------------------------------------ scan plumbing
     #: Initial scan window (boundary checks per mask evaluation); doubles
@@ -184,7 +243,11 @@ class VectorScheduler(CloudScheduler):
                     if cut:
                         window = checks[:cut]
                         self.vector_checks += cut
-                        act = act_mask(window)
+                        self._scan_span = (anchor, lead, lo)
+                        try:
+                            act = act_mask(window)
+                        finally:
+                            self._scan_span = None
                         first_stop = float(window[0])
                         if (
                             2.0 * arrive >= first_stop
@@ -261,26 +324,73 @@ class VectorScheduler(CloudScheduler):
 
         With an on-demand fallback a planned trigger always migrates
         (exact). Without one (pure spot) it only acts when some sibling
-        spot market is grantable at that instant.
+        spot market is grantable at that instant. Opportunistic-switching
+        strategies with a closed-form dwell model (``_vector_dwell``)
+        additionally act where the dwell gate is open and some in-cap
+        sibling beats the current rate by the hysteresis factor — the
+        same comparisons ``decide_spot_boundary`` applies, elementwise.
         """
-        prices = np.asarray(market.trace.price_at(checks), dtype=np.float64)
+        prices = self._scan_prices(market.trace, checks)
         planned = np.asarray(
             self.bidding.planned_migration_mask(prices, market.on_demand_price),
             dtype=bool,
         )
-        if self.strategy.allows_on_demand or not planned.any():
-            return planned
+        strategy = self.strategy
+        if strategy.allows_on_demand or not planned.any():
+            act = planned
+        else:
+            placement = self.placement
+            assert placement is not None
+            alt_any = np.zeros(checks.shape, dtype=bool)
+            for key in strategy.candidate_markets(self.provider):
+                if key == placement.key:
+                    continue
+                m = self._market(key)
+                b = self.bidding.bid_price(m, self.engine.now)
+                m.validate_bid(b)
+                alt_any |= self._scan_prices(m.trace, checks) <= b
+            act = planned & alt_any
+        if strategy.opportunistic_switching:
+            act = act | self._opportunistic_mask(prices, checks)
+        return act
+
+    def _opportunistic_mask(self, prices: np.ndarray, checks: np.ndarray) -> np.ndarray:
+        """Exact array twin of the opportunistic spot-switch decision.
+
+        ``_last_spot_switch`` is constant within a tenure, so the dwell
+        gate is one subtract-and-compare per check; candidates are ranked
+        by raw fleet rate filtered by grantability and the strategy's
+        ``spot_rate_cap`` (the ``_vector_dwell`` contract), and the
+        minimum rate is order-independent, so the hysteresis comparison
+        uses the scalar ranking's exact winning value.
+        """
+        strategy = self.strategy
         placement = self.placement
         assert placement is not None
-        alt_any = np.zeros(checks.shape, dtype=bool)
-        for key in self.strategy.candidate_markets(self.provider):
+        dwell_ok = (checks - self._last_spot_switch) >= strategy.min_dwell_s
+        if not dwell_ok.any():
+            return dwell_ok
+        cap_fn = getattr(strategy, "spot_rate_cap", None)
+        cap = cap_fn(self.provider) if cap_fn is not None else None
+        best = np.full(checks.shape, np.inf)
+        for key in strategy.candidate_markets(self.provider):
             if key == placement.key:
                 continue
             m = self._market(key)
             b = self.bidding.bid_price(m, self.engine.now)
             m.validate_bid(b)
-            alt_any |= np.asarray(m.trace.price_at(checks)) <= b
-        return planned & alt_any
+            p = self._scan_prices(m.trace, checks)
+            rate = strategy.servers_needed(key) * p
+            ok = p <= b
+            if cap is not None:
+                ok &= rate <= cap
+            np.minimum(best, np.where(ok, rate, np.inf), out=best)
+        cur = strategy.servers_needed(placement.key) * prices
+        return (
+            dwell_ok
+            & np.isfinite(best)
+            & (best < cur * strategy.improvement_factor)
+        )
 
     # ------------------------------------------------------ on-demand tenure
     def _on_demand_phase(self) -> Generator:
@@ -325,6 +435,52 @@ class VectorScheduler(CloudScheduler):
             return lambda checks: np.zeros(checks.shape, dtype=bool)
         od_rate = strategy.on_demand_rate(self.provider, placement.key)
         reverse_mask = self.bidding.reverse_migration_mask
+        cap_fn = getattr(strategy, "spot_rate_cap", None)
+        cap = cap_fn(self.provider) if cap_fn is not None else None
+
+        if not getattr(strategy, "_vector_exact_od_ranking", True):
+            # The strategy re-ranks candidates per epoch (LP portfolio,
+            # windowed stability adjustment): no exact array twin exists.
+            # Sound over-approximation instead — act wherever *some*
+            # candidate is grantable, beats on-demand even with the
+            # strategy's adjustment floored in, and passes the reverse
+            # predicate. The scalar decision re-ranks exactly at every
+            # boundary the scan stops on; extra stops are no-ops.
+            floor_fn = getattr(strategy, "vector_od_adjustment_floor", None)
+            rows = []
+            for key in candidates:
+                m = self._market(key)
+                b = self.bidding.bid_price(m, self.engine.now)
+                m.validate_bid(b)
+                rows.append(
+                    (m, b, strategy.servers_needed(key),
+                     self.provider.on_demand_price(key), key)
+                )
+
+            def act_any(checks: np.ndarray) -> np.ndarray:
+                act = np.zeros(checks.shape, dtype=bool)
+                for m, b, units, od_single, key in rows:
+                    p = self._scan_prices(m.trace, checks)
+                    term = p <= b
+                    rate = units * p
+                    if cap is not None:
+                        term &= rate <= cap
+                    floor = (
+                        floor_fn(self.provider, key, checks)
+                        if floor_fn is not None
+                        else None
+                    )
+                    if floor is None:
+                        term &= rate < od_rate
+                    else:
+                        term &= rate + floor < od_rate
+                    rmask = np.asarray(reverse_mask(p, od_single), dtype=bool)
+                    self._note_reverse(key, p, rmask)
+                    term &= rmask
+                    act |= term
+                return act
+
+            return act_any
 
         if len(candidates) == 1:
             # Single-candidate fast path: no ranking matrix needed. The
@@ -337,15 +493,20 @@ class VectorScheduler(CloudScheduler):
             m.validate_bid(b)
             units = strategy.servers_needed(key)
             od_price = self.provider.on_demand_price(key)
-            price_at = m.trace.price_at
+            trace = m.trace
 
             def act_single(checks: np.ndarray) -> np.ndarray:
-                # price_at on an ndarray returns a float64 ndarray (our
-                # own trace code) — no asarray round-trip needed.
-                p = price_at(checks)
+                # _scan_prices returns a float64 ndarray (our own trace
+                # code) — no asarray round-trip needed.
+                p = self._scan_prices(trace, checks)
                 act = p <= b
-                act &= units * p < od_rate
-                act &= np.asarray(reverse_mask(p, od_price), dtype=bool)
+                rate = units * p
+                act &= rate < od_rate
+                if cap is not None:
+                    act &= rate <= cap
+                rmask = np.asarray(reverse_mask(p, od_price), dtype=bool)
+                self._note_reverse(key, p, rmask)
+                act &= rmask
                 return act
 
             return act_single
@@ -365,23 +526,29 @@ class VectorScheduler(CloudScheduler):
 
         def act_many(checks: np.ndarray) -> np.ndarray:
             # A ``markets × epochs`` price matrix, grantability against
-            # the bids, fleet rates with ungrantable cells masked to
+            # the bids (and the strategy's rate cap, when one exists),
+            # fleet rates with ineligible cells masked to
             # +inf, a first-occurrence argmin (the scalar loop's
             # strict-``<`` keeps the first minimum too), and the policy's
             # reverse mask on the winning market's price.
             n = checks.shape[0]
             prices = np.empty((len(markets), n), dtype=np.float64)
             for i, m in enumerate(markets):
-                prices[i] = m.trace.price_at(checks)
+                prices[i] = self._scan_prices(m.trace, checks)
             grantable = prices <= bids[:, None]
-            ranked = np.where(grantable, units[:, None] * prices, np.inf)
+            rates = units[:, None] * prices
+            if cap is not None:
+                grantable &= rates <= cap
+            ranked = np.where(grantable, rates, np.inf)
             best = np.argmin(ranked, axis=0)
             cols = np.arange(n)
             best_rate = ranked[best, cols]
             any_grant = grantable[best, cols]
-            reverse = np.asarray(
-                reverse_mask(prices[best, cols], singles[best]), dtype=bool
-            )
+            win_prices = prices[best, cols]
+            reverse = np.asarray(reverse_mask(win_prices, singles[best]), dtype=bool)
+            for w in np.unique(best):
+                rows = best == w
+                self._note_reverse(candidates[w], win_prices[rows], reverse[rows])
             return any_grant & (best_rate < od_rate) & reverse
 
         return act_many

@@ -68,6 +68,7 @@ class CompiledTrace:
         "_prices_list",
         "_above",
         "_below",
+        "_rolling",
     )
 
     def __init__(self, times: np.ndarray, prices: np.ndarray, horizon: float) -> None:
@@ -82,6 +83,7 @@ class CompiledTrace:
         self._prices_list = prices.tolist()
         self._above: Dict[float, np.ndarray] = {}
         self._below: Dict[float, np.ndarray] = {}
+        self._rolling: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------- scalar lookup
     def index_at(self, t: float) -> int:
@@ -167,6 +169,70 @@ class CompiledTrace:
         mean = np.dot(dur, prices) / total
         var = np.dot(dur, (prices - mean) ** 2) / total
         return float(np.sqrt(max(var, 0.0)))
+
+    # ----------------------------------------------------- rolling-std table
+    def _rolling_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Prefix sums of ``d``, ``d*p`` and ``d*p**2`` over the segments.
+
+        ``c_k[i]`` is the cumulative k-th price moment (time-weighted) up
+        to ``bounds[i]``; built once, read-only, shared by every
+        :meth:`rolling_std` call on this trace.
+        """
+        cached = self._rolling
+        if cached is None:
+            d = np.diff(self.bounds)
+            p = self.prices
+            zero = np.zeros(1)
+            c0 = np.concatenate([zero, np.cumsum(d)])
+            c1 = np.concatenate([zero, np.cumsum(d * p)])
+            c2 = np.concatenate([zero, np.cumsum(d * p * p)])
+            for c in (c0, c1, c2):
+                c.setflags(write=False)
+            cached = self._rolling = (c0, c1, c2)
+        return cached
+
+    def _cum_moments(self, t: np.ndarray, k: np.ndarray) -> Tuple[np.ndarray, ...]:
+        c0, c1, c2 = self._rolling_tables()
+        b = self.bounds[k]
+        p = self.prices[k]
+        frac = t - b
+        return (
+            c0[k] + frac,
+            c1[k] + frac * p,
+            c2[k] + frac * p * p,
+        )
+
+    def rolling_std(self, t0: np.ndarray, t1: np.ndarray) -> np.ndarray:
+        """Time-weighted price std over many ``[t0, t1)`` windows at once.
+
+        **Approximate**, unlike every other query here: the prefix-sum
+        difference form (``E[p^2] - E[p]^2``) accumulates rounding the
+        exact per-window :meth:`price_std` (clipped-segment dot products)
+        does not. The absolute error is bounded by a few units of
+        ``n * eps * p_max^2 * (horizon / window)`` in the variance —
+        callers needing a sound lower bound on the exact std must
+        subtract a slack proportional to the trace's price scale (see
+        ``StabilityAwareStrategy.vector_od_adjustment_floor``). Windows
+        narrower than one segment and degenerate ``t1 <= t0`` windows
+        return 0.
+        """
+        t0 = np.clip(np.asarray(t0, dtype=np.float64), self.bounds[0], self.horizon)
+        t1 = np.clip(np.asarray(t1, dtype=np.float64), self.bounds[0], self.horizon)
+        k0 = np.clip(
+            np.searchsorted(self.bounds, t0, side="right") - 1, 0, self._n - 1
+        )
+        k1 = np.clip(
+            np.searchsorted(self.bounds, t1, side="right") - 1, 0, self._n - 1
+        )
+        a0, a1, a2 = self._cum_moments(t0, k0)
+        b0, b1, b2 = self._cum_moments(t1, k1)
+        total = b0 - a0
+        safe = np.maximum(total, 1e-9)
+        mean = (b1 - a1) / safe
+        var = (b2 - a2) / safe - mean * mean
+        std = np.sqrt(np.maximum(var, 0.0))
+        std[total <= 0.0] = 0.0
+        return std
 
     def time_above(
         self, threshold: float, t0: Optional[float] = None, t1: Optional[float] = None

@@ -147,15 +147,10 @@ def test_ledgered_batch_always_runs_per_event(tmp_path):
 
 
 def test_forced_vector_degrades_on_nonvectorizable_strategy():
-    """StabilityAwareStrategy cannot batch; forced vector still runs —
-    per-event inside the scheduler — and reports what actually happened."""
-    spec = _spec(
-        strategy=StrategySpec.stability(
-            ("us-east-1a", "us-east-1b"), service_units=4
-        ),
-        regions=("us-east-1a", "us-east-1b"),
-        sizes=("small", "large"),
-    )
+    """NoFaultToleranceStrategy cannot batch (its recompute path only
+    exists in the event engine); forced vector still runs — per-event
+    inside the scheduler — and reports what actually happened."""
+    spec = _spec(strategy=StrategySpec.no_fault_tolerance(EAST_SMALL))
     event = run_batch([spec], engine="event", cache=_CACHE)
     vector = run_batch([spec], engine="vector", cache=_CACHE)
     assert vector.run_telemetry[0].engine_kind == "event"

@@ -6,6 +6,9 @@ Checks, in both directions:
 * every flag in FLEET.md's CLI-reference table exists on
   ``repro.fleet.cli.build_parser()``, and every parser flag is
   documented;
+* every flag with a parser ``choices`` list (e.g. ``--engine``)
+  mentions each accepted choice in its documented meaning — adding an
+  engine selector without documenting it fails here;
 * every report dataclass in the metrics glossary exists in
   ``repro.fleet.report``, every documented field exists on it, and every
   dataclass field appears in the glossary table;
@@ -36,14 +39,14 @@ SECTION = re.compile(r"^##\s+(?P<title>.+?)\s*$")
 #: ``### `ClassName```  headings in the metrics glossary.
 CLASS_HEADING = re.compile(r"^###\s+`(?P<cls>\w+)`\s*$")
 #: ``| `--flag` | ... |`` rows in the CLI-reference table.
-FLAG_ROW = re.compile(r"^\|\s*`(?P<flag>--[a-z][a-z-]*)`\s*\|")
+FLAG_ROW = re.compile(r"^\|\s*`(?P<flag>--[a-z][a-z-]*)`\s*\|(?P<rest>.*)$")
 #: ``| `field` | ... |`` rows in the glossary field tables.
 FIELD_ROW = re.compile(r"^\|\s*`(?P<field>\w+)`\s*\|")
 
 
-def parse_doc(text: str) -> tuple[list[str], dict[str, list[str]]]:
-    """(documented CLI flags, documented class -> field names)."""
-    flags: list[str] = []
+def parse_doc(text: str) -> tuple[dict[str, str], dict[str, list[str]]]:
+    """(documented CLI flag -> row text, documented class -> field names)."""
+    flags: dict[str, str] = {}
     classes: dict[str, list[str]] = {}
     section: str | None = None
     current_cls: str | None = None
@@ -56,7 +59,7 @@ def parse_doc(text: str) -> tuple[list[str], dict[str, list[str]]]:
         if section == "CLI reference":
             f = FLAG_ROW.match(line)
             if f:
-                flags.append(f.group("flag"))
+                flags[f.group("flag")] = f.group("rest")
         elif section == "Metrics glossary":
             c = CLASS_HEADING.match(line)
             if c:
@@ -77,18 +80,30 @@ def main() -> int:
     doc_flags, doc_classes = parse_doc(DOC.read_text(encoding="utf-8"))
     problems: list[str] = []
 
-    real_flags = [
-        opt
+    actions = {
+        opt: action
         for action in build_parser()._actions
         for opt in action.option_strings
         if opt.startswith("--") and opt != "--help"
-    ]
+    }
     for flag in doc_flags:
-        if flag not in real_flags:
+        if flag not in actions:
             problems.append(f"FLEET.md documents unknown repro-fleet flag {flag}")
-    for flag in real_flags:
+    for flag, action in actions.items():
         if flag not in doc_flags:
             problems.append(f"repro-fleet flag {flag} missing from FLEET.md")
+        elif action.choices and action.nargs is None:
+            # A scalar choices-flag's documented meaning must name every
+            # accepted value (in backticks) — e.g. --engine must list
+            # auto/event/vector/fused. Multi-valued cohort filters
+            # (--region, --size) describe their domain in prose instead.
+            documented = set(re.findall(r"`([^`]+)`", doc_flags[flag]))
+            missing = [str(c) for c in action.choices if str(c) not in documented]
+            if missing:
+                problems.append(
+                    f"{flag}: choice(s) {', '.join(missing)} not mentioned "
+                    f"in the FLEET.md meaning column"
+                )
 
     real_classes = {
         name: [f.name for f in dataclasses.fields(getattr(fleet_report, name))]
