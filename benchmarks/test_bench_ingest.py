@@ -1,0 +1,88 @@
+"""Perf-regression benchmarks for archive ingestion and segment loading.
+
+Entry 4 of the ``BENCH_perf.json`` trajectory: the streaming demux from
+:mod:`repro.traces.ingest` must stay I/O-shaped, and the mmap catalog
+load must stay near-instant (it maps pages, it does not read them). Both
+numbers are persisted to ``benchmarks/output/BENCH_perf.current.json``
+and gated by ``tools/check_bench_regression.py`` alongside the scheduler
+and batch-sweep entries.
+
+* ``test_bench_ingest_100_market_archive`` streams a synthetic 100-market
+  20k-record CSV through the full demux + compile pipeline.
+* ``test_bench_segment_catalog_load`` memory-maps the resulting segment
+  directory back into a catalog — the cost a worker pays to attach a
+  directory-plan catalog instead of copying trace bytes.
+"""
+
+import csv
+
+import numpy as np
+import pytest
+
+from test_bench_decisions import best_of, record
+from repro.traces.ingest import ingest_archive, load_segment_catalog
+from repro.traces.loader import _HEADER, format_aws_timestamp
+from repro.units import hours
+
+N_MARKETS = 100
+ROWS_PER_MARKET = 200
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    """One CSV with 100 markets x 200 records, timestamp-interleaved."""
+    root = tmp_path_factory.mktemp("ingest-bench")
+    path = root / "archive.csv"
+    rng = np.random.default_rng(0)
+    rows = []
+    for m in range(N_MARKETS):
+        az = f"zz-bench-{m % 5}z"
+        itype = f"b{m}.synthetic"
+        t = np.sort(rng.uniform(0.0, hours(24 * 7), size=ROWS_PER_MARKET))
+        p = rng.uniform(0.01, 0.2, size=ROWS_PER_MARKET)
+        rows.extend((float(ti), itype, az, float(pi)) for ti, pi in zip(t, p))
+    rows.sort()
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(_HEADER)
+        for t, itype, az, p in rows:
+            w.writerow([format_aws_timestamp(t), itype, "Linux/UNIX", az, repr(p)])
+    return root, path
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_bench_ingest_100_market_archive(archive):
+    """Stream the 100-market archive into compiled segments."""
+    root, path = archive
+
+    runs = [0]
+
+    def one_pass():
+        runs[0] += 1
+        return ingest_archive(path, root / f"seg{runs[0]}", chunk_records=5_000)
+
+    report = one_pass()
+    assert report.n_markets == N_MARKETS
+    assert report.n_records == N_MARKETS * ROWS_PER_MARKET
+    assert report.peak_buffered_records <= 5_000
+    ingest_s = best_of(one_pass)
+    throughput = report.n_records / ingest_s
+    record(ingest_100_market_archive_s={"value": ingest_s, "unit": "s"})
+    print(
+        f"\n100-market ingest: {ingest_s:.3f}s "
+        f"({throughput:,.0f} records/s, peak buffer {report.peak_buffered_records})"
+    )
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_bench_segment_catalog_load(archive):
+    """Memory-map the ingested directory back into a catalog."""
+    root, path = archive
+    ingest_archive(path, root / "seg-load", chunk_records=5_000)
+    catalog = load_segment_catalog(root / "seg-load")
+    assert len(catalog.markets()) == N_MARKETS
+    load_s = best_of(lambda: load_segment_catalog(root / "seg-load"))
+    record(segment_catalog_load_s={"value": load_s, "unit": "s"})
+    print(f"\nsegment catalog load (100 markets): {load_s:.4f}s")
+    # Mapping pages must stay well under re-parsing the CSV (~seconds).
+    assert load_s < 1.0, f"mmap catalog load took {load_s:.2f}s"

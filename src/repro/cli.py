@@ -11,6 +11,7 @@ Examples::
     repro-simulate --strategy index-tracking --region us-east-1a us-west-1a
     repro-simulate --strategy portfolio-bid --risk-cap 0.02 --region us-east-1a
     repro-simulate --csv history.csv --size small --region us-east-1a
+    repro-simulate --segments segments/ --size small --region us-east-1a
     repro-simulate --fast --trace /tmp/t.jsonl --metrics
     repro-simulate --list-strategies
 
@@ -32,6 +33,7 @@ from repro.core.results import aggregate
 from repro.core.simulation import SimulationConfig, run_many, run_simulation_observed
 from repro.obs import NULL_SINK, MemorySink, observe
 from repro.runtime import StrategySpec
+from repro.errors import TraceFormatError
 from repro.traces.calibration import REGIONS, SIZES, on_demand_price
 from repro.traces.catalog import MarketKey, TraceCatalog
 from repro.traces.loader import load_aws_csv
@@ -75,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", type=str, default=None,
                    help="replay an AWS-format spot history instead of "
                    "generating traces (single-market strategies only)")
+    p.add_argument("--segments", type=str, default=None, metavar="DIR",
+                   help="replay an ingested mmap segment directory "
+                   "(see repro.traces.ingest) instead of generating traces "
+                   "(single-market strategies only)")
     p.add_argument("--ledger", metavar="PATH", default=None,
                    help="journal each completed seed to a crash-safe run "
                    "ledger at PATH (a directory gets one file per batch)")
@@ -150,6 +156,21 @@ def _csv_catalog(args) -> TraceCatalog:
     return TraceCatalog({key: trace}, {key: od}, trace.horizon)
 
 
+def _segment_catalog(args) -> TraceCatalog:
+    from repro.traces.ingest import load_segment_catalog
+
+    catalog = load_segment_catalog(args.segments)
+    key = MarketKey(args.region[0], args.size)
+    if key not in catalog:
+        raise TraceFormatError(
+            f"market {key} not in segment directory {args.segments}; "
+            f"available: {[str(k) for k in catalog.markets()]}"
+        )
+    # Restrict to the requested market so the single-market strategy sees
+    # exactly the same catalog shape as the --csv path.
+    return catalog.restricted([key])
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_strategies:
@@ -161,10 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and args.ledger is None:
         print("--resume needs --ledger PATH", file=sys.stderr)
         return 2
-    if args.ledger is not None and args.csv is not None:
-        # The CSV replay is a single in-process run outside run_batch;
-        # there is no batch to journal.
-        print("--ledger does not apply to --csv replays", file=sys.stderr)
+    if args.csv is not None and args.segments is not None:
+        print("--csv and --segments are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.ledger is not None and (args.csv is not None or args.segments is not None):
+        # Replays are single in-process runs outside run_batch; there is
+        # no batch to journal.
+        print("--ledger does not apply to --csv/--segments replays", file=sys.stderr)
         return 2
     if args.fast:
         args.days = min(args.days, 10.0)
@@ -175,11 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     strategy, regions = _make_strategy(args)
     catalog = None
     horizon = days(args.days)
-    if args.csv is not None:
+    if args.csv is not None or args.segments is not None:
+        flag = "--csv" if args.csv is not None else "--segments"
         if not _single_market_kind(args.strategy):
-            print("--csv supports single-market strategies only", file=sys.stderr)
+            print(f"{flag} supports single-market strategies only", file=sys.stderr)
             return 2
-        catalog = _csv_catalog(args)
+        catalog = _csv_catalog(args) if args.csv is not None else _segment_catalog(args)
         horizon = catalog.horizon
 
     cfg = SimulationConfig(

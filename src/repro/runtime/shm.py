@@ -98,6 +98,10 @@ class CatalogPlan:
     layout: Tuple[Tuple[int, int], ...]  #: (offset, n) per market
     od_prices: Tuple[float, ...]
     total_floats: int
+    #: Segment-directory catalogs (ingested archives) ship the directory
+    #: path instead of trace bytes: every worker mmaps the same files, so
+    #: nothing is copied anywhere and no shared-memory block is needed.
+    segment_dir: Optional[str] = None
 
 
 def publish_catalog(catalog: TraceCatalog):
@@ -106,7 +110,24 @@ def publish_catalog(catalog: TraceCatalog):
     Returns ``(plan, segment)``; the caller owns the segment handle and
     must keep it alive until every consumer has attached, then
     :func:`release_segment` it.
+
+    Catalogs loaded from an ingested segment directory (``catalog.source``
+    set) never copy: the plan carries only the directory path and the
+    returned segment handle is ``None`` — workers mmap the files directly.
     """
+    source = getattr(catalog, "source", None)
+    if source is not None:
+        plan = CatalogPlan(
+            shm_name="",
+            horizon=catalog.horizon,
+            markets=tuple((k.region, k.size) for k in catalog.markets()),
+            layout=(),
+            od_prices=(),
+            total_floats=0,
+            segment_dir=str(source),
+        )
+        return plan, None
+
     from multiprocessing import shared_memory
 
     markets = catalog.markets()
@@ -165,10 +186,19 @@ def attach_catalog(plan: CatalogPlan) -> TraceCatalog:
     catalog attaches (and validates) once. Raises on any failure — the
     executor's worker path falls back to building the catalog locally.
     """
-    cached = _ATTACHED.get(plan.shm_name)
+    cache_key = plan.shm_name if plan.segment_dir is None else f"dir:{plan.segment_dir}"
+    cached = _ATTACHED.get(cache_key)
     if cached is not None:
-        _ATTACHED.move_to_end(plan.shm_name)
+        _ATTACHED.move_to_end(cache_key)
         return cached[0]
+    if plan.segment_dir is not None:
+        # Segment-directory plan: mmap the ingested files directly; there
+        # is no shared-memory block to attach or evict.
+        from repro.traces.ingest import load_segment_catalog
+
+        catalog = load_segment_catalog(plan.segment_dir)
+        _ATTACHED[cache_key] = (catalog, None)
+        return catalog
     segment = _attach_untracked(plan.shm_name)
     buf = np.ndarray((plan.total_floats,), dtype=np.float64, buffer=segment.buf)
     traces: Dict[MarketKey, PriceTrace] = {}
@@ -188,6 +218,8 @@ def attach_catalog(plan: CatalogPlan) -> TraceCatalog:
     while len(_ATTACHED) > ATTACH_CACHE_MAX:
         _, (old_catalog, old_segment) = _ATTACHED.popitem(last=False)
         del old_catalog
+        if old_segment is None:  # segment-directory entry: nothing to close
+            continue
         try:
             old_segment.close()  # type: ignore[attr-defined]
         except BufferError:  # pragma: no cover - a view is still alive
@@ -196,7 +228,12 @@ def attach_catalog(plan: CatalogPlan) -> TraceCatalog:
 
 
 def release_segment(segment) -> None:
-    """Close and unlink a published segment (parent side, end of batch)."""
+    """Close and unlink a published segment (parent side, end of batch).
+
+    ``None`` (a segment-directory plan's handle) is a no-op.
+    """
+    if segment is None:
+        return
     try:
         segment.close()
     except BufferError:  # pragma: no cover - defensive

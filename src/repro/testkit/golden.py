@@ -11,7 +11,11 @@ regression test (``tests/golden/test_golden.py``) and ``repro-verify
 The corpus deliberately spans the regimes the paper's claims hang on:
 calm markets, seeded revocation storms, a correlated spike straddling a
 billing boundary, a pure-spot outage, slow checkpoints during a storm,
-multi-market and multi-region escapes, and the all-on-demand baseline.
+multi-market and multi-region escapes, the all-on-demand baseline, and —
+mirroring the regimes real ``DescribeSpotPriceHistory`` archives exhibit —
+sustained-high-price markets, scarce-capacity (GPU-style) sharp-spike
+trains, cross-region correlated storms, a CSV → streaming-ingest → mmap
+segment replay, and a run on calibrations refit from a generated archive.
 :data:`FLEET_SCENARIOS` extends it with a pinned multi-tenant
 :class:`~repro.fleet.report.FleetReport` (shared market, shared spare
 pool, churn) checked by the same machinery.
@@ -27,11 +31,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.bidding import ReactiveBidding
 from repro.core.simulation import SimulationConfig, run_simulation_observed
 from repro.errors import ConfigurationError
 from repro.fleet.spec import FleetSpec, ServiceSpec, synthesize_fleet
 from repro.runtime.spec import StrategySpec
 from repro.testkit.faults import FaultPlan
+from repro.traces.calibration import MarketCalibration, calibration_for
 from repro.traces.catalog import MarketKey
 from repro.units import days, hours
 
@@ -258,6 +264,331 @@ def _portfolio_bid_lp() -> SimulationConfig:
     )
 
 
+# -------------------------------------------------- archive-regime scenarios
+# Calibration presets for the regimes real DescribeSpotPriceHistory
+# archives exhibit (sustained-high markets, scarce-capacity spike trains,
+# correlated cross-region storms). Each preset stays inside the
+# MarketCalibration validation ranges, so build_catalog accepts it as-is.
+def _sustained_high_cal(region: str, size: str) -> MarketCalibration:
+    """Calm level parked just under on-demand with little dispersion: spot
+    barely undercuts the baseline, as several real markets did after the
+    2011 EC2 repricing."""
+    return calibration_for(
+        region, size, calm_base_frac=0.88, calm_sigma=0.04, calm_reversion=0.5
+    )
+
+
+def _gpu_scarcity_cal(region: str, size: str) -> MarketCalibration:
+    """Scarce-capacity market: frequent sharp excursions far past the 4x
+    bid cap, the shape GPU/accelerator pools show under contention."""
+    cal = calibration_for(region, size)
+    return dataclasses.replace(
+        cal,
+        sharp_spikes=dataclasses.replace(
+            cal.sharp_spikes, rate_per_hour=0.02, peak_lo_frac=5.0, peak_hi_frac=12.0
+        ),
+        spikes=dataclasses.replace(
+            cal.spikes, rate_per_hour=2.0 * cal.spikes.rate_per_hour
+        ),
+    )
+
+
+def _stormy_cal(region: str, size: str) -> MarketCalibration:
+    """Most excursions arrive from the shared regional/global shock
+    streams, so markets spike together instead of independently."""
+    return calibration_for(
+        region, size, regional_shock_share=0.55, global_shock_share=0.3
+    )
+
+
+def _quiet_cal(region: str, size: str) -> MarketCalibration:
+    """An unusually placid market: every excursion class at a fifth of its
+    default rate (some real EU markets sat nearly flat for months)."""
+    cal = calibration_for(region, size)
+    return dataclasses.replace(
+        cal,
+        blips=dataclasses.replace(cal.blips, rate_per_hour=0.2 * cal.blips.rate_per_hour),
+        spikes=dataclasses.replace(cal.spikes, rate_per_hour=0.2 * cal.spikes.rate_per_hour),
+        sharp_spikes=dataclasses.replace(
+            cal.sharp_spikes, rate_per_hour=0.2 * cal.sharp_spikes.rate_per_hour
+        ),
+    )
+
+
+def _sustained_high_single() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=137,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        calibrations={("us-east-1a", "small"): _sustained_high_cal("us-east-1a", "small")},
+        label="golden/sustained-high-single",
+    )
+
+
+def _sustained_high_reactive() -> SimulationConfig:
+    # Reactive bidding on a sustained-high market: the bid-the-ceiling
+    # policy pays nearly on-demand rates, the regime where Fig 5's
+    # proactive/reactive gap collapses.
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        bidding=ReactiveBidding(),
+        seed=139,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        calibrations={("us-east-1a", "small"): _sustained_high_cal("us-east-1a", "small")},
+        label="golden/sustained-high-reactive",
+    )
+
+
+def _sustained_high_multi_market() -> SimulationConfig:
+    # Only the small market is sustained-high; sideways escape within the
+    # region recovers most of the spot discount.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_market("us-east-1a"),
+        seed=149,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small", "medium", "large", "xlarge"),
+        calibrations={("us-east-1a", "small"): _sustained_high_cal("us-east-1a", "small")},
+        label="golden/sustained-high-multi-market",
+    )
+
+
+def _sustained_high_pure_spot() -> SimulationConfig:
+    # No on-demand fallback on a market that is expensive but rarely
+    # revokes: high cost, little downtime.
+    return SimulationConfig(
+        strategy=StrategySpec.pure_spot(_EAST),
+        seed=193,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        calibrations={("us-east-1a", "small"): _sustained_high_cal("us-east-1a", "small")},
+        label="golden/sustained-high-pure-spot",
+    )
+
+
+_XL_EAST = MarketKey("us-east-1a", "xlarge")
+
+
+def _gpu_scarcity_single() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(_XL_EAST),
+        seed=151,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("xlarge",),
+        calibrations={("us-east-1a", "xlarge"): _gpu_scarcity_cal("us-east-1a", "xlarge")},
+        label="golden/gpu-scarcity-single",
+    )
+
+
+def _gpu_scarcity_no_ft() -> SimulationConfig:
+    # Sharp spike trains against a tenant with no checkpoints: every
+    # revocation recomputes from the volume.
+    return SimulationConfig(
+        strategy=StrategySpec.no_fault_tolerance(_XL_EAST),
+        seed=157,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("xlarge",),
+        calibrations={("us-east-1a", "xlarge"): _gpu_scarcity_cal("us-east-1a", "xlarge")},
+        label="golden/gpu-scarcity-no-ft",
+    )
+
+
+def _gpu_scarcity_multi_market() -> SimulationConfig:
+    # Scarcity hits only the xlarge market; the multi-market scheduler can
+    # wait it out on the calmer sizes.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_market("us-east-1a"),
+        seed=163,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small", "medium", "large", "xlarge"),
+        calibrations={("us-east-1a", "xlarge"): _gpu_scarcity_cal("us-east-1a", "xlarge")},
+        label="golden/gpu-scarcity-multi-market",
+    )
+
+
+def _storm_cals(regions, sizes):
+    return {(r, s): _stormy_cal(r, s) for r in regions for s in sizes}
+
+
+def _correlated_storm_regional() -> SimulationConfig:
+    # Heavy shared-shock shares: excursions synchronize within and across
+    # regions, eroding the diversification the multi-region escape buys.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_region(("us-east-1a", "us-west-1a")),
+        seed=167,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        calibrations=_storm_cals(("us-east-1a", "us-west-1a"), ("small", "medium")),
+        label="golden/correlated-storm-regional",
+    )
+
+
+def _correlated_storm_global() -> SimulationConfig:
+    # Correlated generator shocks plus a scripted all-market spike: the
+    # worst case for cross-region hosting.
+    return SimulationConfig(
+        strategy=StrategySpec.multi_region(("us-east-1a", "eu-west-1a")),
+        seed=173,
+        horizon_s=days(3),
+        regions=("us-east-1a", "eu-west-1a"),
+        sizes=("small", "medium"),
+        calibrations=_storm_cals(("us-east-1a", "eu-west-1a"), ("small", "medium")),
+        faults=FaultPlan.correlated_spike(days(1), hours(3)),
+        label="golden/correlated-storm-global",
+    )
+
+
+def _correlated_storm_portfolio() -> SimulationConfig:
+    # The LP bid family under correlated shocks: predicted revocation risk
+    # rises everywhere at once, stressing the risk-cap constraint.
+    return SimulationConfig(
+        strategy=StrategySpec.portfolio_bid(("us-east-1a", "us-west-1a")),
+        seed=179,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        calibrations=_storm_cals(("us-east-1a", "us-west-1a"), ("small", "medium")),
+        label="golden/correlated-storm-portfolio",
+    )
+
+
+def _correlated_storm_index() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.index_tracking(("us-east-1a", "us-west-1a")),
+        seed=181,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        calibrations=_storm_cals(("us-east-1a", "us-west-1a"), ("small", "medium")),
+        label="golden/correlated-storm-index",
+    )
+
+
+def _stability_weighted_storm() -> SimulationConfig:
+    # The stability-weighted family pays a premium to avoid churn; a storm
+    # on one market shows what that premium buys.
+    return SimulationConfig(
+        strategy=StrategySpec.stability(("us-east-1a", "us-west-1a"), stability_weight=2.0),
+        seed=191,
+        horizon_s=days(3),
+        regions=("us-east-1a", "us-west-1a"),
+        sizes=("small", "medium"),
+        faults=FaultPlan.revocation_storm(
+            404, days(3), n_spikes=3, duration_s=1800.0, markets=("us-east-1a/small",)
+        ),
+        label="golden/stability-weighted-storm",
+    )
+
+
+def _calm_quiet_eu() -> SimulationConfig:
+    return SimulationConfig(
+        strategy=StrategySpec.single(MarketKey("eu-west-1a", "large")),
+        seed=197,
+        horizon_s=days(3),
+        regions=("eu-west-1a",),
+        sizes=("large",),
+        calibrations={("eu-west-1a", "large"): _quiet_cal("eu-west-1a", "large")},
+        label="golden/calm-quiet-eu",
+    )
+
+
+def _storm_reactive() -> SimulationConfig:
+    # Reactive bidding through a storm: every spike revokes immediately
+    # (the ceiling bid is always crossed), maximizing migration traffic.
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        bidding=ReactiveBidding(),
+        seed=223,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small",),
+        faults=FaultPlan.revocation_storm(405, days(3), n_spikes=3, duration_s=1800.0),
+        label="golden/storm-reactive",
+    )
+
+
+def _spike_train_medium() -> SimulationConfig:
+    # A seeded three-spike train on the medium market: repeated forced
+    # migrations with full recovery between spikes.
+    return SimulationConfig(
+        strategy=StrategySpec.single(MarketKey("us-east-1a", "medium")),
+        seed=227,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("medium",),
+        faults=FaultPlan.revocation_storm(406, days(3), n_spikes=3, duration_s=1200.0),
+        label="golden/spike-train-medium",
+    )
+
+
+def _archive_roundtrip() -> SimulationConfig:
+    # End-to-end data-path pin: generate one market, write it as an AWS
+    # CSV archive, stream-ingest it into mmap-compiled segments, and run
+    # the simulation off the memory-mapped catalog. The pinned report
+    # freezes the CSV -> ingest -> mmap path's economics; the ingest test
+    # suite separately proves it matches the in-memory path bit-for-bit.
+    import tempfile
+
+    from repro.traces.catalog import build_catalog
+    from repro.traces.ingest import ingest_archive, load_segment_catalog
+    from repro.traces.loader import save_aws_csv
+
+    horizon = days(3)
+    source = build_catalog(199, horizon, regions=("us-east-1a",), sizes=("small",))
+    tmp = tempfile.TemporaryDirectory(prefix="repro-golden-segments-")
+    root = Path(tmp.name)
+    save_aws_csv(
+        source.trace(_EAST),
+        root / "archive.csv",
+        instance_type="m1.small",
+        availability_zone="us-east-1a",
+    )
+    ingest_archive(root / "archive.csv", root / "segments", horizon=horizon)
+    catalog = load_segment_catalog(root / "segments")
+    # The catalog's arrays are views over the segment files; keep the
+    # temporary directory alive for as long as the catalog is.
+    catalog._tmpdir = tmp
+    return SimulationConfig(
+        strategy=StrategySpec.single(_EAST),
+        seed=199,
+        horizon_s=horizon,
+        regions=("us-east-1a",),
+        sizes=("small",),
+        catalog=catalog,
+        label="golden/archive-roundtrip",
+    )
+
+
+def _refit_regenerated() -> SimulationConfig:
+    # Closes the refit loop inside the corpus: fit the regime-switching
+    # parameters to a generated two-market history, then simulate on
+    # traces regenerated *from the fit*. Any drift in the fit -> generate
+    # round trip shows up as a golden diff.
+    from repro.traces.catalog import build_catalog
+    from repro.traces.refit import fit_catalog
+
+    source = build_catalog(7, days(10), regions=("us-east-1a",), sizes=("small", "medium"))
+    fitted = fit_catalog(source, grid_step_s=900.0)
+    return SimulationConfig(
+        strategy=StrategySpec.multi_market("us-east-1a"),
+        seed=211,
+        horizon_s=days(3),
+        regions=("us-east-1a",),
+        sizes=("small", "medium"),
+        calibrations=fitted,
+        label="golden/refit-regenerated",
+    )
+
+
 SCENARIOS: Tuple[GoldenScenario, ...] = (
     GoldenScenario("calm-single", "single market, calm generated trace", _calm_single),
     GoldenScenario("calm-large", "large instance, calm generated trace", _calm_large),
@@ -298,6 +629,74 @@ SCENARIOS: Tuple[GoldenScenario, ...] = (
     GoldenScenario(
         "portfolio-bid-lp", "LP risk/cost market selection over four markets",
         _portfolio_bid_lp,
+    ),
+    GoldenScenario(
+        "sustained-high-single", "calm level parked just under on-demand",
+        _sustained_high_single,
+    ),
+    GoldenScenario(
+        "sustained-high-reactive", "reactive bidding where spot barely undercuts",
+        _sustained_high_reactive,
+    ),
+    GoldenScenario(
+        "sustained-high-multi-market", "sideways escape from one expensive market",
+        _sustained_high_multi_market,
+    ),
+    GoldenScenario(
+        "sustained-high-pure-spot", "pure spot on an expensive, rarely-revoking market",
+        _sustained_high_pure_spot,
+    ),
+    GoldenScenario(
+        "gpu-scarcity-single", "frequent sharp spikes past the 4x bid cap",
+        _gpu_scarcity_single,
+    ),
+    GoldenScenario(
+        "gpu-scarcity-no-ft", "scarcity spike train against a no-checkpoint tenant",
+        _gpu_scarcity_no_ft,
+    ),
+    GoldenScenario(
+        "gpu-scarcity-multi-market", "xlarge scarcity, calmer sizes available",
+        _gpu_scarcity_multi_market,
+    ),
+    GoldenScenario(
+        "correlated-storm-regional", "shared-shock shares synchronize two regions",
+        _correlated_storm_regional,
+    ),
+    GoldenScenario(
+        "correlated-storm-global", "correlated shocks plus a scripted all-market spike",
+        _correlated_storm_global,
+    ),
+    GoldenScenario(
+        "correlated-storm-portfolio", "LP bid family under correlated shocks",
+        _correlated_storm_portfolio,
+    ),
+    GoldenScenario(
+        "correlated-storm-index", "index tracker under correlated shocks",
+        _correlated_storm_index,
+    ),
+    GoldenScenario(
+        "stability-weighted-storm", "churn-averse family rides out a one-market storm",
+        _stability_weighted_storm,
+    ),
+    GoldenScenario(
+        "calm-quiet-eu", "placid EU market at a fifth of default excursion rates",
+        _calm_quiet_eu,
+    ),
+    GoldenScenario(
+        "storm-reactive", "reactive ceiling bids revoked by every storm spike",
+        _storm_reactive,
+    ),
+    GoldenScenario(
+        "spike-train-medium", "three-spike train with recovery between spikes",
+        _spike_train_medium,
+    ),
+    GoldenScenario(
+        "archive-roundtrip", "CSV -> streaming ingest -> mmap segment replay",
+        _archive_roundtrip,
+    ),
+    GoldenScenario(
+        "refit-regenerated", "simulate on calibrations refit from a generated archive",
+        _refit_regenerated,
     ),
 )
 

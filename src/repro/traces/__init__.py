@@ -19,7 +19,20 @@ from repro.traces.calibration import (
 )
 from repro.traces.generator import TraceGenerator, generate_trace
 from repro.traces.catalog import TraceCatalog, MarketKey, build_catalog
-from repro.traces.loader import load_aws_csv, save_aws_csv
+from repro.traces.loader import load_aws_csv, save_aws_csv, iter_aws_rows, roundtrip_equal
+from repro.traces.ingest import (
+    IngestReport,
+    ingest_archive,
+    load_segment_catalog,
+    read_segment,
+    write_segment,
+)
+from repro.traces.refit import (
+    fit_catalog,
+    fit_market,
+    load_calibrations,
+    save_calibrations,
+)
 from repro.traces.validation import validate_trace, ValidationReport, ValidationCheck
 from repro.traces.statistics import (
     trace_correlation,
@@ -44,6 +57,17 @@ __all__ = [
     "build_catalog",
     "load_aws_csv",
     "save_aws_csv",
+    "iter_aws_rows",
+    "roundtrip_equal",
+    "IngestReport",
+    "ingest_archive",
+    "load_segment_catalog",
+    "read_segment",
+    "write_segment",
+    "fit_catalog",
+    "fit_market",
+    "load_calibrations",
+    "save_calibrations",
     "trace_correlation",
     "correlation_matrix",
     "mean_pairwise_correlation",

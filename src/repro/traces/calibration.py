@@ -25,6 +25,7 @@ qualitative bands.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace
 
 from repro.errors import CalibrationError
@@ -119,6 +120,18 @@ class SpikeModel:
         if not (0 < self.peak_lo_frac <= self.peak_hi_frac):
             raise CalibrationError("need 0 < peak_lo_frac <= peak_hi_frac")
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpikeModel":
+        """Rebuild from :meth:`to_dict` output; unknown keys are rejected."""
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise CalibrationError(f"bad spike-model fields: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class MarketCalibration:
@@ -211,6 +224,31 @@ class MarketCalibration:
             + self.spikes.rate_per_hour
             + self.sharp_spikes.rate_per_hour
         )
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`).
+
+        The format ``repro-calibrate`` emits: nested spike models become
+        plain dicts, everything else is scalars.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MarketCalibration":
+        """Rebuild a calibration from :meth:`to_dict` / JSON output."""
+        if not isinstance(data, dict):
+            raise CalibrationError(f"calibration entry must be a dict, got {type(data)}")
+        fields = dict(data)
+        try:
+            for name in ("blips", "spikes", "sharp_spikes"):
+                fields[name] = SpikeModel.from_dict(fields[name])
+        except KeyError as exc:
+            raise CalibrationError(f"calibration entry missing {exc}") from exc
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise CalibrationError(f"bad calibration fields: {exc}") from exc
 
 
 # --------------------------------------------------------------------------

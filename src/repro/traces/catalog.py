@@ -57,6 +57,7 @@ class TraceCatalog:
         traces: Mapping[MarketKey, PriceTrace],
         on_demand: Mapping[MarketKey, float],
         horizon: float,
+        source: str | None = None,
     ) -> None:
         if not traces:
             raise CalibrationError("catalog must contain at least one market")
@@ -71,6 +72,11 @@ class TraceCatalog:
         self._traces = dict(traces)
         self._on_demand = {k: float(v) for k, v in on_demand.items()}
         self.horizon = float(horizon)
+        #: When the catalog was loaded from an ingested segment directory
+        #: (:func:`repro.traces.ingest.load_segment_catalog`), the directory
+        #: path — the shared-memory fan-out ships this path instead of
+        #: copying trace bytes, and every worker mmaps the same files.
+        self.source = source
 
     # ----------------------------------------------------------------- access
     def trace(self, key: MarketKey) -> PriceTrace:

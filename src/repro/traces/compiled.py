@@ -71,12 +71,31 @@ class CompiledTrace:
         "_rolling",
     )
 
-    def __init__(self, times: np.ndarray, prices: np.ndarray, horizon: float) -> None:
+    def __init__(
+        self,
+        times: np.ndarray,
+        prices: np.ndarray,
+        horizon: float,
+        bounds: Optional[np.ndarray] = None,
+    ) -> None:
         self.times = times
         self.prices = prices
         self.horizon = float(horizon)
-        bounds = np.concatenate([times, [horizon]])
-        bounds.setflags(write=False)
+        if bounds is None:
+            bounds = np.concatenate([times, [horizon]])
+            bounds.setflags(write=False)
+        else:
+            # A precomputed bounds array (e.g. the memory-mapped one inside a
+            # compiled segment file) must be exactly ``times + [horizon]`` —
+            # spot-check the seams instead of materialising a full compare,
+            # so an mmap-backed plan stays lazy.
+            if (
+                bounds.shape != (times.shape[0] + 1,)
+                or float(bounds[0]) != float(times[0])
+                or float(bounds[-1]) != self.horizon
+                or float(bounds[times.shape[0] - 1]) != float(times[-1])
+            ):
+                raise TraceFormatError("precomputed bounds do not match times/horizon")
         self.bounds = bounds
         self._n = int(times.shape[0])
         self._times_list = times.tolist()

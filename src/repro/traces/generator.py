@@ -33,7 +33,18 @@ from repro.traces.calibration import MarketCalibration, SpikeModel
 from repro.traces.trace import PriceTrace
 from repro.units import SECONDS_PER_HOUR
 
-__all__ = ["Excursion", "TraceGenerator", "generate_trace", "sample_excursions"]
+__all__ = [
+    "Excursion",
+    "TraceGenerator",
+    "generate_trace",
+    "sample_excursions",
+    "CALM_CEILING_FRAC",
+]
+
+#: The calm leg is clipped strictly below on-demand at this fraction — the
+#: refit pipeline uses the same constant to separate calm re-pricings from
+#: excursion activity when estimating parameters from real archives.
+CALM_CEILING_FRAC = 0.92
 
 #: Relative heights of the ramp steps of a gradual excursion.
 _RAMP_FRACTIONS = (0.45, 0.75, 1.0)
@@ -296,7 +307,7 @@ class TraceGenerator:
         base = cal.calm_base_frac * cal.on_demand
         prices = base * np.exp(x)
         floor = cal.price_floor_frac * cal.on_demand
-        ceiling = 0.92 * cal.on_demand  # calm leg never crosses on-demand
+        ceiling = CALM_CEILING_FRAC * cal.on_demand  # calm leg never crosses on-demand
         return times, np.clip(prices, floor, ceiling)
 
     # --------------------------------------------------------------- assembly

@@ -17,18 +17,25 @@ from __future__ import annotations
 
 import csv
 import datetime as _dt
-import io
+import gzip
 import math
 import re
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO, Tuple
 
 import numpy as np
 
 from repro.errors import TraceFormatError
 from repro.traces.trace import PriceTrace
 
-__all__ = ["load_aws_csv", "save_aws_csv", "parse_aws_timestamp", "format_aws_timestamp"]
+__all__ = [
+    "load_aws_csv",
+    "save_aws_csv",
+    "iter_aws_rows",
+    "parse_aws_timestamp",
+    "format_aws_timestamp",
+    "roundtrip_equal",
+]
 
 _HEADER = ["Timestamp", "InstanceType", "ProductDescription", "AvailabilityZone", "SpotPrice"]
 _EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
@@ -90,9 +97,59 @@ def format_aws_timestamp(epoch_seconds: float) -> str:
 
 
 def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    """Open a path (plain or gzip) or pass a stream through.
+
+    Path sources are decoded as ``utf-8-sig``: real archive dumps routinely
+    carry a UTF-8 BOM on the first header cell (``\\ufeffTimestamp``), which
+    used to raise an unexpected-header error. Gzip members are detected by
+    magic bytes, not suffix, so ``archive.csv.gz`` and a misnamed plain file
+    both work.
+    """
     if isinstance(source, (str, Path)):
-        return open(source, "r", newline=""), True
+        with open(source, "rb") as probe:
+            magic = probe.read(2)
+        if magic == b"\x1f\x8b":
+            return gzip.open(source, "rt", encoding="utf-8-sig", newline=""), True
+        return open(source, "r", encoding="utf-8-sig", newline=""), True
     return source, False
+
+
+#: One validated archive record: (epoch seconds, instance type, AZ, price).
+AwsRow = Tuple[float, str, str, float]
+
+
+def iter_aws_rows(fh: TextIO) -> Iterator[AwsRow]:
+    """Stream validated records from an open AWS-format CSV.
+
+    The single row-level parser behind :func:`load_aws_csv` and the bulk
+    archive ingester (:mod:`repro.traces.ingest`): it validates the header
+    (stripping a UTF-8 BOM that survived stream input), skips blank lines,
+    and yields ``(epoch_seconds, instance_type, availability_zone, price)``
+    tuples one at a time — the caller decides whether to accumulate them
+    (single-market load) or demultiplex them onto disk (bulk ingest), so
+    this function itself holds O(1) memory.
+    """
+    reader = csv.reader(fh)
+    header = next(reader, None)
+    if header is None:
+        raise TraceFormatError("empty trace file")
+    header = [h.strip() for h in header]
+    if header:
+        # A BOM on stream input (path sources already decode utf-8-sig).
+        header[0] = header[0].lstrip("\ufeff")
+    if header != _HEADER:
+        raise TraceFormatError(f"unexpected header {header!r}; want {_HEADER!r}")
+    for lineno, row in enumerate(reader, start=2):
+        if not row or all(not c.strip() for c in row):
+            continue
+        if len(row) != 5:
+            raise TraceFormatError(f"line {lineno}: expected 5 fields, got {len(row)}")
+        ts, itype, _product, az, price_s = (c.strip() for c in row)
+        try:
+            price = float(price_s)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: bad price {price_s!r}") from exc
+        yield parse_aws_timestamp(ts), itype, az, price
 
 
 def load_aws_csv(
@@ -130,25 +187,7 @@ def load_aws_csv(
     """
     fh, should_close = _open_for_read(source)
     try:
-        reader = csv.reader(fh)
-        header = next(reader, None)
-        if header is None:
-            raise TraceFormatError("empty trace file")
-        header = [h.strip() for h in header]
-        if header != _HEADER:
-            raise TraceFormatError(f"unexpected header {header!r}; want {_HEADER!r}")
-        rows: list[tuple[float, str, str, float]] = []
-        for lineno, row in enumerate(reader, start=2):
-            if not row or all(not c.strip() for c in row):
-                continue
-            if len(row) != 5:
-                raise TraceFormatError(f"line {lineno}: expected 5 fields, got {len(row)}")
-            ts, itype, _product, az, price_s = (c.strip() for c in row)
-            try:
-                price = float(price_s)
-            except ValueError as exc:
-                raise TraceFormatError(f"line {lineno}: bad price {price_s!r}") from exc
-            rows.append((parse_aws_timestamp(ts), itype, az, price))
+        rows = list(iter_aws_rows(fh))
     finally:
         if should_close:
             fh.close()
@@ -221,9 +260,16 @@ def save_aws_csv(
 
 
 def roundtrip_equal(a: PriceTrace, b: PriceTrace, tol: float = 1e-9) -> bool:
-    """True when two traces have identical change points and prices."""
+    """True when two traces have identical change points and prices.
+
+    The comparison is purely absolute (``rtol=0``): ``np.allclose``'s
+    default relative term scales with the *magnitude* of the values, so
+    epoch-frame change times (~1.4e9 s) would otherwise compare "equal"
+    with up to ~4 hours of drift — non-rebased round-trips used to
+    false-pass on wildly different timestamps.
+    """
     return (
         len(a) == len(b)
-        and bool(np.allclose(a.times, b.times, atol=tol))
-        and bool(np.allclose(a.prices, b.prices, atol=tol))
+        and bool(np.allclose(a.times, b.times, rtol=0.0, atol=tol))
+        and bool(np.allclose(a.prices, b.prices, rtol=0.0, atol=tol))
     )

@@ -1,0 +1,255 @@
+"""Calibration refit: estimate generator parameters from real archives.
+
+The synthetic :mod:`~repro.traces.generator` is calibrated by hand to the
+statistics the paper reports. When a user has an actual
+``DescribeSpotPriceHistory`` archive (ingested with
+:mod:`repro.traces.ingest`), this module closes the loop: it fits the
+regime-switching process — calm level/dispersion/reversion, per-class
+excursion rates, durations and peak heights, and the cross-market shock
+shares — to the observed traces and emits a
+:class:`~repro.traces.calibration.MarketCalibration` per market that
+:func:`~repro.traces.catalog.build_catalog` consumes directly. Fitted
+values are clamped into each field's validated range, so a fit never
+produces an unconstructible calibration.
+
+``tests/traces/test_calibration.py`` pins the closure property: fitting a
+generated archive and regenerating from the fit reproduces the source's
+excursion rate, calm-price quantiles and cross-market correlation sign
+within fixed bands.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.traces.calibration import MarketCalibration, SpikeModel
+from repro.traces.catalog import TraceCatalog
+from repro.traces.generator import CALM_CEILING_FRAC, TraceGenerator
+from repro.traces.statistics import (
+    ExcursionEpisode,
+    calm_change_rate_per_hour,
+    calm_profile,
+    excursion_episodes,
+    weighted_quantile,
+)
+from repro.traces.trace import PriceTrace
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "fit_market",
+    "fit_catalog",
+    "save_calibrations",
+    "load_calibrations",
+    "CALIBRATION_FILE_VERSION",
+]
+
+CALIBRATION_FILE_VERSION = 1
+
+#: Excursion classification thresholds, mirroring the generator's defaults:
+#: peaks at or past the 4x bid cap are "sharp"; short excursions staying
+#: below the spike floor (1.3x on-demand) are "blips"; the rest are spikes.
+SHARP_PEAK_FRAC = 4.0
+BLIP_PEAK_FRAC = 1.3
+BLIP_MAX_DURATION_S = 1200.0
+
+#: Fallback per-class shape parameters when a class has no observed
+#: episodes (its rate fits to 0, so the shape is inert but must validate).
+_CLASS_FALLBACK = {
+    "blips": SpikeModel(0.0, 420.0, 0.6, 1.02, 1.6, sharp=False),
+    "spikes": SpikeModel(0.0, 4200.0, 0.9, 1.3, 3.8, sharp=False),
+    "sharp_spikes": SpikeModel(0.0, 3000.0, 0.8, 4.3, 6.0, sharp=True),
+}
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return float(min(max(x, lo), hi))
+
+
+def _fit_class(
+    cls: str, episodes: Sequence[ExcursionEpisode], hours: float, od: float
+) -> SpikeModel:
+    """Fit one excursion class from its classified episodes."""
+    fallback = _CLASS_FALLBACK[cls]
+    if not episodes:
+        return fallback
+    durations = np.array([max(e.duration_s, 30.0) for e in episodes])
+    peaks = np.array([e.peak for e in episodes]) / od
+    log_d = np.log(durations)
+    sigma = _clamp(float(log_d.std()), 0.0, 1.5) if len(episodes) > 1 else fallback.duration_sigma
+    lo = _clamp(float(peaks.min()), 1.005, 50.0)
+    hi = _clamp(float(peaks.max()), lo, 60.0)
+    return SpikeModel(
+        rate_per_hour=len(episodes) / hours,
+        duration_mean_s=float(durations.mean()),
+        duration_sigma=sigma,
+        peak_lo_frac=lo,
+        peak_hi_frac=hi,
+        sharp=fallback.sharp,
+    )
+
+
+def _classify(episodes: Sequence[ExcursionEpisode], od: float) -> Dict[str, list]:
+    out: Dict[str, list] = {"blips": [], "spikes": [], "sharp_spikes": []}
+    for e in episodes:
+        if e.peak >= SHARP_PEAK_FRAC * od:
+            out["sharp_spikes"].append(e)
+        elif e.peak < BLIP_PEAK_FRAC * od and e.duration_s <= BLIP_MAX_DURATION_S:
+            out["blips"].append(e)
+        else:
+            out["spikes"].append(e)
+    return out
+
+
+def fit_market(
+    trace: PriceTrace, on_demand: float, region: str = "", size: str = ""
+) -> MarketCalibration:
+    """Fit one market's regime-switching parameters from its trace.
+
+    Cross-market fields (``regional_shock_share`` / ``global_shock_share``)
+    keep their defaults here; :func:`fit_catalog` refines them from the
+    observed correlation structure when several markets are available.
+    """
+    if on_demand <= 0:
+        raise CalibrationError(f"on-demand price must be positive, got {on_demand}")
+    od = float(on_demand)
+    hours = trace.duration / SECONDS_PER_HOUR
+    if hours <= 1.0:
+        raise CalibrationError("refit needs more than one hour of history")
+
+    episodes = excursion_episodes(trace, od)
+    by_class = _classify(episodes, od)
+    models = {cls: _fit_class(cls, eps, hours, od) for cls, eps in by_class.items()}
+
+    calm_dur, calm_prices = calm_profile(trace, CALM_CEILING_FRAC * od)
+    if calm_prices.size == 0:
+        # Sustained-high market: everything sits above the calm ceiling.
+        # Anchor the calm leg just under the ceiling so generation is valid.
+        calm_median = CALM_CEILING_FRAC * od * 0.98
+        calm_sigma = 0.05
+        reversion = 0.4
+        floor_frac = 0.05
+    else:
+        calm_median = weighted_quantile(calm_prices, calm_dur, 0.5)
+        log_dev = np.log(calm_prices / calm_median)
+        total = calm_dur.sum()
+        var = float(np.dot(calm_dur, log_dev**2) / total)
+        # The generator layers shared regional+global AR(1) drifts on top of
+        # every market's own calm jitter; subtract their stationary variance
+        # so refit->generate doesn't inflate dispersion on each round trip.
+        drift_var = TraceGenerator._REGIONAL_DRIFT_STD**2 + TraceGenerator._GLOBAL_DRIFT_STD**2
+        calm_sigma = _clamp(np.sqrt(max(var - drift_var, 1e-4)), 0.01, 1.5)
+        if calm_prices.size > 2:
+            x = np.log(calm_prices / calm_median)
+            phi = float(np.corrcoef(x[1:], x[:-1])[0, 1]) if x[1:].std() > 0 else 0.6
+            if not np.isfinite(phi):
+                phi = 0.6
+            reversion = _clamp(1.0 - phi, 0.02, 1.0)
+        else:
+            reversion = 0.4
+        floor_frac = _clamp(float(calm_prices.min()) / od * 0.95, 0.005, 0.5)
+
+    calm_base_frac = _clamp(calm_median / od, 0.02, 0.9)
+    change_rate = _clamp(
+        calm_change_rate_per_hour(trace, CALM_CEILING_FRAC * od), 0.05, 60.0
+    )
+
+    return MarketCalibration(
+        region=region or trace.region,
+        size=size or trace.market,
+        on_demand=od,
+        calm_base_frac=calm_base_frac,
+        calm_sigma=calm_sigma,
+        calm_reversion=reversion,
+        calm_change_rate_per_hour=change_rate,
+        blips=models["blips"],
+        spikes=models["spikes"],
+        sharp_spikes=models["sharp_spikes"],
+        price_floor_frac=floor_frac,
+    )
+
+
+def fit_catalog(
+    catalog: TraceCatalog, grid_step_s: float = 300.0
+) -> Dict[Tuple[str, str], MarketCalibration]:
+    """Fit every market of a catalog, including the cross-market shares.
+
+    Per-market parameters come from :func:`fit_market`; the regional and
+    global shock shares are then estimated from the observed mean pairwise
+    price correlations — within-region pairs drive the regional share,
+    cross-region pairs the global share — clamped into validated ranges.
+    The result plugs straight into
+    :func:`repro.traces.catalog.build_catalog`'s ``calibrations``.
+    """
+    from repro.traces.statistics import trace_correlation
+
+    keys = catalog.markets()
+    cals = {
+        (k.region, k.size): fit_market(
+            catalog.trace(k), catalog.on_demand_price(k), k.region, k.size
+        )
+        for k in keys
+    }
+
+    intra: List[float] = []
+    cross: List[float] = []
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            rho = trace_correlation(catalog.trace(a), catalog.trace(b), step=grid_step_s)
+            (intra if a.region == b.region else cross).append(rho)
+    regional = _clamp(1.8 * float(np.mean(intra)), 0.0, 0.6) if intra else 0.25
+    global_ = _clamp(1.5 * float(np.mean(cross)), 0.0, 0.3) if cross else 0.06
+    if regional + global_ > 0.9:  # keep well inside the shares-sum<=1 validation
+        scale = 0.9 / (regional + global_)
+        regional *= scale
+        global_ *= scale
+    return {
+        key: replace(cal, regional_shock_share=regional, global_shock_share=global_)
+        for key, cal in cals.items()
+    }
+
+
+# ------------------------------------------------------------- persistence
+def save_calibrations(
+    path: str | Path, calibrations: Mapping[Tuple[str, str], MarketCalibration]
+) -> None:
+    """Write a fitted calibration set as JSON (inverse of :func:`load_calibrations`)."""
+    payload = {
+        "format": "repro-calibrations",
+        "version": CALIBRATION_FILE_VERSION,
+        "markets": [
+            calibrations[key].to_dict() for key in sorted(calibrations)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_calibrations(path: str | Path) -> Dict[Tuple[str, str], MarketCalibration]:
+    """Load a calibration set written by :func:`save_calibrations`.
+
+    Returns a ``{(region, size): MarketCalibration}`` mapping, the shape
+    :func:`~repro.traces.catalog.build_catalog` accepts.
+    """
+    p = Path(path)
+    try:
+        payload = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CalibrationError(f"cannot read calibration file {p}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-calibrations":
+        raise CalibrationError(f"{p}: not a repro-calibrations file")
+    if payload.get("version") != CALIBRATION_FILE_VERSION:
+        raise CalibrationError(
+            f"{p}: unsupported calibration file version {payload.get('version')!r}"
+        )
+    out: Dict[Tuple[str, str], MarketCalibration] = {}
+    for entry in payload.get("markets", []):
+        cal = MarketCalibration.from_dict(entry)
+        out[(cal.region, cal.size)] = cal
+    if not out:
+        raise CalibrationError(f"{p}: calibration file lists no markets")
+    return out

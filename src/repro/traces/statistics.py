@@ -26,6 +26,12 @@ __all__ = [
     "time_above_fraction",
     "TraceSummary",
     "summarize_trace",
+    "ExcursionEpisode",
+    "excursion_episodes",
+    "calm_profile",
+    "weighted_quantile",
+    "calm_price_quantile",
+    "calm_change_rate_per_hour",
 ]
 
 #: Resampling grid used for correlation estimates (5 minutes, fine enough to
@@ -124,6 +130,83 @@ class TraceSummary:
             self.max_price,
             self.frac_above_od,
         )
+
+
+@dataclass(frozen=True)
+class ExcursionEpisode:
+    """One maximal interval during which price > threshold."""
+
+    start: float
+    end: float
+    peak: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+
+def excursion_episodes(trace: PriceTrace, threshold: float) -> list[ExcursionEpisode]:
+    """Maximal above-threshold episodes of a trace, in time order.
+
+    The building block of the calibration refit: each episode's duration
+    and peak feed the per-class (blip / spike / sharp-spike) parameter
+    fits. An episode still open at the horizon is clipped there. Uses the
+    compiled crossing tables, so the scan is O(episodes · log n).
+    """
+    out: list[ExcursionEpisode] = []
+    for start in trace.crossings_above(threshold):
+        s = float(start)
+        end = trace.first_time_at_or_below(threshold, s)
+        e = trace.horizon if end is None else float(end)
+        out.append(ExcursionEpisode(start=s, end=e, peak=trace.max_price(s, e)))
+    return out
+
+
+def calm_profile(trace: PriceTrace, threshold: float) -> tuple[np.ndarray, np.ndarray]:
+    """``(durations, prices)`` of the trace's at-or-below-threshold segments.
+
+    The time-weighted view of the calm regime: every segment whose price
+    sits at or below ``threshold``, with its clipped duration — the raw
+    material for calm-level quantiles and dispersion estimates.
+    """
+    dur, prices = trace.compiled.window(trace.start, trace.horizon)
+    mask = prices <= threshold
+    return dur[mask], prices[mask]
+
+
+def weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """Quantile ``q`` of ``values`` under non-negative ``weights``."""
+    if not 0.0 <= q <= 1.0:
+        raise TraceError(f"quantile must be in [0, 1], got {q}")
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.size == 0 or weights.sum() <= 0:
+        raise TraceError("weighted quantile of an empty/zero-weight sample")
+    order = np.argsort(values, kind="stable")
+    v, w = values[order], weights[order]
+    cum = np.cumsum(w)
+    idx = int(np.searchsorted(cum, q * cum[-1], side="left"))
+    return float(v[min(idx, v.size - 1)])
+
+
+def calm_price_quantile(trace: PriceTrace, q: float, threshold: float) -> float:
+    """Time-weighted quantile of the calm (price <= threshold) regime."""
+    dur, prices = calm_profile(trace, threshold)
+    return weighted_quantile(prices, dur, q)
+
+
+def calm_change_rate_per_hour(trace: PriceTrace, threshold: float) -> float:
+    """Calm re-pricings per hour of calm time.
+
+    Counts change points whose new price is at or below ``threshold`` and
+    normalises by the time actually spent there, estimating the calm
+    leg's Poisson re-pricing intensity independently of excursion load.
+    """
+    calm_changes = int(np.count_nonzero(trace.prices <= threshold))
+    calm_time_s = trace.duration - trace.time_above(threshold)
+    if calm_time_s <= 0:
+        return 0.0
+    return calm_changes / (calm_time_s / SECONDS_PER_HOUR)
 
 
 def summarize_trace(trace: PriceTrace, on_demand: float) -> TraceSummary:

@@ -47,7 +47,7 @@ class PriceTrace:
     * ``horizon > times[-1]``
     """
 
-    __slots__ = ("times", "prices", "horizon", "market", "region", "_compiled")
+    __slots__ = ("times", "prices", "horizon", "market", "region", "_compiled", "_bounds")
 
     def __init__(
         self,
@@ -57,6 +57,7 @@ class PriceTrace:
         *,
         market: str = "",
         region: str = "",
+        bounds: np.ndarray | None = None,
     ) -> None:
         t = np.ascontiguousarray(times, dtype=np.float64)
         p = np.ascontiguousarray(prices, dtype=np.float64)
@@ -81,6 +82,10 @@ class PriceTrace:
         self.horizon = float(horizon)
         self.market = market
         self.region = region
+        # Optional precomputed segment-bounds array (``times + [horizon]``),
+        # e.g. the memory-mapped one stored inside a compiled segment file;
+        # the compiled plan adopts it instead of concatenating a fresh copy.
+        self._bounds = bounds
         self._compiled: CompiledTrace | None = None
 
     # ---------------------------------------------------------- compiled plan
@@ -89,7 +94,7 @@ class PriceTrace:
         """The trace's compiled query plan, built once on first use."""
         comp = self._compiled
         if comp is None:
-            comp = CompiledTrace(self.times, self.prices, self.horizon)
+            comp = CompiledTrace(self.times, self.prices, self.horizon, bounds=self._bounds)
             self._compiled = comp
         return comp
 
@@ -107,6 +112,7 @@ class PriceTrace:
         self.horizon = horizon
         self.market = market
         self.region = region
+        self._bounds = None
         self._compiled = None
 
     # ------------------------------------------------------------- basic info

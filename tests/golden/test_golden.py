@@ -20,7 +20,7 @@ from repro.testkit.golden import (
 
 
 def test_corpus_shape():
-    assert len(SCENARIOS) == 13
+    assert len(SCENARIOS) == 30
     names = [s.name for s in SCENARIOS]
     assert len(set(names)) == len(names)
     for s in SCENARIOS:

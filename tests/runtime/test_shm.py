@@ -38,6 +38,8 @@ def _clean_attachments():
     while shm_mod._ATTACHED:
         _, (cat, segment) = shm_mod._ATTACHED.popitem(last=False)
         del cat
+        if segment is None:  # directory-plan attachments hold no segment
+            continue
         try:
             segment.close()
         except BufferError:
@@ -112,6 +114,50 @@ class TestGating:
         plan, segment = publish_catalog(catalog)
         release_segment(segment)
         release_segment(segment)  # second close/unlink must not raise
+
+
+class TestSegmentDirPlan:
+    """Catalogs loaded from mmap segment directories ship their *path*
+    through the plan, not their bytes (Issue 10)."""
+
+    @pytest.fixture
+    def segment_catalog(self, tmp_path, catalog):
+        from repro.traces.ingest import ingest_archive, load_segment_catalog
+        from repro.traces.loader import save_aws_csv
+
+        for key in catalog.markets():
+            save_aws_csv(
+                catalog.trace(key),
+                tmp_path / f"{key.size}.csv",
+                instance_type=f"m1.{key.size}",
+                availability_zone=key.region,
+            )
+        ingest_archive(
+            [tmp_path / f"{k.size}.csv" for k in catalog.markets()],
+            tmp_path / "seg",
+            horizon=catalog.horizon,
+        )
+        return load_segment_catalog(tmp_path / "seg")
+
+    def test_publish_returns_dir_plan_without_segment(self, segment_catalog):
+        plan, segment = publish_catalog(segment_catalog)
+        assert segment is None
+        assert plan.segment_dir == segment_catalog.source
+        assert plan.total_floats == 0  # no bytes were copied anywhere
+
+    def test_attach_loads_and_caches_by_directory(self, segment_catalog):
+        plan, _ = publish_catalog(segment_catalog)
+        clone = attach_catalog(plan)
+        assert attach_catalog(plan) is clone
+        assert clone.markets() == segment_catalog.markets()
+        for key in segment_catalog.markets():
+            np.testing.assert_array_equal(
+                clone.trace(key).times, segment_catalog.trace(key).times
+            )
+            assert clone.on_demand_price(key) == segment_catalog.on_demand_price(key)
+
+    def test_release_none_segment_is_noop(self):
+        release_segment(None)  # dir plans have no shm segment to unlink
 
 
 class TestExecutorIntegration:

@@ -121,3 +121,180 @@ def test_turbulence_validation():
     with pytest.raises(CalibrationError):
         # turbulent_mult too large for the turbulent fraction -> negative quiet rate
         calibration_for("us-east-1a", "small", turbulent_mult=10.0)
+
+
+# ---------------------------------------------------------- serialization
+def test_spike_model_dict_round_trip():
+    m = SpikeModel(0.01, 4200.0, 0.9, 1.3, 3.8, sharp=False)
+    assert SpikeModel.from_dict(m.to_dict()) == m
+
+
+def test_spike_model_from_dict_rejects_unknown_fields():
+    with pytest.raises(CalibrationError):
+        SpikeModel.from_dict({"rate_per_hour": 0.01, "bogus": 1})
+
+
+def test_market_calibration_dict_round_trip():
+    cal = calibration_for("us-east-1a", "small")
+    clone = MarketCalibration.from_dict(cal.to_dict())
+    assert clone == cal
+
+
+def test_market_calibration_from_dict_rejects_bad_payload():
+    with pytest.raises(CalibrationError):
+        MarketCalibration.from_dict({"region": "us-east-1a"})
+
+
+def test_calibration_file_round_trip(tmp_path):
+    from repro.traces.refit import load_calibrations, save_calibrations
+
+    cals = {
+        ("us-east-1a", "small"): calibration_for("us-east-1a", "small"),
+        ("eu-west-1a", "large"): calibration_for("eu-west-1a", "large"),
+    }
+    path = tmp_path / "cals.json"
+    save_calibrations(path, cals)
+    assert load_calibrations(path) == cals
+
+
+def test_load_calibrations_rejects_foreign_json(tmp_path):
+    from repro.traces.refit import load_calibrations
+
+    path = tmp_path / "x.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(CalibrationError):
+        load_calibrations(path)
+
+
+def test_load_calibrations_rejects_wrong_version(tmp_path):
+    from repro.traces.refit import load_calibrations
+
+    path = tmp_path / "x.json"
+    path.write_text('{"format": "repro-calibrations", "version": 99, "markets": []}')
+    with pytest.raises(CalibrationError):
+        load_calibrations(path)
+
+
+# ------------------------------------------------------------ refit closure
+def test_fit_market_rejects_degenerate_inputs():
+    from repro.traces.catalog import build_catalog
+    from repro.traces.catalog import MarketKey
+    from repro.traces.refit import fit_market
+    from repro.units import days
+
+    catalog = build_catalog(1, days(2), regions=("us-east-1a",), sizes=("small",))
+    trace = catalog.trace(MarketKey("us-east-1a", "small"))
+    with pytest.raises(CalibrationError):
+        fit_market(trace, 0.0)
+
+
+def test_fit_market_output_always_validates():
+    """Every fitted field lands inside MarketCalibration's validated
+    ranges (construction would raise otherwise)."""
+    from repro.traces.catalog import build_catalog
+    from repro.traces.refit import fit_market
+    from repro.units import days
+
+    for seed in (1, 2, 3):
+        catalog = build_catalog(
+            seed, days(20), regions=("us-east-1a", "eu-west-1a"), sizes=("small", "xlarge")
+        )
+        for key in catalog.markets():
+            cal = fit_market(
+                catalog.trace(key), catalog.on_demand_price(key), key.region, key.size
+            )
+            assert isinstance(cal, MarketCalibration)
+            assert cal.region == key.region and cal.size == key.size
+
+
+def test_refit_closure_fit_generate_refit():
+    """The acceptance closure: fit a generated archive, regenerate from
+    the fit, and require the regenerated traces to reproduce the source's
+    excursion rate, calm-price quantiles and correlation sign within
+    fixed bands."""
+    import numpy as np
+
+    from repro.traces.catalog import build_catalog
+    from repro.traces.generator import CALM_CEILING_FRAC
+    from repro.traces.refit import fit_catalog
+    from repro.traces.statistics import (
+        calm_profile,
+        excursion_episodes,
+        trace_correlation,
+        weighted_quantile,
+    )
+    from repro.units import days
+
+    regions = ("us-east-1a", "us-east-1b")
+    sizes = ("small", "large")
+    horizon = days(40)
+    source = build_catalog(7, horizon, regions=regions, sizes=sizes)
+    fitted = fit_catalog(source, grid_step_s=900.0)
+    regen = build_catalog(8, horizon, regions=regions, sizes=sizes, calibrations=fitted)
+
+    for key in source.markets():
+        od = source.on_demand_price(key)
+        src, new = source.trace(key), regen.trace(key)
+
+        # Excursion (revocation-pressure) rate within a 3x band either way.
+        n_src = max(len(excursion_episodes(src, od)), 1)
+        n_new = max(len(excursion_episodes(new, od)), 1)
+        assert 0.3 <= n_new / n_src <= 3.0, (key, n_src, n_new)
+
+        # Calm-price quantiles: the spot discount the paper's economics
+        # hinge on survives the fit -> generate round trip.
+        d_src, p_src = calm_profile(src, CALM_CEILING_FRAC * od)
+        d_new, p_new = calm_profile(new, CALM_CEILING_FRAC * od)
+        assert p_src.size > 0 and p_new.size > 0
+        med_src = weighted_quantile(p_src, d_src, 0.5)
+        med_new = weighted_quantile(p_new, d_new, 0.5)
+        assert 0.7 <= med_new / med_src <= 1.4, (key, med_src, med_new)
+        for q, lo, hi in ((0.25, 0.6, 1.6), (0.75, 0.6, 1.6)):
+            r = weighted_quantile(p_new, d_new, q) / weighted_quantile(p_src, d_src, q)
+            assert lo <= r <= hi, (key, q, r)
+
+    # Cross-market correlation keeps its sign: the fitted shock shares
+    # regenerate positively correlated intra-region markets.
+    a, b = (k for k in source.markets() if k.region == "us-east-1a")
+    rho_src = trace_correlation(source.trace(a), source.trace(b), step=900.0)
+    rho_new = trace_correlation(regen.trace(a), regen.trace(b), step=900.0)
+    assert rho_src > 0.0
+    assert rho_new > 0.0
+
+
+def test_fit_catalog_shares_track_correlation_structure():
+    """Shock shares come from the observed correlations and stay inside
+    the validated budget."""
+    from repro.traces.catalog import build_catalog
+    from repro.traces.refit import fit_catalog
+    from repro.units import days
+
+    catalog = build_catalog(
+        11, days(30), regions=("us-east-1a", "us-west-1a"), sizes=("small", "medium")
+    )
+    fitted = fit_catalog(catalog, grid_step_s=900.0)
+    shares = {(c.regional_shock_share, c.global_shock_share) for c in fitted.values()}
+    assert len(shares) == 1  # shares are catalog-wide, not per-market
+    regional, global_ = shares.pop()
+    assert 0.0 <= regional <= 0.6
+    assert 0.0 <= global_ <= 0.3
+    assert regional + global_ <= 0.9
+
+
+def test_fit_market_sustained_high_fallback():
+    """A trace living entirely above the calm ceiling still fits to a
+    valid calibration anchored just under the ceiling."""
+    import numpy as np
+
+    from repro.traces.refit import fit_market
+    from repro.traces.trace import PriceTrace
+    from repro.units import days
+
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0.0, days(2) - 3600.0, size=50))
+    times[0] = 0.0
+    prices = rng.uniform(0.058, 0.065, size=50)  # always >= 0.92 * od
+    trace = PriceTrace(times, prices, days(2), market="small", region="us-east-1a")
+    cal = fit_market(trace, 0.06)
+    assert cal.calm_base_frac < 0.92
+    assert isinstance(cal, MarketCalibration)

@@ -180,6 +180,53 @@ def test_roundtrip_equal_helper():
     assert roundtrip_equal(t, t)
 
 
+def test_roundtrip_equal_rejects_epoch_scale_drift():
+    # Regression: np.allclose's default rtol=1e-5 scales with magnitude, so
+    # two *epoch-frame* traces (~1.4e9 s) with hours of drift between their
+    # change points used to compare "equal". rtol must be pinned to 0.
+    from repro.traces.trace import PriceTrace
+
+    epoch = parse_aws_timestamp("2015-02-01T00:00:00Z")
+    a = PriceTrace([epoch, epoch + 3600.0], [0.01, 0.02], epoch + 86400.0)
+    drift = 2 * 3600.0  # two hours — well inside rtol=1e-5 at epoch scale
+    b = PriceTrace([epoch, epoch + 3600.0 + drift], [0.01, 0.02], epoch + 86400.0)
+    assert not roundtrip_equal(a, b)
+
+
+def test_roundtrip_equal_non_rebased_roundtrip(tmp_path):
+    # Non-rebased (epoch-offset) traces must round-trip exactly, and a
+    # deliberately shifted copy must NOT pass for equal.
+    t = load_aws_csv(io.StringIO(SAMPLE), rebase_to_zero=False)
+    path = tmp_path / "epoch.csv"
+    save_aws_csv(t, path)
+    again = load_aws_csv(path, rebase_to_zero=False, horizon=t.horizon)
+    assert roundtrip_equal(t, again)
+    assert not roundtrip_equal(t, again.shift(1800.0))
+
+
+def test_load_bom_prefixed_header(tmp_path):
+    # Real archive dumps often carry a UTF-8 BOM; both the path and the
+    # stream entry points must strip it instead of rejecting the header.
+    path = tmp_path / "bom.csv"
+    path.write_bytes(b"\xef\xbb\xbf" + SAMPLE.encode())
+    t = load_aws_csv(path)
+    assert len(t) == 3
+    assert t.price_at(0) == pytest.approx(0.0071)
+    t2 = load_aws_csv(io.StringIO("\ufeff" + SAMPLE))
+    assert roundtrip_equal(t, t2)
+
+
+def test_load_gzip_archive(tmp_path):
+    import gzip
+
+    path = tmp_path / "trace.csv.gz"
+    with gzip.open(path, "wt", newline="") as fh:
+        fh.write(SAMPLE)
+    t = load_aws_csv(path)
+    assert len(t) == 3
+    assert t.market == "m1.small"
+
+
 def test_save_to_stream():
     t = load_aws_csv(io.StringIO(SAMPLE))
     buf = io.StringIO()

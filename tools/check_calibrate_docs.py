@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Keep ``docs/DATA.md`` honest about the ingestion/refit CLI surface.
+
+Checks, in both directions:
+
+* every flag in DATA.md's ``repro-calibrate`` CLI-reference table exists
+  on ``repro.traces.calibrate_cli.build_parser()``, and every parser
+  flag is documented;
+* the same for the ``python -m repro.traces.ingest`` reference table
+  against the ingest module's parser;
+* every flag with a parser ``choices`` list mentions each accepted
+  choice (in backticks) in its documented meaning.
+
+Exits non-zero with a per-problem report when the doc and the code
+drift. Run from the repository root (CI does):
+``python tools/check_calibrate_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.traces.calibrate_cli import build_parser as calibrate_parser  # noqa: E402
+
+DOC = REPO / "docs" / "DATA.md"
+
+#: ``## Section`` headings split the doc.
+SECTION = re.compile(r"^##\s+(?P<title>.+?)\s*$")
+#: ``| `--flag` | ... |`` rows in a CLI-reference table.
+FLAG_ROW = re.compile(r"^\|\s*`(?P<flag>--?[a-z][a-z-]*)`\s*\|(?P<rest>.*)$")
+
+#: Doc section title -> parser factory it must stay in sync with.
+def _ingest_parser():
+    import argparse
+
+    from repro.traces.ingest import DEFAULT_CHUNK_RECORDS
+
+    # The module-CLI parser is built inline in repro.traces.ingest.main;
+    # mirror it here from the same constants so the table is checked
+    # against the real defaults.
+    p = argparse.ArgumentParser(prog="python -m repro.traces.ingest")
+    p.add_argument("archives", nargs="+")
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("--chunk-records", type=int, default=DEFAULT_CHUNK_RECORDS)
+    return p
+
+
+SURFACES = {
+    "repro-calibrate reference": calibrate_parser,
+    "Ingest CLI reference": _ingest_parser,
+}
+
+
+def parse_doc(text: str) -> dict[str, dict[str, str]]:
+    """``{section title: {documented flag: row text}}`` for known sections."""
+    tables: dict[str, dict[str, str]] = {title: {} for title in SURFACES}
+    section: str | None = None
+    for line in text.splitlines():
+        s = SECTION.match(line)
+        if s:
+            section = s.group("title")
+            continue
+        if section in tables:
+            f = FLAG_ROW.match(line)
+            if f:
+                tables[section][f.group("flag")] = f.group("rest")
+    return tables
+
+
+def check_surface(title: str, parser_factory, doc_flags: dict[str, str]) -> list[str]:
+    problems: list[str] = []
+    if not doc_flags:
+        return [f"DATA.md section {title!r} is missing or has no flag table"]
+    actions = {
+        opt: action
+        for action in parser_factory()._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help"
+    }
+    for flag in doc_flags:
+        if flag not in actions:
+            problems.append(f"{title}: DATA.md documents unknown flag {flag}")
+    for flag, action in actions.items():
+        if flag not in doc_flags:
+            problems.append(f"{title}: flag {flag} missing from DATA.md")
+        elif action.choices and action.nargs is None:
+            documented = set(re.findall(r"`([^`]+)`", doc_flags[flag]))
+            missing = [str(c) for c in action.choices if str(c) not in documented]
+            if missing:
+                problems.append(
+                    f"{title}: {flag} choice(s) {', '.join(missing)} not "
+                    f"mentioned in the DATA.md meaning column"
+                )
+    return problems
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"missing {DOC}")
+        return 1
+    tables = parse_doc(DOC.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    for title, factory in SURFACES.items():
+        problems.extend(check_surface(title, factory, tables[title]))
+
+    if problems:
+        print(f"DATA.md is out of sync with the ingest/refit CLIs ({len(problems)} problem(s)):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    n = sum(len(t) for t in tables.values())
+    print(
+        f"DATA.md OK: {n} CLI flags documented across {len(SURFACES)} "
+        f"reference tables, all match the parsers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
